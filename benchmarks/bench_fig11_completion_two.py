@@ -1,0 +1,61 @@
+"""Fig. 11 — message completion status with TWO relayers, 200 ms RTT.
+
+Paper: commits still reach the chain below 160 RPS, but compared to the
+single-relayer runs a larger share of transfers is left incomplete at the
+window's end because redundancy errors lower throughput.
+"""
+
+from benchmarks.conftest import RELAY_SEEDS, relayer_config, run_cached
+from repro.analysis import format_table
+
+RATES = [100, 140, 160]
+
+
+def run_sweep():
+    out = {}
+    for rate in RATES:
+        one = run_cached(relayer_config(rate, RELAY_SEEDS[0], 1, 0.2))
+        two = run_cached(relayer_config(rate, RELAY_SEEDS[0], 2, 0.2))
+        out[rate] = {
+            "one": one.window.completion,
+            "two": two.window.completion,
+        }
+    return out
+
+
+def test_fig11_completion_status_two_relayers(benchmark):
+    out = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    rows = []
+    for rate, data in sorted(out.items()):
+        one_f = data["one"].as_fractions()
+        two_f = data["two"].as_fractions()
+        rows.append(
+            (
+                rate,
+                f"{one_f['completed'] * 100:.1f}%",
+                f"{two_f['completed'] * 100:.1f}%",
+                f"{two_f['partially_completed'] * 100:.1f}%",
+                f"{two_f['only_initiated'] * 100:.1f}%",
+            )
+        )
+    print("\nFig. 11 — completion status, two relayers vs one (200 ms RTT)")
+    print(
+        format_table(
+            ["RPS", "completed (1R)", "completed (2R)", "partial (2R)", "initiated (2R)"],
+            rows,
+        )
+    )
+
+    for rate, data in out.items():
+        # Commits unaffected by the second relayer...
+        assert data["two"].committed >= 0.995 * data["two"].requested, rate
+        # ...but fewer transfers complete within the window than with one.
+        assert (
+            data["two"].completed <= data["one"].completed
+        ), rate
+        # The shortfall shows up as incomplete transfers, not lost ones.
+        incomplete = (
+            data["two"].partially_completed + data["two"].only_initiated
+        )
+        assert incomplete >= data["one"].partially_completed + data["one"].only_initiated - 100, rate

@@ -1,0 +1,56 @@
+"""Fig. 13 — completion latency of 5 000 transfers vs submission strategy.
+
+Paper: submitting everything in 1 block takes 455 s; spreading over more
+blocks reduces latency down to a minimum around 8-16 blocks (143/138 s —
+a ~70 % reduction), after which further spreading *increases* latency again
+(240 s @ 32 blocks, 441 s @ 64 blocks) because the submission span itself
+dominates.
+"""
+
+from benchmarks.conftest import FULL, run_cached
+from repro.analysis import format_table
+from repro.framework import ExperimentConfig
+
+PAPER = {1: 455, 2: 286, 4: 219, 8: 143, 16: 138, 32: 240, 64: 441}
+STRATEGIES = [1, 2, 4, 8, 16, 32, 64]
+
+
+def strategy_config(blocks: int) -> ExperimentConfig:
+    return ExperimentConfig(
+        total_transfers=5000,
+        submission_blocks=blocks,
+        measurement_blocks=500,
+        run_to_completion=True,
+        seed=5,
+    )
+
+
+def run_sweep():
+    return {
+        blocks: run_cached(strategy_config(blocks)).completion_latency
+        for blocks in STRATEGIES
+    }
+
+
+def test_fig13_submission_strategies(benchmark):
+    latency = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    rows = [
+        (blocks, f"{latency[blocks]:.1f}", PAPER[blocks])
+        for blocks in STRATEGIES
+    ]
+    print("\nFig. 13 — completion latency (s) of 5 000 transfers vs strategy")
+    print(format_table(["blocks", "measured", "paper"], rows))
+
+    best = min(latency, key=latency.get)
+    # The U-shape: the optimum is an interior strategy...
+    assert 4 <= best <= 32, f"optimum at {best} blocks"
+    # ...with a large reduction from the single-block strategy (paper: 70 %)...
+    reduction = 1 - latency[best] / latency[1]
+    assert reduction >= 0.45, f"only {reduction:.0%} reduction"
+    # ...and the right arm rises again: 64 blocks is much slower than the
+    # optimum and comparable to the 1-block strategy.
+    assert latency[64] > latency[best] * 2
+    assert latency[64] > 0.6 * latency[1]
+    # Left arm decreases monotonically 1 -> 8.
+    assert latency[1] > latency[2] > latency[4] > latency[8]

@@ -1,0 +1,62 @@
+"""Fig. 6 — Tendermint blockchain throughput vs input rate.
+
+Paper series (TFPS included in the source chain): ~200 @ 250 RPS, rising to
+a peak of ~961 near 3 000 RPS, declining to ~499 @ 9 000 RPS, with variance
+more than doubling past 3 000 RPS.
+"""
+
+from benchmarks.conftest import CHAIN_RATES, CHAIN_SEEDS, chain_only_config, run_cached
+from repro.analysis import format_table, summarize
+
+#: Paper anchors for the shape assertions (TFPS medians read from Fig. 6).
+PAPER_POINTS = {250: 200, 1000: 800, 3000: 961, 4000: 830, 9000: 499}
+
+
+def run_sweep():
+    results = {}
+    for rate in CHAIN_RATES:
+        samples = []
+        for seed in CHAIN_SEEDS:
+            report = run_cached(chain_only_config(rate, seed))
+            samples.append(report.window.chain_throughput_tfps)
+        results[rate] = summarize(samples)
+    return results
+
+
+def test_fig6_chain_throughput(benchmark):
+    results = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    rows = []
+    for rate, dist in sorted(results.items()):
+        paper = PAPER_POINTS.get(rate, "-")
+        rows.append(
+            (
+                rate,
+                f"{dist.median:.0f}",
+                f"{dist.p25:.0f}",
+                f"{dist.p75:.0f}",
+                f"{dist.stdev:.0f}",
+                paper,
+            )
+        )
+    print("\nFig. 6 — blockchain throughput (TFPS included on chain)")
+    print(
+        format_table(
+            ["RPS", "median", "p25", "p75", "stdev", "paper~"], rows
+        )
+    )
+
+    medians = {rate: dist.median for rate, dist in results.items()}
+    rates = sorted(medians)
+    low, high = rates[0], rates[-1]
+    peak_rate = max(medians, key=medians.get)
+
+    # Shape: throughput rises from the lowest rate, peaks in the interior,
+    # and declines toward the highest rate.
+    assert medians[peak_rate] > medians[low] * 2
+    assert low < peak_rate < high, "peak must be in the interior of the sweep"
+    assert medians[high] < medians[peak_rate] * 0.85
+
+    # Scale: peak within 2x of the paper's 961 TFPS; low end near 200.
+    assert 500 <= medians[peak_rate] <= 1900
+    assert 120 <= medians[low] <= 350

@@ -1,0 +1,54 @@
+"""Fig. 8 — end-to-end cross-chain throughput with ONE Hermes relayer.
+
+Paper series (200 ms RTT): 20 RPS -> 14 TFPS, near-linear to ~120 RPS
+(72 TFPS), peak ~80-90 TFPS around 140 RPS, declining to ~50 TFPS at
+300 RPS.  0 ms runs sit slightly above the 200 ms runs.
+"""
+
+from benchmarks.conftest import RELAY_RATES, RELAY_SEEDS, relayer_config, run_cached
+from repro.analysis import format_table, summarize
+
+PAPER_200MS = {20: 14, 60: 42, 100: 60, 120: 72, 140: 80, 300: 50}
+
+
+def run_sweep():
+    out = {}
+    for rate in RELAY_RATES:
+        samples = []
+        for seed in RELAY_SEEDS:
+            report = run_cached(relayer_config(rate, seed, num_relayers=1, rtt=0.2))
+            samples.append(report.window.transfer_throughput_tfps)
+        out[rate] = summarize(samples)
+    # One 0 ms point near the peak for the latency comparison.
+    zero_ms = run_cached(relayer_config(140, RELAY_SEEDS[0], num_relayers=1, rtt=0.0))
+    out["peak_0ms"] = zero_ms.window.transfer_throughput_tfps
+    return out
+
+
+def test_fig8_one_relayer_throughput(benchmark):
+    out = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    zero_ms_peak = out.pop("peak_0ms")
+
+    rows = [
+        (rate, f"{dist.median:.1f}", f"{dist.stdev:.1f}", PAPER_200MS.get(rate, "-"))
+        for rate, dist in sorted(out.items())
+    ]
+    print("\nFig. 8 — cross-chain throughput, one relayer, 200 ms RTT (TFPS)")
+    print(format_table(["RPS", "median", "stdev", "paper~"], rows))
+    print(f"0 ms RTT @ 140 RPS: {zero_ms_peak:.1f} TFPS (paper ~90)")
+
+    medians = {rate: dist.median for rate, dist in out.items()}
+    rates = sorted(medians)
+    low, high = rates[0], rates[-1]
+    peak_rate = max(medians, key=medians.get)
+
+    # Near-linear at low rates: ~60-100 % of input completes in the window.
+    assert 0.55 * low <= medians[low] <= 1.0 * low
+    # Peak is interior (saturation sets in well before 300 RPS)...
+    assert low < peak_rate < high
+    assert 100 <= peak_rate <= 240, "peak should fall near the paper's 140 RPS"
+    # ...with throughput in the paper's ballpark and declining afterwards.
+    assert 55 <= medians[peak_rate] <= 120  # paper: 80-90
+    assert medians[high] < medians[peak_rate] * 0.92
+    # Lower network latency helps (0 ms above 200 ms at the peak).
+    assert zero_ms_peak >= medians.get(140, medians[peak_rate]) * 0.95

@@ -1,0 +1,88 @@
+"""Shared infrastructure for the benchmark harness.
+
+Each ``bench_*`` module regenerates one of the paper's tables or figures.
+Experiment results are memoised per configuration so figures sharing a
+sweep (Fig. 6 + Fig. 7 + Table I; Fig. 8 + Fig. 10; Fig. 9 + Fig. 11) pay
+for it once.
+
+Set ``REPRO_BENCH_FULL=1`` to run the paper's full parameter grids (much
+slower); the default grids are thinned to keep ``pytest benchmarks/``
+practical while still exhibiting every reported shape.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+import pytest
+
+from repro.framework import ExperimentConfig, ExperimentRunner
+
+FULL = os.environ.get("REPRO_BENCH_FULL", "") == "1"
+
+_MEMO: dict[tuple, object] = {}
+
+
+def config_key(config: ExperimentConfig) -> str:
+    """Memo key covering EVERY config field (dataclass repr), so two
+    different configurations can never alias to one cached run."""
+    return repr(config)
+
+
+def run_cached(config: ExperimentConfig):
+    """Run an experiment once per unique configuration."""
+    key = config_key(config)
+    if key not in _MEMO:
+        _MEMO[key] = ExperimentRunner(config).run()
+    return _MEMO[key]
+
+
+# -- default grids --------------------------------------------------------------
+
+#: Fig. 6 / Fig. 7 / Table I input rates (requests per second).
+CHAIN_RATES_FULL = [250, 500, 1000, 2000, 3000, 4000, 6000, 9000, 10000, 11000, 12000, 13000, 14000]
+CHAIN_RATES = CHAIN_RATES_FULL if FULL else [250, 1000, 3000, 6000, 9000]
+TABLE1_RATES = (
+    [250, 9000, 10000, 11000, 12000, 13000, 14000]
+    if FULL
+    else [3000, 10000, 11000, 14000]
+)
+CHAIN_SEEDS = list(range(1, 21)) if FULL else [1, 2]
+CHAIN_BLOCKS = 15
+
+#: Fig. 8 / Fig. 9 relayer input rates.
+RELAY_RATES_FULL = [20, 40, 60, 80, 100, 120, 140, 160, 180, 200, 240, 300]
+RELAY_RATES = RELAY_RATES_FULL if FULL else [20, 60, 100, 140, 160, 200, 300]
+RELAY_SEEDS = list(range(1, 21)) if FULL else [1, 2]
+RELAY_BLOCKS = 50
+
+
+def chain_only_config(rate: float, seed: int) -> ExperimentConfig:
+    return ExperimentConfig(
+        input_rate=rate,
+        measurement_blocks=CHAIN_BLOCKS,
+        chain_only=True,
+        num_relayers=0,
+        seed=seed,
+    )
+
+
+def relayer_config(
+    rate: float,
+    seed: int,
+    num_relayers: int = 1,
+    rtt: float = 0.2,
+) -> ExperimentConfig:
+    return ExperimentConfig(
+        input_rate=rate,
+        measurement_blocks=RELAY_BLOCKS,
+        num_relayers=num_relayers,
+        network_rtt=rtt,
+        seed=seed,
+    )
+
+
+@pytest.fixture(scope="session")
+def full_mode() -> bool:
+    return FULL

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""The cost of collecting experiment data (the paper's §V challenge).
+
+The paper's tool must retrieve per-block transaction data to build its
+metrics, and §V documents how expensive those queries are: a block with
+2 000 transfer messages returns ~330 k lines and takes ~2.9 s; the same
+count of recv messages ~580 k lines and ~5.7 s.  This example runs a
+workload, then drives the framework's Cross-chain Data Connector over both
+chains' RPC interfaces and reports per-block query costs — showing how the
+analysis itself competes with the systems being measured.
+
+Run:  python examples/analysis_tool_costs.py
+"""
+
+from repro.framework import ExperimentConfig, ExperimentRunner
+from repro.framework.connectors import CrossChainDataConnector
+
+
+def main() -> None:
+    config = ExperimentConfig(
+        input_rate=400,  # 2 000 transfers per block, the paper's example size
+        measurement_blocks=6,
+        seed=17,
+        drain_seconds=60.0,
+    )
+    runner = ExperimentRunner(config)
+    report = runner.run()
+    testbed = runner.testbed
+    env = testbed.env
+
+    connector = CrossChainDataConnector(
+        env,
+        nodes={
+            "ibc-0": testbed.chain_a.node(testbed.cli_host),
+            "ibc-1": testbed.chain_b.node(testbed.cli_host),
+        },
+        host=testbed.cli_host,
+    )
+
+    heights_a = list(
+        range(report.window.start_height_a + 1, report.window.end_height_a + 1)
+    )
+    heights_b = list(range(1, testbed.chain_b.block_store.latest_height + 1))
+
+    collected = {}
+
+    def collect():
+        collected["a"] = yield from connector.collect_blocks("ibc-0", heights_a)
+        collected["b"] = yield from connector.collect_blocks("ibc-1", heights_b)
+
+    proc = env.process(collect(), name="data-connector")
+    while not proc.triggered:
+        env.step()
+    if not proc.ok:
+        raise proc.value
+
+    print("Per-block data collection costs (simulated seconds per query):\n")
+    for chain_id, blocks in (("ibc-0 (source)", collected["a"]),
+                             ("ibc-1 (destination)", collected["b"])):
+        busy = [b for b in blocks if b.message_count > 0]
+        if not busy:
+            continue
+        print(f"  {chain_id}:")
+        for block in busy[:8]:
+            print(
+                f"    height {block.height:>3}: {block.message_count:>6} msgs, "
+                f"{block.event_bytes / 1e6:5.2f} MB of events -> "
+                f"query took {block.query_seconds * 1000:7.1f} ms"
+            )
+        total = sum(b.query_seconds for b in blocks)
+        print(f"    total collection time for {len(blocks)} blocks: {total:.2f}s\n")
+
+    print(
+        "Note how destination blocks (recv + ack events, ~1.75x larger per\n"
+        "message) cost more to query than source blocks — the same asymmetry\n"
+        "behind the paper's 110 s vs 207 s data-pull split in Fig. 12."
+    )
+
+
+if __name__ == "__main__":
+    main()

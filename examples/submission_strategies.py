@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Choosing a submission strategy for a large batch of cross-chain payouts.
+
+Scenario from the paper's Fig. 13: an operator (say, an exchange draining a
+withdrawal queue) must move 2 000 tokens across chains and can either dump
+every transfer into one block or spread the submissions over several
+blocks.  The paper shows a U-shaped trade-off: batching everything at once
+maximises the serial-RPC data-pull penalty (quadratic in block occupancy),
+while spreading too thin makes the submission span itself dominate.
+
+This example sweeps the strategy space and prints the measured completion
+latency plus the recommendation.
+
+Run:  python examples/submission_strategies.py
+"""
+
+from repro.framework import ExperimentConfig, run_experiment
+
+TOTAL = 2000
+STRATEGIES = [1, 2, 4, 8, 16, 32]
+
+
+def main() -> None:
+    print(f"Moving {TOTAL} transfers across chains; trying {STRATEGIES} block spreads\n")
+    results = {}
+    for blocks in STRATEGIES:
+        config = ExperimentConfig(
+            total_transfers=TOTAL,
+            submission_blocks=blocks,
+            measurement_blocks=400,
+            run_to_completion=True,
+            seed=11,
+        )
+        report = run_experiment(config)
+        results[blocks] = report.completion_latency
+        print(
+            f"  {blocks:>2} block(s): all {TOTAL} transfers completed in "
+            f"{report.completion_latency:7.1f}s "
+            f"(pulls {report.timeline.data_pull_fraction * 100:4.1f}% of relayer time)"
+        )
+
+    best = min(results, key=results.get)
+    worst = max(results, key=results.get)
+    saving = 1 - results[best] / results[1]
+    print(
+        f"\nRecommendation: spread submission over {best} blocks — "
+        f"{saving * 100:.0f}% faster than a single-block dump "
+        f"(paper reports up to 70% for 5 000 transfers)."
+    )
+    print(
+        f"Beware over-spreading: {worst} blocks took {results[worst]:.0f}s "
+        f"(the paper's 64-block strategy was 320% slower than the optimum)."
+    )
+
+
+if __name__ == "__main__":
+    main()

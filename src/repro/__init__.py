@@ -1,0 +1,22 @@
+"""repro — reproduction of "Analyzing the Performance of the
+Inter-Blockchain Communication Protocol" (DSN 2023).
+
+The package simulates the paper's entire testbed — Tendermint consensus,
+Cosmos-SDK chains, the IBC protocol and a Hermes-style relayer — as a
+deterministic discrete-event simulation, and implements the paper's
+cross-chain performance evaluation framework on top of it.
+
+Quickstart::
+
+    from repro.framework import ExperimentConfig, ExperimentRunner
+
+    config = ExperimentConfig(input_rate=100, measurement_blocks=20)
+    report = ExperimentRunner(config).run()
+    print(report.summary())
+"""
+
+from repro.calibration import Calibration, DEFAULT_CALIBRATION
+
+__version__ = "1.0.0"
+
+__all__ = ["Calibration", "DEFAULT_CALIBRATION", "__version__"]

@@ -1,0 +1,17 @@
+"""Analysis helpers shared by the benchmark harness."""
+
+from repro.analysis.stats import (
+    DistributionSummary,
+    format_table,
+    relative_error,
+    summarize,
+)
+from repro.analysis.timeline import render_step_table
+
+__all__ = [
+    "DistributionSummary",
+    "format_table",
+    "relative_error",
+    "render_step_table",
+    "summarize",
+]

@@ -1,0 +1,78 @@
+"""Distribution summaries and table rendering for benchmark output.
+
+The paper presents Fig. 6 as violins (median + quartiles over 20 runs);
+:func:`summarize` produces the same summary numbers from repeated runs, and
+:func:`format_table` renders aligned text tables for the bench reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.sim.monitor import SummaryStats, percentile
+
+
+@dataclass(frozen=True)
+class DistributionSummary:
+    """Median and quartiles — the data behind one violin."""
+
+    count: int
+    median: float
+    p25: float
+    p75: float
+    minimum: float
+    maximum: float
+    mean: float
+    stdev: float
+
+    def spread(self) -> float:
+        """Interquartile range, the paper's variance indicator."""
+        return self.p75 - self.p25
+
+
+def summarize(values: Iterable[float]) -> DistributionSummary:
+    stats = SummaryStats.from_values(values)
+    return DistributionSummary(
+        count=stats.count,
+        median=stats.median,
+        p25=stats.p25,
+        p75=stats.p75,
+        minimum=stats.minimum,
+        maximum=stats.maximum,
+        mean=stats.mean,
+        stdev=stats.stdev,
+    )
+
+
+def relative_error(measured: float, expected: float) -> float:
+    """|measured - expected| / expected (0 when both are 0)."""
+    if expected == 0:
+        return 0.0 if measured == 0 else float("inf")
+    return abs(measured - expected) / abs(expected)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render an aligned text table."""
+    columns = [
+        [str(h)] + [str(row[i]) for row in rows] for i, h in enumerate(headers)
+    ]
+    widths = [max(len(cell) for cell in col) for col in columns]
+    lines = []
+    header_line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(
+            "  ".join(str(cell).ljust(w) for cell, w in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def quartile_row(values: list[float]) -> tuple[float, float, float]:
+    ordered = sorted(values)
+    return (
+        percentile(ordered, 25.0),
+        percentile(ordered, 50.0),
+        percentile(ordered, 75.0),
+    )

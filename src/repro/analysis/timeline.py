@@ -1,0 +1,33 @@
+"""Rendering helpers for the Fig. 12 step-breakdown timeline."""
+
+from __future__ import annotations
+
+from repro.framework.processor import TransferTimelineReport
+
+
+def render_step_table(report: TransferTimelineReport) -> str:
+    """Human-readable table of the 13 steps' start/end times."""
+    lines = [
+        f"{'step':>4}  {'name':<22}  {'start':>8}  {'end':>8}  {'count':>7}"
+    ]
+    origin = report.origin_time
+    for step in sorted(report.timelines):
+        timeline = report.timelines[step]
+        if not timeline.points:
+            continue
+        lines.append(
+            f"{step:>4}  {timeline.name:<22}  "
+            f"{timeline.started_at - origin:>8.1f}  "
+            f"{timeline.finished_at - origin:>8.1f}  "
+            f"{timeline.total:>7}"
+        )
+    lines.append(
+        f"total {report.total_seconds:.1f}s | phases: "
+        + ", ".join(
+            f"{phase}={seconds:.1f}s ({report.phase_fraction(phase) * 100:.1f}%)"
+            for phase, seconds in report.phase_seconds.items()
+        )
+        + f" | data pulls {report.data_pull_seconds:.1f}s "
+        f"({report.data_pull_fraction * 100:.1f}%)"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,86 @@
+"""Accounts and sequence numbers.
+
+Cosmos chains enforce transaction ordering per account via sequence numbers
+(replay protection).  The consequence the paper wrestles with — only one
+transaction per account per block, because a second one would carry a
+not-yet-incremented sequence — falls out of the ante handler checking the
+values tracked here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ChainError
+from repro.tendermint.crypto import PrivateKey, PublicKey, new_keypair
+
+
+@dataclass
+class BaseAccount:
+    """On-chain account state."""
+
+    address: str
+    public_key: PublicKey
+    account_number: int
+    sequence: int = 0
+
+
+@dataclass
+class Wallet:
+    """Client-side key material for signing transactions."""
+
+    name: str
+    private_key: PrivateKey
+    public_key: PublicKey
+
+    @property
+    def address(self) -> str:
+        return self.public_key.address
+
+    @classmethod
+    def named(cls, name: str) -> "Wallet":
+        priv, pub = new_keypair(name)
+        return cls(name=name, private_key=priv, public_key=pub)
+
+
+class AccountKeeper:
+    """The auth module's account store."""
+
+    def __init__(self) -> None:
+        self._accounts: dict[str, BaseAccount] = {}
+        self._next_number = 0
+
+    def create(self, public_key: PublicKey) -> BaseAccount:
+        address = public_key.address
+        if address in self._accounts:
+            raise ChainError(f"account {address} already exists")
+        account = BaseAccount(
+            address=address,
+            public_key=public_key,
+            account_number=self._next_number,
+        )
+        self._next_number += 1
+        self._accounts[address] = account
+        return account
+
+    def get(self, address: str) -> Optional[BaseAccount]:
+        return self._accounts.get(address)
+
+    def get_or_create(self, public_key: PublicKey) -> BaseAccount:
+        account = self._accounts.get(public_key.address)
+        if account is None:
+            account = self.create(public_key)
+        return account
+
+    def require(self, address: str) -> BaseAccount:
+        account = self._accounts.get(address)
+        if account is None:
+            raise ChainError(f"unknown account {address}", code=2)
+        return account
+
+    def increment_sequence(self, address: str) -> None:
+        self.require(address).sequence += 1
+
+    def __len__(self) -> int:
+        return len(self._accounts)

@@ -1,0 +1,318 @@
+"""The Gaia application: a Cosmos-SDK-style ABCI app with bank + IBC.
+
+This is the application layer of the paper's testbed chains (Gaia v7).  It
+implements the ABCI protocol for the consensus engine:
+
+* ``CheckTx`` — ante validation for mempool admission (sequence checks
+  against the mempool's view are driven by the mempool itself).
+* ``DeliverTx`` — ante (sequence increment + fee deduction, persisted even
+  when message execution later fails, exactly like the SDK), then atomic
+  message execution under a rollback journal.
+* ``Commit`` — commits the provable store; the resulting app hash is what
+  counterparty light clients verify proofs against.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Optional, Sequence
+
+from repro import calibration as cal
+from repro.cosmos.accounts import AccountKeeper, Wallet
+from repro.cosmos.ante import AnteHandler
+from repro.cosmos.bank import BankKeeper
+from repro.cosmos.gas import GasMeter, GasSchedule
+from repro.cosmos.journal import Journal
+from repro.cosmos.tx import MsgSend, Tx
+from repro.errors import ChainError, OutOfGasError
+from repro.ibc.module import CounterpartyChainInfo, ExecContext, IbcModule
+from repro.ibc.msgs import (
+    MsgAcknowledgement,
+    MsgChannelOpenAck,
+    MsgChannelOpenConfirm,
+    MsgChannelOpenInit,
+    MsgChannelOpenTry,
+    MsgConnectionOpenAck,
+    MsgConnectionOpenConfirm,
+    MsgConnectionOpenInit,
+    MsgConnectionOpenTry,
+    MsgCreateClient,
+    MsgRecvPacket,
+    MsgTimeout,
+    MsgTransfer,
+    MsgUpdateClient,
+)
+from repro.ibc.proofs import PROOF_MODE_MERKLE
+from repro.ibc.transfer import TransferApp
+from repro.tendermint.abci import (
+    AbciEvent,
+    ResponseCheckTx,
+    ResponseDeliverTx,
+    ResponseEndBlock,
+)
+from repro.tendermint.crypto import hash_value
+from repro.tendermint.merkle import ProvableStore
+from repro.tendermint.types import Evidence, Header
+
+#: The fee/staking token of the simulated Gaia chains.
+FEE_DENOM = "stake"
+#: The token moved by the benchmark workload.
+TRANSFER_DENOM = "uatom"
+
+
+@dataclass
+class FeePool:
+    collected: float = 0.0
+
+
+class GaiaApp:
+    """One chain's application state and ABCI handlers."""
+
+    def __init__(
+        self,
+        chain_id: str,
+        calibration: Optional[cal.Calibration] = None,
+        proof_mode: str = PROOF_MODE_MERKLE,
+        rng: Optional[random.Random] = None,
+    ):
+        self.chain_id = chain_id
+        self.cal = calibration or cal.DEFAULT_CALIBRATION
+        self.accounts = AccountKeeper()
+        self.store = ProvableStore()
+        self.bank = BankKeeper(store=self.store)
+        self.gas_schedule = GasSchedule(self.cal, rng=rng or random.Random(1))
+        self.ante = AnteHandler(self.accounts)
+        self.ibc = IbcModule(
+            chain_id=chain_id,
+            store=self.store,
+            proof_mode=proof_mode,
+            event_bytes=self.cal.event_bytes,
+        )
+        self.transfer = TransferApp(self.ibc, self.bank)
+        self.fee_pool = FeePool()
+        self.proof_mode = proof_mode
+
+        self._counterparties: dict[str, CounterpartyChainInfo] = {}
+        self._ctx = ExecContext(height=0, time=0.0)
+        self._block_events: list[AbciEvent] = []
+        self._commit_counter = 0
+
+    # ------------------------------------------------------------------
+    # Genesis helpers
+    # ------------------------------------------------------------------
+
+    def genesis_account(
+        self, wallet: Wallet, coins: Optional[dict[str, int]] = None
+    ) -> None:
+        """Create an account at genesis with the given balances."""
+        self.accounts.get_or_create(wallet.public_key)
+        for denom, amount in (coins or {}).items():
+            if amount > 0:
+                self.bank.mint(wallet.address, denom, amount)
+
+    def register_counterparty(self, info: CounterpartyChainInfo) -> None:
+        """Make a counterparty chain's public info available for
+        ``MsgCreateClient`` handling."""
+        self._counterparties[info.chain_id] = info
+
+    # ------------------------------------------------------------------
+    # ABCI: CheckTx
+    # ------------------------------------------------------------------
+
+    def check_tx(
+        self, tx: Tx, expected_sequence: Optional[int] = None
+    ) -> ResponseCheckTx:
+        """Mempool admission: signature, sequence, fee affordability."""
+        try:
+            if expected_sequence is None:
+                self.ante.validate(tx, check_only=True)
+            else:
+                self.ante.validate_for_mempool(tx, expected_sequence)
+            self._check_fee(tx)
+        except ChainError as exc:
+            return ResponseCheckTx(
+                code=exc.code, log=str(exc), codespace=exc.codespace
+            )
+        return ResponseCheckTx(code=0, gas_wanted=tx.gas_limit)
+
+    def _check_fee(self, tx: Tx) -> None:
+        balance = self.bank.balance(tx.signer_address, FEE_DENOM)
+        if balance < tx.fee:
+            raise ChainError(
+                f"insufficient fee: {balance} < {tx.fee} {FEE_DENOM}",
+                code=13,
+            )
+
+    # ------------------------------------------------------------------
+    # ABCI: block execution
+    # ------------------------------------------------------------------
+
+    def begin_block(self, header: Header, evidence: Sequence[Evidence]) -> None:
+        self._ctx = ExecContext(height=header.height, time=header.time)
+        self._block_events = []
+        # Evidence handling: a real chain slashes here.  We record it so
+        # tests can assert evidence reached the application.
+        for item in evidence:
+            self._block_events.append(
+                AbciEvent(
+                    type="slash",
+                    attributes=(("validator", item.validator_address),),
+                    size_bytes=100,
+                )
+            )
+
+    def deliver_tx(self, tx: Tx) -> ResponseDeliverTx:
+        """Execute one transaction atomically (SDK semantics)."""
+        try:
+            self.ante.validate(tx, check_only=False)
+        except ChainError as exc:
+            return ResponseDeliverTx(
+                code=exc.code,
+                log=str(exc),
+                gas_wanted=tx.gas_limit,
+                gas_used=self.cal.gas_tx_overhead,
+                codespace=exc.codespace,
+            )
+        # Fees are deducted after ante and are kept even if messages fail.
+        try:
+            fee_amount = int(tx.fee)
+            if fee_amount > 0:
+                self.bank.burn(tx.signer_address, FEE_DENOM, fee_amount)
+                self.fee_pool.collected += fee_amount
+        except ChainError as exc:
+            return ResponseDeliverTx(
+                code=13,
+                log=f"insufficient fees: {exc}",
+                gas_wanted=tx.gas_limit,
+                gas_used=self.cal.gas_tx_overhead,
+            )
+
+        meter = GasMeter(limit=tx.gas_limit)
+        meter.consume(self.cal.gas_tx_overhead, "tx overhead")
+        journal = Journal()
+        self._attach_journal(journal)
+        events: list[AbciEvent] = []
+        try:
+            ctx = ExecContext(
+                height=self._ctx.height, time=self._ctx.time, signer=tx.signer_address
+            )
+            for msg in tx.msgs:
+                kind = getattr(msg, "kind", "unknown")
+                meter.consume(self.gas_schedule.gas_for_msg(kind), kind)
+                events.extend(self._dispatch(msg, ctx))
+        except (ChainError, OutOfGasError) as exc:
+            journal.rollback()
+            code = exc.code if isinstance(exc, ChainError) else 11
+            return ResponseDeliverTx(
+                code=code,
+                log=str(exc),
+                gas_wanted=tx.gas_limit,
+                gas_used=meter.consumed,
+                codespace=getattr(exc, "codespace", "sdk"),
+            )
+        except Exception as exc:  # noqa: BLE001 - IBC and app errors
+            journal.rollback()
+            return ResponseDeliverTx(
+                code=1,
+                log=f"{type(exc).__name__}: {exc}",
+                gas_wanted=tx.gas_limit,
+                gas_used=meter.consumed,
+                codespace="ibc",
+            )
+        finally:
+            self._attach_journal(None)
+        journal.commit()
+        return ResponseDeliverTx(
+            code=0,
+            gas_wanted=tx.gas_limit,
+            gas_used=meter.consumed,
+            events=events,
+        )
+
+    def _attach_journal(self, journal: Optional[Journal]) -> None:
+        self.bank.journal = journal
+        self.ibc.journal = journal
+        self.store.journal = journal
+
+    def _dispatch(self, msg: Any, ctx: ExecContext) -> list[AbciEvent]:
+        """Route one message to its module handler."""
+        if isinstance(msg, MsgTransfer):
+            _packet, events = self.transfer.msg_transfer(msg, ctx)
+            return events
+        if isinstance(msg, MsgRecvPacket):
+            return self.ibc.recv_packet(msg, ctx)
+        if isinstance(msg, MsgAcknowledgement):
+            return self.ibc.acknowledge_packet(msg, ctx)
+        if isinstance(msg, MsgTimeout):
+            return self.ibc.timeout_packet(msg, ctx)
+        if isinstance(msg, MsgUpdateClient):
+            return self.ibc.update_client(msg, ctx)
+        if isinstance(msg, MsgCreateClient):
+            info = self._counterparties.get(msg.chain_id)
+            if info is None:
+                raise ChainError(f"unknown counterparty chain {msg.chain_id!r}")
+            return self.ibc.handle_create_client(msg, ctx, info)
+        if isinstance(msg, MsgConnectionOpenInit):
+            _cid, events = self.ibc.connection_open_init(msg, ctx)
+            return events
+        if isinstance(msg, MsgConnectionOpenTry):
+            _cid, events = self.ibc.connection_open_try(msg, ctx)
+            return events
+        if isinstance(msg, MsgConnectionOpenAck):
+            return self.ibc.connection_open_ack(msg, ctx)
+        if isinstance(msg, MsgConnectionOpenConfirm):
+            return self.ibc.connection_open_confirm(msg, ctx)
+        if isinstance(msg, MsgChannelOpenInit):
+            _cid, events = self.ibc.channel_open_init(msg, ctx)
+            return events
+        if isinstance(msg, MsgChannelOpenTry):
+            _cid, events = self.ibc.channel_open_try(msg, ctx)
+            return events
+        if isinstance(msg, MsgChannelOpenAck):
+            return self.ibc.channel_open_ack(msg, ctx)
+        if isinstance(msg, MsgChannelOpenConfirm):
+            return self.ibc.channel_open_confirm(msg, ctx)
+        if isinstance(msg, MsgSend):
+            if msg.sender != ctx.signer:
+                raise ChainError("bank send sender must be the tx signer", code=4)
+            self.bank.send(msg.sender, msg.recipient, msg.denom, msg.amount)
+            return [
+                AbciEvent(
+                    type="transfer_bank",
+                    attributes=(
+                        ("sender", msg.sender),
+                        ("recipient", msg.recipient),
+                        ("amount", f"{msg.amount}{msg.denom}"),
+                    ),
+                    size_bytes=150,
+                )
+            ]
+        raise ChainError(f"unroutable message kind {getattr(msg, 'kind', '?')!r}")
+
+    def end_block(self, height: int) -> ResponseEndBlock:
+        return ResponseEndBlock(events=list(self._block_events))
+
+    def commit(self) -> bytes:
+        """Commit state; returns the new app hash."""
+        self._commit_counter += 1
+        if self.proof_mode == PROOF_MODE_MERKLE:
+            return self.store.commit()
+        # Stub mode: cheap deterministic root (no merkle rebuild).
+        root = hash_value(
+            {"n": self._commit_counter, "size": len(self.store), "chain": self.chain_id}
+        )
+        self.store.commit_cheap(root)
+        return root
+
+    # ------------------------------------------------------------------
+    # Query helpers used by the RPC layer
+    # ------------------------------------------------------------------
+
+    def account_sequence(self, address: str) -> int:
+        account = self.accounts.get(address)
+        return account.sequence if account is not None else 0
+
+    @property
+    def current_height(self) -> int:
+        return self._ctx.height

@@ -1,0 +1,54 @@
+"""Transaction-scoped state journaling.
+
+The Cosmos SDK executes each transaction against a cached store and discards
+the cache if any message fails, making transactions atomic.  We get the same
+guarantee with an undo journal: while a transaction executes, every state
+mutation registers an inverse operation; on failure the journal rolls back
+in reverse order.
+
+This matters for fidelity: when two relayers race (paper §IV-A), the loser's
+*entire* transaction of 100 ``MsgRecvPacket`` fails with ``packet messages
+are redundant`` — none of its messages may leave partial state behind.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+
+class Journal:
+    """Collects undo operations for one transaction execution."""
+
+    def __init__(self) -> None:
+        self._undo: list[Callable[[], None]] = []
+
+    def record(self, undo: Callable[[], None]) -> None:
+        self._undo.append(undo)
+
+    def rollback(self) -> None:
+        """Revert all recorded mutations, most recent first."""
+        for undo in reversed(self._undo):
+            undo()
+        self._undo.clear()
+
+    def commit(self) -> None:
+        """Discard the undo log, keeping the mutations."""
+        self._undo.clear()
+
+    def __len__(self) -> int:
+        return len(self._undo)
+
+
+class Journaled:
+    """Mixin for keepers that support transaction-scoped rollback.
+
+    The application sets ``journal`` before executing a transaction's
+    messages and clears it afterwards; mutating methods call
+    :meth:`_journal_undo` with their inverse.
+    """
+
+    journal: Optional[Journal] = None
+
+    def _journal_undo(self, undo: Callable[[], None]) -> None:
+        if self.journal is not None:
+            self.journal.record(undo)

@@ -1,0 +1,203 @@
+"""Exception hierarchy shared by every subsystem of the reproduction.
+
+The hierarchy mirrors where failures originate in the real stack:
+
+* :class:`SimulationError` — misuse of the discrete-event kernel.
+* :class:`ChainError` — failures raised by a blockchain node (consensus,
+  mempool, ABCI application).  These carry an ``code`` so the relayer can
+  pattern-match on them the way Hermes matches on ABCI error codes.
+* :class:`RpcError` — failures of the Tendermint RPC / WebSocket layer
+  (timeouts, oversized frames).  These are *transport* failures: the
+  underlying transaction may still succeed on chain.
+* :class:`IbcError` — violations of the IBC protocol state machines.
+* :class:`RelayerError` — failures internal to the relayer application.
+
+Keeping one module for all of them lets tests assert on precise failure
+classes without import cycles between subsystems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+# ---------------------------------------------------------------------------
+# Simulation kernel
+# ---------------------------------------------------------------------------
+
+
+class SimulationError(ReproError):
+    """Misuse of the discrete-event simulation kernel."""
+
+
+class StopSimulation(Exception):  # noqa: N818 - control-flow signal, not error
+    """Internal signal used to stop :meth:`Environment.run` early."""
+
+
+# ---------------------------------------------------------------------------
+# Blockchain node
+# ---------------------------------------------------------------------------
+
+
+class ChainError(ReproError):
+    """An error returned by a blockchain node while handling a transaction.
+
+    ``code`` follows the Cosmos SDK convention of small integer ABCI error
+    codes; ``codespace`` names the module that raised it.
+    """
+
+    def __init__(self, message: str, *, code: int = 1, codespace: str = "sdk"):
+        super().__init__(message)
+        self.code = code
+        self.codespace = codespace
+
+
+class SequenceMismatchError(ChainError):
+    """``account sequence mismatch`` — the paper's §V deployment challenge.
+
+    Raised by the ante handler when a transaction's sequence number does not
+    match the account's on-chain sequence (e.g. a second transaction from the
+    same account submitted before the first confirmed).
+    """
+
+    def __init__(self, expected: int, got: int, account: str):
+        super().__init__(
+            f"account sequence mismatch, expected {expected}, got {got}: "
+            f"incorrect account sequence (account {account})",
+            code=32,
+            codespace="sdk",
+        )
+        self.expected = expected
+        self.got = got
+        self.account = account
+
+
+class OutOfGasError(ChainError):
+    """Transaction exceeded its gas limit during execution."""
+
+    def __init__(self, limit: int, used: int):
+        super().__init__(
+            f"out of gas: limit {limit}, used {used}", code=11, codespace="sdk"
+        )
+        self.limit = limit
+        self.used = used
+
+
+class InsufficientFundsError(ChainError):
+    """Bank transfer with an insufficient spendable balance."""
+
+    def __init__(self, message: str):
+        super().__init__(message, code=5, codespace="sdk")
+
+
+class MempoolFullError(ChainError):
+    """The node's mempool is at capacity; the transaction was dropped."""
+
+    def __init__(self) -> None:
+        super().__init__("mempool is full", code=20, codespace="sdk")
+
+
+class TxInMempoolError(ChainError):
+    """A transaction with the same hash is already pending."""
+
+    def __init__(self) -> None:
+        super().__init__("tx already exists in cache", code=19, codespace="sdk")
+
+
+# ---------------------------------------------------------------------------
+# RPC / WebSocket transport
+# ---------------------------------------------------------------------------
+
+
+class RpcError(ReproError):
+    """Transport-level failure when talking to a node's RPC server."""
+
+
+class RpcTimeoutError(RpcError):
+    """The client gave up waiting for the (serial) RPC server.
+
+    Hermes surfaces this as ``failed tx: no confirmation`` when it happens
+    during confirmation polling.
+    """
+
+
+class RpcOverloadedError(RpcError):
+    """The RPC server shed the request because its queue is saturated."""
+
+
+class WebSocketFrameTooLargeError(RpcError):
+    """Event payload exceeded the Tendermint WebSocket 16 MB frame limit.
+
+    Hermes logs this as ``Failed to collect events`` (paper §V); the
+    subscription that hit it stops yielding events.
+    """
+
+    def __init__(self, size: int, limit: int):
+        super().__init__(
+            f"websocket frame of {size} bytes exceeds the {limit} byte limit"
+        )
+        self.size = size
+        self.limit = limit
+
+
+# ---------------------------------------------------------------------------
+# IBC protocol
+# ---------------------------------------------------------------------------
+
+
+class IbcError(ReproError):
+    """Violation of an IBC protocol state machine."""
+
+
+class ClientError(IbcError):
+    """ICS-02 light-client failure (unknown client, stale header, ...)."""
+
+
+class ConnectionError_(IbcError):
+    """ICS-03 connection handshake failure.
+
+    Named with a trailing underscore to avoid shadowing the built-in
+    :class:`ConnectionError`.
+    """
+
+
+class ChannelError(IbcError):
+    """ICS-04 channel handshake or ordering failure."""
+
+
+class PacketError(IbcError):
+    """Packet-level failure: bad commitment, wrong sequence, bad proof."""
+
+
+class RedundantPacketError(PacketError):
+    """``packet messages are redundant`` — the packet was already relayed.
+
+    This is the error the paper observes 23 020 times at 100 RPS when two
+    uncoordinated relayers race to deliver the same packets (§IV-A).
+    """
+
+    def __init__(self, description: str):
+        super().__init__(f"packet messages are redundant: {description}")
+
+
+class PacketTimeoutError(PacketError):
+    """Packet received after its timeout height/timestamp elapsed."""
+
+
+class ProofVerificationError(IbcError):
+    """A merkle proof failed to verify against the light client's root."""
+
+
+# ---------------------------------------------------------------------------
+# Relayer application
+# ---------------------------------------------------------------------------
+
+
+class RelayerError(ReproError):
+    """Internal failure of the relayer application."""
+
+
+class WorkloadError(ReproError):
+    """The benchmark workload was configured inconsistently."""

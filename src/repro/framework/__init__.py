@@ -1,0 +1,58 @@
+"""The cross-chain performance evaluation framework (the paper's Fig. 5).
+
+Modules: Setup (:class:`Testbed`), Benchmark (:class:`WorkloadDriver` — the
+Cross-chain Workload Connector), Analysis (:class:`CrossChainDataConnector`,
+:class:`CrossChainEventConnector`, :class:`CrossChainEventProcessor`,
+metrics and reports), orchestrated by :class:`ExperimentRunner`.
+"""
+
+from repro.framework.config import ExperimentConfig
+from repro.framework.connectors import (
+    CrossChainDataConnector,
+    CrossChainEventConnector,
+)
+from repro.framework.metrics import (
+    CompletionStatus,
+    GasMetrics,
+    RpcBusyMetrics,
+    WindowMetrics,
+    collect_gas_metrics,
+    collect_rpc_metrics,
+    collect_window_metrics,
+)
+from repro.framework.processor import (
+    CrossChainEventProcessor,
+    StepTimeline,
+    TransferTimelineReport,
+)
+from repro.framework.report import ExperimentReport
+from repro.framework.runner import ExperimentRunner, run_experiment
+from repro.framework.setup import Testbed
+from repro.framework.sweep import METRICS, SweepPoint, run_seeded, sweep
+from repro.framework.workload import WorkloadDriver, WorkloadStats
+
+__all__ = [
+    "CompletionStatus",
+    "CrossChainDataConnector",
+    "CrossChainEventConnector",
+    "CrossChainEventProcessor",
+    "ExperimentConfig",
+    "ExperimentReport",
+    "ExperimentRunner",
+    "GasMetrics",
+    "METRICS",
+    "SweepPoint",
+    "run_seeded",
+    "sweep",
+    "RpcBusyMetrics",
+    "StepTimeline",
+    "Testbed",
+    "TransferTimelineReport",
+    "WindowMetrics",
+    "WorkloadDriver",
+    "WorkloadStats",
+    "collect_gas_metrics",
+    "collect_rpc_metrics",
+    "collect_window_metrics",
+    "run_experiment",
+]

@@ -1,0 +1,158 @@
+"""Experiment configuration — the tool's seven parameters, plus extras.
+
+The paper's tool exposes "seven configurable parameters ... to evaluate
+different blockchain configurations".  They are the first seven fields of
+:class:`ExperimentConfig`; the remaining fields control measurement and
+simulation mechanics.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro import calibration as cal
+from repro.errors import WorkloadError
+
+
+@dataclass
+class ExperimentConfig:
+    """Everything needed to set up, run and analyse one experiment."""
+
+    # -- the tool's seven parameters --------------------------------------
+    #: Nominal input rate in transfers per second (paper §III-D: rate R
+    #: means a batch of R x block_interval transfers submitted per block).
+    input_rate: float = 100.0
+    #: Length of the measurement window, in source-chain blocks.
+    measurement_blocks: int = 50
+    #: Enforced round-trip network latency between machines (seconds).
+    network_rtt: float = cal.DEFAULT_RTT
+    #: Number of concurrent (uncoordinated) relayer instances.
+    num_relayers: int = 1
+    #: Transfer messages per workload transaction (Hermes max: 100).
+    msgs_per_tx: int = cal.MAX_MSGS_PER_TX
+    #: Validators per chain (the paper uses 5).
+    num_validators: int = cal.DEFAULT_VALIDATORS
+    #: Minimum block interval (the paper configures 5 s).
+    block_interval: float = cal.MIN_BLOCK_INTERVAL
+
+    # -- workload shaping ---------------------------------------------------
+    #: Fixed-total mode (Figs. 12/13): submit exactly this many transfers...
+    total_transfers: Optional[int] = None
+    #: ...spread evenly over this many consecutive blocks.
+    submission_blocks: int = 1
+    #: Packet timeout, in destination-chain blocks ahead of current height.
+    timeout_blocks: int = cal.DEFAULT_TIMEOUT_BLOCKS
+    #: Channel ordering ("unordered" as in the paper's experiments, or
+    #: "ordered" for strict sequence delivery).
+    channel_ordering: str = "unordered"
+    #: Tokens moved per transfer message.
+    transfer_amount: int = 1
+
+    # -- component behaviour -------------------------------------------------
+    #: Skip relaying entirely: Table I / Figs. 6-7 measure only inclusion.
+    chain_only: bool = False
+    #: Relayer packet-clearing interval in blocks (0 = disabled, as in the
+    #: paper's §V experiment).
+    clear_interval: int = 0
+    #: Concurrent in-flight relayer data pulls (the parallel-RPC ablation
+    #: raises this together with ``calibration.rpc_workers``).
+    pull_concurrency: int = 1
+    #: EXTENSION experiments (paper §IV-A discussion): number of parallel
+    #: channels.  With ``num_channels == num_relayers > 1`` each relayer
+    #: serves its own channel and the workload is spread across channels
+    #: round-robin (tokens become non-fungible across channels!).
+    num_channels: int = 1
+    #: EXTENSION: statically coordinate multiple relayers on ONE channel by
+    #: partitioning work between them (the ICS-18 gap the paper calls out).
+    coordinate_relayers: bool = False
+    #: Proof machinery: "merkle" (real proofs), "stub" (structural, for very
+    #: large sweeps), or "auto" (stub above ``AUTO_STUB_THRESHOLD`` expected
+    #: packets).
+    proof_mode: str = "auto"
+
+    # -- measurement/simulation mechanics ----------------------------------------
+    seed: int = 1
+    #: Extra simulated time after the window closes, letting in-flight
+    #: packets settle (latency experiments run to completion instead).
+    drain_seconds: float = 0.0
+    #: For latency experiments: keep simulating until every submitted
+    #: transfer settles (completed or timed out), up to ``max_sim_seconds``.
+    run_to_completion: bool = False
+    #: Hard stop for the simulation clock.
+    max_sim_seconds: float = 3600.0 * 6
+    #: Calibration overrides for ablations (e.g. parallel RPC).
+    calibration: Optional[cal.Calibration] = None
+
+    AUTO_STUB_THRESHOLD: int = field(default=6_000, repr=False)
+
+    # ------------------------------------------------------------------
+
+    def __post_init__(self) -> None:
+        if self.input_rate <= 0 and self.total_transfers is None:
+            raise WorkloadError("input_rate must be positive")
+        if self.submission_blocks < 1:
+            raise WorkloadError("submission_blocks must be >= 1")
+        if self.total_transfers is not None and self.total_transfers < 1:
+            raise WorkloadError("total_transfers must be >= 1")
+        if self.num_relayers < 0:
+            raise WorkloadError("num_relayers must be >= 0")
+        if self.proof_mode not in ("merkle", "stub", "auto"):
+            raise WorkloadError(f"unknown proof mode {self.proof_mode!r}")
+        if self.num_channels < 1:
+            raise WorkloadError("num_channels must be >= 1")
+        if self.num_channels > 1 and self.num_channels != max(1, self.num_relayers):
+            raise WorkloadError(
+                "multi-channel experiments assign one relayer per channel: "
+                "set num_channels == num_relayers"
+            )
+        if self.coordinate_relayers and self.num_channels > 1:
+            raise WorkloadError(
+                "coordinate_relayers applies to relayers sharing ONE channel"
+            )
+        if self.channel_ordering not in ("ordered", "unordered"):
+            raise WorkloadError(
+                f"unknown channel ordering {self.channel_ordering!r}"
+            )
+
+    @property
+    def resolved_calibration(self) -> cal.Calibration:
+        base = self.calibration or cal.DEFAULT_CALIBRATION
+        overrides = {}
+        if self.msgs_per_tx != base.max_msgs_per_tx:
+            overrides["max_msgs_per_tx"] = self.msgs_per_tx
+        if self.block_interval != base.min_block_interval:
+            overrides["min_block_interval"] = self.block_interval
+        return base.with_overrides(**overrides) if overrides else base
+
+    @property
+    def transfers_per_block(self) -> int:
+        """Transfers the workload aims to land in each block."""
+        if self.total_transfers is not None:
+            return math.ceil(self.total_transfers / self.submission_blocks)
+        return round(self.input_rate * self.block_interval)
+
+    @property
+    def num_accounts(self) -> int:
+        """User accounts needed to sustain the per-block batch (§III-D)."""
+        return max(1, math.ceil(self.transfers_per_block / self.msgs_per_tx))
+
+    @property
+    def expected_total_transfers(self) -> int:
+        if self.total_transfers is not None:
+            return self.total_transfers
+        return self.transfers_per_block * self.measurement_blocks
+
+    @property
+    def resolved_proof_mode(self) -> str:
+        if self.proof_mode != "auto":
+            return self.proof_mode
+        if self.expected_total_transfers > self.AUTO_STUB_THRESHOLD:
+            return "stub"
+        return "merkle"
+
+    @property
+    def num_machines(self) -> int:
+        """One machine per validator pair, as in the paper's deployment."""
+        return self.num_validators

@@ -1,0 +1,273 @@
+"""Performance metrics (paper §III-E): throughput, latency, completion.
+
+All ground-truth counts come from chain state (the executed blocks and the
+IBC module), windowed to the measurement interval; the relayer-side view
+comes from the event processor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.sim.monitor import SummaryStats
+from repro.tendermint.node import Chain
+
+#: Packet event kinds per life-cycle stage, from the source chain's and the
+#: destination chain's perspective.
+SEND_EVENT = "send_packet"
+RECV_EVENT = "recv_packet"
+ACK_EVENT = "acknowledge_packet"
+TIMEOUT_EVENT = "timeout_packet"
+
+
+@dataclass
+class CompletionStatus:
+    """The paper's Figs. 10-11 categories."""
+
+    requested: int
+    committed: int  # transfer recorded on source chain
+    received: int  # + receive recorded on destination
+    acknowledged: int  # + ack recorded on source (completed)
+    timed_out: int
+
+    @property
+    def completed(self) -> int:
+        return self.acknowledged
+
+    @property
+    def partially_completed(self) -> int:
+        """Transfer + receive recorded, acknowledgement missing.
+
+        Timed-out packets were never received, so they do not overlap this
+        category.
+        """
+        return max(0, self.received - self.acknowledged)
+
+    @property
+    def only_initiated(self) -> int:
+        """Transfer recorded, receive missing."""
+        return max(0, self.committed - self.received - self.timed_out)
+
+    @property
+    def not_committed(self) -> int:
+        return max(0, self.requested - self.committed)
+
+    def as_fractions(self) -> dict[str, float]:
+        base = max(1, self.requested)
+        return {
+            "completed": self.completed / base,
+            "partially_completed": self.partially_completed / base,
+            "only_initiated": self.only_initiated / base,
+            "not_committed": self.not_committed / base,
+            "timed_out": self.timed_out / base,
+        }
+
+
+@dataclass
+class WindowMetrics:
+    """Everything measured inside one experiment's window."""
+
+    start_time: float
+    end_time: float
+    start_height_a: int
+    end_height_a: int
+    sends: int
+    receives: int
+    acks: int
+    timeouts: int
+    requested: int
+    accepted: int
+    #: Transfers committed on chain over the whole run (not window-cut) —
+    #: Table I's "Committed (from submitted)" numerator.
+    sends_total: int = 0
+    block_intervals_a: list[float] = field(default_factory=list)
+    block_message_counts_a: list[int] = field(default_factory=list)
+
+    @property
+    def duration(self) -> float:
+        return max(1e-9, self.end_time - self.start_time)
+
+    @property
+    def chain_throughput_tfps(self) -> float:
+        """Transfers *included in the source chain* per second (Fig. 6)."""
+        return self.sends / self.duration
+
+    @property
+    def transfer_throughput_tfps(self) -> float:
+        """Completed cross-chain transfers per second (Figs. 8-9)."""
+        return self.acks / self.duration
+
+    @property
+    def completion(self) -> CompletionStatus:
+        return CompletionStatus(
+            requested=self.requested,
+            committed=self.sends,
+            received=self.receives,
+            acknowledged=self.acks,
+            timed_out=self.timeouts,
+        )
+
+    def interval_summary(self) -> SummaryStats:
+        return SummaryStats.from_values(self.block_intervals_a)
+
+
+def count_events_in_window(
+    chain: Chain,
+    event_type: str,
+    start_height: int,
+    end_time: float,
+) -> int:
+    """Count events of a type in blocks after ``start_height`` whose block
+    time falls inside the window."""
+    total = 0
+    store = chain.block_store
+    for height in range(start_height + 1, store.latest_height + 1):
+        block = store.block(height)
+        if block is None or block.header.time > end_time:
+            continue
+        total += chain.indexer.events_at(height).get(event_type, 0)
+    return total
+
+
+def count_events_total(chain: Chain, event_type: str, start_height: int) -> int:
+    """Count events of a type in every block after ``start_height``,
+    regardless of window end (chain-truth commit counting)."""
+    total = 0
+    for height in range(start_height + 1, chain.block_store.latest_height + 1):
+        total += chain.indexer.events_at(height).get(event_type, 0)
+    return total
+
+
+def collect_window_metrics(
+    chain_a: Chain,
+    chain_b: Chain,
+    start_time: float,
+    end_time: float,
+    start_height_a: int,
+    requested: int,
+    accepted: int,
+) -> WindowMetrics:
+    """Assemble the ground-truth window metrics from both chains."""
+    sends = count_events_in_window(chain_a, SEND_EVENT, start_height_a, end_time)
+    acks = count_events_in_window(chain_a, ACK_EVENT, start_height_a, end_time)
+    timeouts = count_events_in_window(
+        chain_a, TIMEOUT_EVENT, start_height_a, end_time
+    )
+    # The destination chain's matching window starts at its height when the
+    # workload began; we approximate by block time.
+    receives = 0
+    store_b = chain_b.block_store
+    for height in range(1, store_b.latest_height + 1):
+        block = store_b.block(height)
+        if block is None:
+            continue
+        if block.header.time < start_time or block.header.time > end_time:
+            continue
+        receives += chain_b.indexer.events_at(height).get(RECV_EVENT, 0)
+
+    intervals: list[float] = []
+    message_counts: list[int] = []
+    store_a = chain_a.block_store
+    previous_time: Optional[float] = None
+    for height in range(start_height_a + 1, store_a.latest_height + 1):
+        block = store_a.block(height)
+        if block is None or block.header.time > end_time:
+            break
+        if previous_time is not None:
+            intervals.append(block.header.time - previous_time)
+        previous_time = block.header.time
+        message_counts.append(chain_a.indexer.message_count_at(height))
+
+    end_height_a = start_height_a
+    for height in range(start_height_a + 1, store_a.latest_height + 1):
+        block = store_a.block(height)
+        if block is not None and block.header.time <= end_time:
+            end_height_a = height
+
+    return WindowMetrics(
+        start_time=start_time,
+        end_time=end_time,
+        start_height_a=start_height_a,
+        end_height_a=end_height_a,
+        sends=sends,
+        receives=receives,
+        acks=acks,
+        timeouts=timeouts,
+        requested=requested,
+        accepted=accepted,
+        sends_total=count_events_total(chain_a, SEND_EVENT, start_height_a),
+        block_intervals_a=intervals,
+        block_message_counts_a=message_counts,
+    )
+
+
+@dataclass
+class GasMetrics:
+    """Average gas per 100-message transaction, by message kind (§IV-A)."""
+
+    transfer_avg: float
+    recv_avg: float
+    ack_avg: float
+    transfer_samples: int
+    recv_samples: int
+    ack_samples: int
+
+
+def collect_gas_metrics(chain_a: Chain, chain_b: Chain) -> GasMetrics:
+    """Gas used by full 100-message transactions, per kind."""
+
+    def harvest(chain: Chain, kind: str, payload: int = 100) -> list[int]:
+        samples: list[int] = []
+        for executed in chain.block_store.iter_executed():
+            for item in executed.txs:
+                if not item.ok:
+                    continue
+                kinds = [k for k in item.tx.msg_kinds() if k != "update_client"]
+                if len(kinds) == payload and all(k == kind for k in kinds):
+                    samples.append(item.result.gas_used)
+        return samples
+
+    transfer = harvest(chain_a, "transfer")
+    recv = harvest(chain_b, "recv_packet")
+    ack = harvest(chain_a, "acknowledgement")
+
+    def avg(values: list[int]) -> float:
+        return sum(values) / len(values) if values else 0.0
+
+    return GasMetrics(
+        transfer_avg=avg(transfer),
+        recv_avg=avg(recv),
+        ack_avg=avg(ack),
+        transfer_samples=len(transfer),
+        recv_samples=len(recv),
+        ack_samples=len(ack),
+    )
+
+
+@dataclass
+class RpcBusyMetrics:
+    """Where RPC time went (the 69 % data-pull claim)."""
+
+    total_busy_seconds: float
+    pull_busy_seconds: float
+    by_method: dict[str, float]
+
+    @property
+    def pull_fraction(self) -> float:
+        if self.total_busy_seconds <= 0:
+            return 0.0
+        return self.pull_busy_seconds / self.total_busy_seconds
+
+
+def collect_rpc_metrics(chains: list[Chain]) -> RpcBusyMetrics:
+    by_method: dict[str, float] = {}
+    for chain in chains:
+        for node in chain.nodes.values():
+            for method, busy in node.rpc.stats.busy_by_method.items():
+                by_method[method] = by_method.get(method, 0.0) + busy
+    total = sum(by_method.values())
+    pulls = by_method.get("pull_packet_data", 0.0)
+    return RpcBusyMetrics(
+        total_busy_seconds=total, pull_busy_seconds=pulls, by_method=by_method
+    )

@@ -1,0 +1,162 @@
+"""Execution reports — the tool's output artifact.
+
+One :class:`ExperimentReport` per run: the configuration echo, window
+metrics, completion status, the 13-step timeline, error counts and RPC
+accounting.  ``summary()`` renders a human-readable report;
+``to_dict()``/``to_json()`` feed the benchmark harness.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.framework.config import ExperimentConfig
+from repro.framework.metrics import GasMetrics, RpcBusyMetrics, WindowMetrics
+from repro.framework.processor import TransferTimelineReport
+from repro.framework.workload import WorkloadStats
+
+
+@dataclass
+class ExperimentReport:
+    config: ExperimentConfig
+    window: WindowMetrics
+    workload: WorkloadStats
+    timeline: Optional[TransferTimelineReport]
+    gas: GasMetrics
+    rpc: RpcBusyMetrics
+    errors: dict[str, int] = field(default_factory=dict)
+    completion_curve: list[tuple[float, int]] = field(default_factory=list)
+    #: Time from workload start until all requested transfers completed
+    #: (only set when run_to_completion was requested and reached).
+    completion_latency: Optional[float] = None
+    sim_end_time: float = 0.0
+
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        completion = self.window.completion
+        return {
+            "config": {
+                "input_rate": self.config.input_rate,
+                "measurement_blocks": self.config.measurement_blocks,
+                "network_rtt": self.config.network_rtt,
+                "num_relayers": self.config.num_relayers,
+                "msgs_per_tx": self.config.msgs_per_tx,
+                "num_validators": self.config.num_validators,
+                "block_interval": self.config.block_interval,
+                "total_transfers": self.config.total_transfers,
+                "submission_blocks": self.config.submission_blocks,
+                "seed": self.config.seed,
+            },
+            "throughput": {
+                "chain_tfps": self.window.chain_throughput_tfps,
+                "transfer_tfps": self.window.transfer_throughput_tfps,
+                "duration": self.window.duration,
+            },
+            "submission": {
+                "requested": self.workload.requested_transfers,
+                "accepted": self.workload.accepted_transfers,
+                "committed": self.workload.committed_transfers,
+                "committed_chain": self.window.sends_total,
+                "rejected": self.workload.rejected_transfers,
+                "lost": self.workload.lost_transfers,
+            },
+            "completion": completion.as_fractions(),
+            "counts": {
+                "sends": self.window.sends,
+                "receives": self.window.receives,
+                "acks": self.window.acks,
+                "timeouts": self.window.timeouts,
+            },
+            "block_interval_mean": (
+                sum(self.window.block_intervals_a)
+                / len(self.window.block_intervals_a)
+                if self.window.block_intervals_a
+                else 0.0
+            ),
+            "completion_latency": self.completion_latency,
+            "errors": dict(self.errors),
+            "gas": {
+                "transfer_avg": self.gas.transfer_avg,
+                "recv_avg": self.gas.recv_avg,
+                "ack_avg": self.gas.ack_avg,
+            },
+            "rpc": {
+                "total_busy_seconds": self.rpc.total_busy_seconds,
+                "pull_busy_seconds": self.rpc.pull_busy_seconds,
+                "pull_fraction": self.rpc.pull_fraction,
+            },
+            "timeline": self._timeline_dict(),
+        }
+
+    def _timeline_dict(self) -> Optional[dict[str, Any]]:
+        if self.timeline is None:
+            return None
+        return {
+            "total_seconds": self.timeline.total_seconds,
+            "phase_seconds": dict(self.timeline.phase_seconds),
+            "data_pull_seconds": self.timeline.data_pull_seconds,
+            "data_pull_fraction": self.timeline.data_pull_fraction,
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def write(self, directory: str, name: str = "experiment") -> "tuple[str, str]":
+        """Write the execution report files the tool produces: a JSON data
+        file and a human-readable summary.  Returns both paths."""
+        import os
+
+        os.makedirs(directory, exist_ok=True)
+        json_path = os.path.join(directory, f"{name}.json")
+        text_path = os.path.join(directory, f"{name}.txt")
+        with open(json_path, "w") as handle:
+            handle.write(self.to_json())
+        with open(text_path, "w") as handle:
+            handle.write(self.summary() + "\n")
+        return json_path, text_path
+
+    # ------------------------------------------------------------------
+
+    def summary(self) -> str:
+        completion = self.window.completion
+        lines = [
+            "=== Cross-chain experiment report ===",
+            f"input rate        : {self.config.input_rate:.0f} transfers/s "
+            f"({self.config.num_relayers} relayer(s), "
+            f"{self.config.network_rtt * 1000:.0f} ms RTT)",
+            f"window            : {self.config.measurement_blocks} blocks, "
+            f"{self.window.duration:.1f} s",
+            f"requested         : {self.workload.requested_transfers}",
+            f"committed (chain) : {self.window.sends} "
+            f"({self.window.chain_throughput_tfps:.1f} TFPS included)",
+            f"completed (acked) : {self.window.acks} "
+            f"({self.window.transfer_throughput_tfps:.1f} TFPS end-to-end)",
+            f"partially complete: {completion.partially_completed}",
+            f"only initiated    : {completion.only_initiated}",
+            f"not committed     : {completion.not_committed}",
+            f"timed out         : {self.window.timeouts}",
+            f"avg block interval: "
+            f"{(sum(self.window.block_intervals_a) / len(self.window.block_intervals_a)) if self.window.block_intervals_a else 0.0:.2f} s",
+            f"rpc pull fraction : {self.rpc.pull_fraction * 100:.1f}% of RPC busy time",
+        ]
+        if self.completion_latency is not None:
+            lines.append(
+                f"completion latency: {self.completion_latency:.1f} s for all "
+                f"{self.workload.requested_transfers} transfers"
+            )
+        if self.timeline is not None and self.timeline.total_seconds > 0:
+            t = self.timeline
+            lines.append(
+                "phase breakdown   : "
+                f"transfer {t.phase_fraction('transfer') * 100:.1f}% / "
+                f"receive {t.phase_fraction('receive') * 100:.1f}% / "
+                f"ack {t.phase_fraction('acknowledge') * 100:.1f}% "
+                f"(pulls {t.data_pull_fraction * 100:.1f}%)"
+            )
+        if self.errors:
+            rendered = ", ".join(f"{k}={v}" for k, v in sorted(self.errors.items()))
+            lines.append(f"errors            : {rendered}")
+        return "\n".join(lines)

@@ -1,0 +1,177 @@
+"""The experiment runner: Setup → Benchmark → Analysis, end to end."""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from repro.framework.config import ExperimentConfig
+from repro.framework.connectors import CrossChainEventConnector
+from repro.framework.metrics import (
+    collect_gas_metrics,
+    collect_rpc_metrics,
+    collect_window_metrics,
+)
+from repro.framework.processor import CrossChainEventProcessor
+from repro.framework.report import ExperimentReport
+from repro.framework.setup import Testbed
+from repro.framework.workload import WorkloadDriver
+from repro.sim.core import Event
+
+#: Polling cadence for orchestration waits (simulation seconds).
+_POLL = 0.5
+
+
+class ExperimentRunner:
+    """Runs one experiment configuration and produces a report."""
+
+    def __init__(self, config: ExperimentConfig):
+        self.config = config
+        self.testbed = Testbed(config)
+        self.driver: Optional[WorkloadDriver] = None
+        self._window_start_time = 0.0
+        self._window_end_time = 0.0
+        self._window_start_height = 0
+        self._completion_latency: Optional[float] = None
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> ExperimentReport:
+        env = self.testbed.env
+        main = env.process(self._orchestrate(), name="runner")
+        # Step only until the orchestration finishes — the chains would
+        # otherwise keep producing (idle) blocks to the time horizon.
+        while not main.triggered:
+            if env.peek() > self.config.max_sim_seconds:
+                raise TimeoutError(
+                    f"experiment did not finish within "
+                    f"{self.config.max_sim_seconds} simulated seconds"
+                )
+            env.step()
+        if not main.ok:
+            raise main.value
+        crashed = [
+            (name, exc)
+            for name, exc in env.crashed_processes
+            if name != "runner"
+        ]
+        if crashed:
+            name, exc = crashed[0]
+            raise RuntimeError(
+                f"{len(crashed)} simulation process(es) crashed; "
+                f"first: {name}: {exc!r}"
+            ) from exc
+        return self._build_report()
+
+    # ------------------------------------------------------------------
+
+    def _orchestrate(self) -> Generator[Event, Any, None]:
+        config = self.config
+        testbed = self.testbed
+        env = testbed.env
+
+        # Setup phase: chains + relay path (+ relayers unless chain-only).
+        yield from testbed.bootstrap()
+        if not config.chain_only:
+            testbed.start_relayers()
+
+        # Align the workload start to a block boundary.
+        yield from self._wait_blocks(1)
+
+        self._window_start_time = env.now
+        self._window_start_height = testbed.chain_a.engine.height
+        self.driver = WorkloadDriver(testbed)
+        self.driver.start()
+
+        # Measurement window: `measurement_blocks` source-chain blocks.
+        end_height = self._window_start_height + config.measurement_blocks
+        while testbed.chain_a.engine.height < end_height:
+            if config.total_transfers is not None and self.driver.finished.triggered:
+                # Fixed-total workloads may finish submitting early; keep
+                # waiting for the window unless we are in completion mode.
+                if config.run_to_completion:
+                    break
+            yield env.timeout(_POLL)
+        self.driver.stop()
+        self._window_end_time = env.now
+
+        if config.run_to_completion:
+            yield from self._wait_for_settlement()
+            self._window_end_time = env.now
+        elif config.drain_seconds > 0:
+            yield env.timeout(config.drain_seconds)
+
+    def _wait_blocks(self, blocks: int) -> Generator[Event, Any, None]:
+        env = self.testbed.env
+        target = self.testbed.chain_a.engine.height + blocks
+        while self.testbed.chain_a.engine.height < target:
+            yield env.timeout(_POLL)
+
+    def _wait_for_settlement(self) -> Generator[Event, Any, None]:
+        """Wait until every committed transfer is acked or timed out."""
+        env = self.testbed.env
+        assert self.driver is not None
+        paths = self.testbed.paths or [self.testbed.path]
+        ibc_a = self.testbed.chain_a.app.ibc
+        while True:
+            if self.driver.finished.triggered:
+                pending = [
+                    seq
+                    for path in paths
+                    for seq in ibc_a.pending_commitments(
+                        path.a.port_id, path.a.channel_id
+                    )
+                ]
+                if not pending:
+                    processor = self._processor()
+                    latency = processor.completion_latency(
+                        self._window_start_time,
+                        target=max(1, self.driver.stats.requested_transfers),
+                    )
+                    # All settled even if some timed out rather than acked.
+                    self._completion_latency = (
+                        latency if latency is not None else env.now - self._window_start_time
+                    )
+                    return
+            yield env.timeout(2.0)
+
+    # ------------------------------------------------------------------
+
+    def _processor(self) -> CrossChainEventProcessor:
+        connector = CrossChainEventConnector()
+        for relayer in self.testbed.relayers:
+            connector.attach(relayer.log)
+        if self.driver is not None:
+            connector.attach(self.driver.log)
+        return CrossChainEventProcessor(connector)
+
+    def _build_report(self) -> ExperimentReport:
+        assert self.driver is not None
+        stats = self.driver.finalize()
+        window = collect_window_metrics(
+            chain_a=self.testbed.chain_a,
+            chain_b=self.testbed.chain_b,
+            start_time=self._window_start_time,
+            end_time=self._window_end_time,
+            start_height_a=self._window_start_height,
+            requested=stats.requested_transfers,
+            accepted=stats.accepted_transfers,
+        )
+        processor = self._processor()
+        timeline = processor.transfer_timeline(self._window_start_time)
+        return ExperimentReport(
+            config=self.config,
+            window=window,
+            workload=stats,
+            timeline=timeline,
+            gas=collect_gas_metrics(self.testbed.chain_a, self.testbed.chain_b),
+            rpc=collect_rpc_metrics([self.testbed.chain_a, self.testbed.chain_b]),
+            errors=processor.error_summary(),
+            completion_curve=processor.completion_curve(self._window_start_time),
+            completion_latency=self._completion_latency,
+            sim_end_time=self.testbed.env.now,
+        )
+
+
+def run_experiment(config: ExperimentConfig) -> ExperimentReport:
+    """Convenience one-shot API: configure, run, report."""
+    return ExperimentRunner(config).run()

@@ -1,0 +1,187 @@
+"""The framework's Setup module: testbed deployment.
+
+Builds the paper's private testnet in simulation: two Gaia chains with
+``num_validators`` validators each, spread over ``num_machines`` machines
+(one validator of each chain per machine), a configurable inter-machine
+RTT, and ``num_relayers`` Hermes instances — relayer *i* running on machine
+*i* against machine-local full nodes, as the paper's production-style
+deployment prescribes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Generator, Optional
+
+from repro.cosmos.accounts import Wallet
+from repro.cosmos.app import FEE_DENOM, TRANSFER_DENOM
+from repro.framework.config import ExperimentConfig
+from repro.relayer import Relayer, RelayerConfig, RelayPath
+from repro.sim.core import Environment, Event
+from repro.sim.network import Network
+from repro.sim.rng import RngRegistry
+from repro.tendermint.node import Chain, ChainNode
+
+#: Generous genesis balances: fees never bound the experiments.
+GENESIS_FEE = 10**16
+GENESIS_TOKENS = 10**14
+
+
+@dataclass
+class Testbed:
+    """A deployed (but not yet benchmarked) cross-chain environment."""
+
+    config: ExperimentConfig
+    env: Environment = field(init=False)
+    network: Network = field(init=False)
+    rng: RngRegistry = field(init=False)
+    chain_a: Chain = field(init=False)
+    chain_b: Chain = field(init=False)
+    relayers: list[Relayer] = field(init=False, default_factory=list)
+    user_wallets: list[Wallet] = field(init=False, default_factory=list)
+    receiver: Wallet = field(init=False)
+    path: Optional[RelayPath] = field(init=False, default=None)
+    #: All established channels (len == config.num_channels).
+    paths: list[RelayPath] = field(init=False, default_factory=list)
+
+    def __post_init__(self) -> None:
+        config = self.config
+        calibration = config.resolved_calibration
+        self.env = Environment()
+        self.rng = RngRegistry(config.seed)
+        self.network = Network(
+            self.env,
+            self.rng,
+            default_rtt=config.network_rtt,
+            default_jitter=config.network_rtt * 0.05,
+        )
+        machines = [
+            self.network.add_host(f"machine-{i}").name
+            for i in range(config.num_machines)
+        ]
+        # One validator of each chain per machine (paper §III-C).
+        val_hosts = [machines[i % len(machines)] for i in range(config.num_validators)]
+        proof_mode = config.resolved_proof_mode
+        self.chain_a = Chain(
+            self.env, self.network, "ibc-0", val_hosts, self.rng,
+            calibration=calibration, proof_mode=proof_mode,
+        )
+        self.chain_b = Chain(
+            self.env, self.network, "ibc-1", val_hosts, self.rng,
+            calibration=calibration, proof_mode=proof_mode,
+        )
+        self.chain_a.app.register_counterparty(self.chain_b.counterparty_info())
+        self.chain_b.app.register_counterparty(self.chain_a.counterparty_info())
+
+        # Full nodes on every machine hosting a relayer or the CLI.
+        client_machines = machines[: max(1, config.num_relayers)]
+        for machine in client_machines:
+            self.chain_a.add_node(machine)
+            self.chain_b.add_node(machine)
+
+        # Relayers: instance i on machine i, each with its own keys.
+        for i in range(config.num_relayers):
+            machine = machines[i % len(machines)]
+            wallet_a = Wallet.named(f"relayer{i}-{config.seed}-a")
+            wallet_b = Wallet.named(f"relayer{i}-{config.seed}-b")
+            self.chain_a.app.genesis_account(wallet_a, {FEE_DENOM: GENESIS_FEE})
+            self.chain_b.app.genesis_account(wallet_b, {FEE_DENOM: GENESIS_FEE})
+            relayer = Relayer(
+                self.env,
+                name=f"hermes-{i}",
+                host=machine,
+                node_a=self.chain_a.node(machine),
+                node_b=self.chain_b.node(machine),
+                wallet_a=wallet_a,
+                wallet_b=wallet_b,
+                config=RelayerConfig(
+                    name=f"hermes-{i}",
+                    max_msgs_per_tx=config.msgs_per_tx,
+                    clear_interval=config.clear_interval,
+                    pull_concurrency=config.pull_concurrency,
+                    coordination_index=i if config.coordinate_relayers else 0,
+                    coordination_total=(
+                        config.num_relayers if config.coordinate_relayers else 1
+                    ),
+                ),
+            )
+            self.relayers.append(relayer)
+
+        # Workload accounts (paper §III-D: many accounts, 100 msgs each).
+        for i in range(config.num_accounts):
+            wallet = Wallet.named(f"user{i}-{config.seed}")
+            self.chain_a.app.genesis_account(
+                wallet, {FEE_DENOM: GENESIS_FEE, TRANSFER_DENOM: GENESIS_TOKENS}
+            )
+            self.user_wallets.append(wallet)
+        self.receiver = Wallet.named(f"receiver-{config.seed}")
+        self.chain_b.app.genesis_account(self.receiver, {FEE_DENOM: GENESIS_FEE})
+
+    # ------------------------------------------------------------------
+
+    @property
+    def cli_host(self) -> str:
+        """The machine the workload CLI runs on (machine 0, with relayer 0)."""
+        return "machine-0"
+
+    @property
+    def cli_node(self) -> ChainNode:
+        return self.chain_a.node(self.cli_host)
+
+    def start_chains(self) -> None:
+        self.chain_a.start()
+        self.chain_b.start()
+
+    def bootstrap(self) -> Generator[Event, Any, RelayPath]:
+        """Start chains and establish the relay path (Setup module run).
+
+        With ``num_relayers == 0`` (chain-only experiments) a throwaway
+        bootstrap relayer performs the handshake so the channel exists, but
+        no relaying processes are started.
+        """
+        self.start_chains()
+        if self.relayers:
+            opener = self.relayers[0]
+        else:
+            wallet_a = Wallet.named(f"bootstrap-{self.config.seed}-a")
+            wallet_b = Wallet.named(f"bootstrap-{self.config.seed}-b")
+            self.chain_a.app.genesis_account(wallet_a, {FEE_DENOM: GENESIS_FEE})
+            self.chain_b.app.genesis_account(wallet_b, {FEE_DENOM: GENESIS_FEE})
+            machine = self.cli_host
+            opener = Relayer(
+                self.env, "bootstrap", machine,
+                self.chain_a.node(machine), self.chain_b.node(machine),
+                wallet_a, wallet_b,
+            )
+        from repro.ibc.channel import ChannelOrder
+
+        ordering = (
+            ChannelOrder.ORDERED
+            if self.config.channel_ordering == "ordered"
+            else ChannelOrder.UNORDERED
+        )
+        path = yield from opener.establish_path(ordering=ordering)
+        self.path = path
+        self.paths = [path]
+        if self.config.num_channels > 1:
+            # EXTENSION: per-relayer channels over the shared connection.
+            from repro.relayer.handshake import HandshakeDriver
+
+            driver = HandshakeDriver(opener.endpoint_a, opener.endpoint_b)
+            for _ in range(self.config.num_channels - 1):
+                extra = yield from driver.open_extra_channel(path)
+                self.paths.append(extra)
+            # Relayer i serves channel i exclusively.
+            opener.use_path(self.paths[0])
+            for i, relayer in enumerate(self.relayers):
+                if relayer is not opener:
+                    relayer.use_path(self.paths[i % len(self.paths)])
+        else:
+            for relayer in self.relayers:
+                if relayer is not opener:
+                    relayer.use_path(path)
+        return path
+
+    def start_relayers(self) -> None:
+        for relayer in self.relayers:
+            relayer.start()

@@ -1,0 +1,80 @@
+"""Parameter sweeps: repeated experiments and distribution summaries.
+
+The paper presents most results as distributions over 20 executions per
+configuration (the violins of Fig. 6, the error bands of Fig. 8).  This
+module provides the corresponding harness: run a configuration across
+seeds, extract a metric from each report, and summarise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Iterable, Sequence
+
+from repro.analysis import DistributionSummary, summarize
+from repro.framework.config import ExperimentConfig
+from repro.framework.report import ExperimentReport
+from repro.framework.runner import run_experiment
+
+#: A metric extractor: report -> value.
+Metric = Callable[[ExperimentReport], float]
+
+#: Common extractors, by name.
+METRICS: dict[str, Metric] = {
+    "chain_tfps": lambda r: r.window.chain_throughput_tfps,
+    "transfer_tfps": lambda r: r.window.transfer_throughput_tfps,
+    "completed_fraction": lambda r: r.window.completion.as_fractions()["completed"],
+    "block_interval": lambda r: (
+        sum(r.window.block_intervals_a) / len(r.window.block_intervals_a)
+        if r.window.block_intervals_a
+        else float("nan")
+    ),
+    "completion_latency": lambda r: (
+        r.completion_latency if r.completion_latency is not None else float("nan")
+    ),
+    "pull_fraction": lambda r: r.rpc.pull_fraction,
+}
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One configuration's repeated-run outcome."""
+
+    config: ExperimentConfig
+    values: tuple[float, ...]
+    summary: DistributionSummary
+
+
+def run_seeded(
+    config: ExperimentConfig,
+    metric: Metric | str,
+    seeds: Sequence[int],
+) -> SweepPoint:
+    """Run ``config`` once per seed and summarise the metric."""
+    extract = METRICS[metric] if isinstance(metric, str) else metric
+    values = []
+    for seed in seeds:
+        report = run_experiment(replace(config, seed=seed))
+        values.append(extract(report))
+    return SweepPoint(
+        config=config, values=tuple(values), summary=summarize(values)
+    )
+
+
+def sweep(
+    base: ExperimentConfig,
+    parameter: str,
+    values: Iterable,
+    metric: Metric | str,
+    seeds: Sequence[int] = (1,),
+) -> dict:
+    """Vary one config field over ``values``; returns value -> SweepPoint.
+
+    This is the shape of every throughput figure in the paper: a parameter
+    on the x-axis (input rate), a metric distribution on the y-axis.
+    """
+    points = {}
+    for value in values:
+        config = replace(base, **{parameter: value})
+        points[value] = run_seeded(config, metric, seeds)
+    return points

@@ -1,0 +1,185 @@
+"""The framework's Benchmark module: the Cross-chain Workload Connector.
+
+Implements the paper's §III-D submission scheme: ``num_accounts`` user
+accounts each submit transactions of up to 100 ``MsgTransfer`` messages
+through the Hermes CLI and wait for confirmation before submitting again
+(the account-sequence constraint allows only one transaction per account
+per block).  Two modes:
+
+* **continuous** (throughput experiments): every account loops until the
+  measurement window closes, yielding a per-block batch of
+  ``input_rate x block_interval`` transfers;
+* **fixed-total** (latency experiments, Figs. 12-13): exactly
+  ``total_transfers`` messages are spread evenly over
+  ``submission_blocks`` consecutive per-account rounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import WorkloadError
+from repro.framework.setup import Testbed
+from repro.relayer.cli import TransferSubmission, WorkloadCli
+from repro.relayer.logging import RelayerLog
+from repro.sim.core import Environment
+
+
+@dataclass
+class WorkloadStats:
+    """Submission-side accounting (Table I's first three columns)."""
+
+    requested_transfers: int = 0
+    accepted_transfers: int = 0  # passed CheckTx into the mempool
+    committed_transfers: int = 0  # executed OK on chain
+    rejected_transfers: int = 0  # CheckTx rejections
+    lost_transfers: int = 0  # broadcast RPC failures (never reached the node)
+    submissions: list[TransferSubmission] = field(default_factory=list)
+    start_time: float = 0.0
+    end_time: float = 0.0
+
+    def record(self, submission: TransferSubmission) -> None:
+        self.submissions.append(submission)
+        count = submission.transfer_count
+        self.requested_transfers += count
+        if submission.broadcast is None:
+            self.lost_transfers += count
+        elif submission.broadcast.ok:
+            self.accepted_transfers += count
+        else:
+            self.rejected_transfers += count
+
+    def finalize_commits(self) -> None:
+        """Count committed transfers from confirmations (call at the end)."""
+        self.committed_transfers = sum(
+            s.transfer_count for s in self.submissions if s.committed_ok
+        )
+
+
+class WorkloadDriver:
+    """Runs the configured workload against a deployed testbed."""
+
+    def __init__(self, testbed: Testbed, log: Optional[RelayerLog] = None):
+        if testbed.path is None:
+            raise WorkloadError("testbed must be bootstrapped before the workload")
+        self.testbed = testbed
+        self.config = testbed.config
+        self.env: Environment = testbed.env
+        self.log = log or RelayerLog(self.env, "workload")
+        self.stats = WorkloadStats()
+        self.stop_requested = False
+        self._active = 0
+        self.finished = self.env.event()
+        paths = testbed.paths or [testbed.path]
+        self._clis = [
+            WorkloadCli(
+                env=self.env,
+                node=testbed.cli_node,
+                wallet=wallet,
+                client_host=testbed.cli_host,
+                log=self.log,
+                # Accounts spread round-robin over the available channels
+                # (one channel in the paper's experiments).
+                source_channel=paths[i % len(paths)].a.channel_id,
+                receiver=testbed.receiver.address,
+            )
+            for i, wallet in enumerate(testbed.user_wallets)
+        ]
+
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Spawn one submission process per account."""
+        self.stats.start_time = self.env.now
+        schedules = self._schedules()
+        self._active = len(self._clis)
+        for cli, schedule in zip(self._clis, schedules):
+            self.env.process(
+                self._account_loop(cli, schedule),
+                name=f"workload/{cli.wallet.name}",
+            )
+
+    def stop(self) -> None:
+        """Close the submission window (continuous mode)."""
+        self.stop_requested = True
+
+    # ------------------------------------------------------------------
+
+    def _schedules(self) -> list[Optional[list[int]]]:
+        """Per-account submission schedules.
+
+        ``None`` means continuous mode (repeat full transactions until
+        stopped); otherwise a list of per-round message counts.
+        """
+        config = self.config
+        if config.total_transfers is None:
+            return [None] * len(self._clis)
+        total = config.total_transfers
+        rounds = config.submission_blocks
+        accounts = len(self._clis)
+        # Messages per round, spread as evenly as integers allow.
+        per_round = [
+            total // rounds + (1 if r < total % rounds else 0)
+            for r in range(rounds)
+        ]
+        schedules: list[list[int]] = [[] for _ in range(accounts)]
+        for r, quota in enumerate(per_round):
+            remaining = quota
+            for a in range(accounts):
+                chunk = min(config.msgs_per_tx, remaining)
+                schedules[a].append(chunk)
+                remaining -= chunk
+                if remaining <= 0:
+                    # Pad the rest of this round with empty slots.
+                    for rest in range(a + 1, accounts):
+                        schedules[rest].append(0)
+                    break
+            if remaining > 0:
+                raise WorkloadError(
+                    f"round {r}: {remaining} transfers exceed account capacity; "
+                    f"increase accounts or msgs_per_tx"
+                )
+        return list(schedules)
+
+    def _account_loop(self, cli: WorkloadCli, schedule: Optional[list[int]]):
+        config = self.config
+        try:
+            if schedule is None:
+                while not self.stop_requested:
+                    yield from self._one_submission(cli, config.msgs_per_tx)
+            else:
+                for count in schedule:
+                    if count <= 0:
+                        # Keep round alignment: wait out one block interval.
+                        yield self.env.timeout(config.block_interval)
+                        continue
+                    yield from self._one_submission(cli, count)
+        finally:
+            self._active -= 1
+            if self._active == 0:
+                self.stats.end_time = self.env.now
+                if not self.finished.triggered:
+                    self.finished.succeed()
+
+    def _one_submission(self, cli: WorkloadCli, count: int):
+        submission = yield from cli.ft_transfer(
+            count=count,
+            amount=self.config.transfer_amount,
+            timeout_blocks=self.config.timeout_blocks,
+            dst_height_hint=self.testbed.chain_b.engine.height,
+        )
+        self.stats.record(submission)
+        if submission.accepted:
+            yield from cli.wait_confirmation(submission)
+        else:
+            # Back off one poll interval before retrying from this account.
+            yield self.env.timeout(cli.confirm_poll_seconds)
+
+    # ------------------------------------------------------------------
+
+    def finalize(self) -> WorkloadStats:
+        self.stats.finalize_commits()
+        if self.stats.end_time == 0.0:
+            self.stats.end_time = self.env.now
+        return self.stats

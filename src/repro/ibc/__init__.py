@@ -1,0 +1,69 @@
+"""The IBC protocol: clients (ICS-02), connections (ICS-03), channels and
+packets (ICS-04), fungible token transfer (ICS-20), commitment paths
+(ICS-24) and proofs (ICS-23 role)."""
+
+from repro.ibc.channel import (
+    ChannelCounterparty,
+    ChannelEnd,
+    ChannelOrder,
+    ChannelState,
+)
+from repro.ibc.client import (
+    ClientState,
+    ConsensusState,
+    SignedHeader,
+    TendermintLightClient,
+    make_signed_header,
+)
+from repro.ibc.connection import (
+    ConnectionCounterparty,
+    ConnectionEnd,
+    ConnectionState,
+)
+from repro.ibc.module import (
+    CounterpartyChainInfo,
+    ExecContext,
+    IbcApplication,
+    IbcModule,
+)
+from repro.ibc.msgs import (
+    MsgAcknowledgement,
+    MsgCreateClient,
+    MsgRecvPacket,
+    MsgTimeout,
+    MsgTransfer,
+    MsgUpdateClient,
+)
+from repro.ibc.packet import Acknowledgement, Height, Packet
+from repro.ibc.transfer import FungibleTokenPacketData, TransferApp, escrow_address
+
+__all__ = [
+    "Acknowledgement",
+    "ChannelCounterparty",
+    "ChannelEnd",
+    "ChannelOrder",
+    "ChannelState",
+    "ClientState",
+    "ConnectionCounterparty",
+    "ConnectionEnd",
+    "ConnectionState",
+    "ConsensusState",
+    "CounterpartyChainInfo",
+    "ExecContext",
+    "FungibleTokenPacketData",
+    "Height",
+    "IbcApplication",
+    "IbcModule",
+    "MsgAcknowledgement",
+    "MsgCreateClient",
+    "MsgRecvPacket",
+    "MsgTimeout",
+    "MsgTransfer",
+    "MsgUpdateClient",
+    "Packet",
+    "SignedHeader",
+    "TendermintLightClient",
+    "TransferApp",
+    "escrow_address",
+    "make_signed_header",
+]

@@ -1,0 +1,124 @@
+"""IBC packets, commitments and acknowledgements (ICS-04 data model)."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.tendermint.crypto import sha256
+
+
+@dataclass(frozen=True)
+class Height:
+    """An IBC height: revision number + revision height.
+
+    Cosmos chains encode upgrades in the revision number; within one
+    revision ordering is by height.  ``zero()`` disables a height timeout.
+    """
+
+    revision_number: int
+    revision_height: int
+
+    @classmethod
+    def zero(cls) -> "Height":
+        return cls(0, 0)
+
+    @property
+    def is_zero(self) -> bool:
+        return self.revision_number == 0 and self.revision_height == 0
+
+    def __lt__(self, other: "Height") -> bool:
+        return (self.revision_number, self.revision_height) < (
+            other.revision_number,
+            other.revision_height,
+        )
+
+    def __le__(self, other: "Height") -> bool:
+        return self == other or self < other
+
+    def add(self, blocks: int) -> "Height":
+        return Height(self.revision_number, self.revision_height + blocks)
+
+    def __str__(self) -> str:
+        return f"{self.revision_number}-{self.revision_height}"
+
+
+@dataclass(frozen=True)
+class Packet:
+    """An IBC packet: opaque data plus routing and timeout metadata."""
+
+    sequence: int
+    source_port: str
+    source_channel: str
+    destination_port: str
+    destination_channel: str
+    data: bytes
+    timeout_height: Height
+    timeout_timestamp: float  # 0.0 disables the timestamp timeout
+
+    def commitment(self) -> bytes:
+        """The commitment stored on the sending chain (ICS-04).
+
+        Commits to the timeout and the data hash — not the full packet —
+        exactly as ibc-go does, so the packet itself travels off-chain.
+        """
+        return sha256(
+            f"{self.timeout_timestamp}/{self.timeout_height}".encode()
+            + sha256(self.data)
+        )
+
+    def timed_out(self, height: "Height", timestamp: float) -> bool:
+        """Would this packet be rejected at the given destination state?"""
+        if not self.timeout_height.is_zero and not (height < self.timeout_height):
+            return True
+        if self.timeout_timestamp > 0 and timestamp >= self.timeout_timestamp:
+            return True
+        return False
+
+    def key(self) -> tuple[str, str, int]:
+        """Identity of the packet on its sending chain."""
+        return (self.source_port, self.source_channel, self.sequence)
+
+
+@dataclass(frozen=True)
+class Acknowledgement:
+    """Result written by the receiving application (ICS-20 style)."""
+
+    success: bool
+    result: str = ""
+    error: str = ""
+
+    def encode(self) -> bytes:
+        if self.success:
+            return json.dumps({"result": self.result or "AQ=="}).encode()
+        return json.dumps({"error": self.error}).encode()
+
+    @classmethod
+    def decode(cls, raw: bytes) -> "Acknowledgement":
+        payload = json.loads(raw.decode())
+        if "result" in payload:
+            return cls(success=True, result=payload["result"])
+        return cls(success=False, error=payload.get("error", ""))
+
+    def commitment(self) -> bytes:
+        """The ack commitment stored on the receiving chain."""
+        return sha256(self.encode())
+
+
+def packet_from_event_attrs(attrs: dict) -> Packet:
+    """Rebuild a packet from indexed event attributes (what relayers do)."""
+    return Packet(
+        sequence=int(attrs["packet_sequence"]),
+        source_port=attrs["packet_src_port"],
+        source_channel=attrs["packet_src_channel"],
+        destination_port=attrs["packet_dst_port"],
+        destination_channel=attrs["packet_dst_channel"],
+        data=attrs["packet_data"],
+        timeout_height=attrs["packet_timeout_height"],
+        timeout_timestamp=float(attrs["packet_timeout_timestamp"]),
+    )
+
+
+def optional_height(height: Optional[Height]) -> Height:
+    return height if height is not None else Height.zero()

@@ -1,0 +1,199 @@
+"""ICS-20 fungible token transfer — the application the paper benchmarks.
+
+Semantics (ibc-go's transfer module):
+
+* Sending a *native* token escrows it in a per-channel escrow account and
+  the destination mints a voucher whose denom trace is prefixed with the
+  receiving (port, channel).
+* Sending a *voucher* back over the hop it came from burns it and the
+  destination un-escrows the original token.
+* A failed acknowledgement or a timeout refunds the sender (un-escrow or
+  re-mint, matching how the tokens left).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Protocol
+
+from repro.cosmos.denom import DenomRegistry, DenomTrace
+from repro.errors import IbcError, PacketError
+from repro.ibc import keys
+from repro.ibc.channel import ChannelEnd
+from repro.ibc.module import ExecContext, IbcModule
+from repro.ibc.msgs import MsgTransfer
+from repro.ibc.packet import Acknowledgement, Packet
+from repro.tendermint.abci import AbciEvent
+
+
+class BankLike(Protocol):
+    """What the transfer app needs from the bank module."""
+
+    def send(self, sender: str, recipient: str, denom: str, amount: int) -> None: ...
+
+    def mint(self, address: str, denom: str, amount: int) -> None: ...
+
+    def burn(self, address: str, denom: str, amount: int) -> None: ...
+
+    def balance(self, address: str, denom: str) -> int: ...
+
+
+@dataclass(frozen=True)
+class FungibleTokenPacketData:
+    """The ICS-20 packet payload."""
+
+    denom: str  # full trace path, e.g. "transfer/channel-0/uatom" or "uatom"
+    amount: int
+    sender: str
+    receiver: str
+
+    def encode(self) -> bytes:
+        return json.dumps(
+            {
+                "denom": self.denom,
+                "amount": str(self.amount),
+                "sender": self.sender,
+                "receiver": self.receiver,
+            },
+            sort_keys=True,
+        ).encode()
+
+    @classmethod
+    def decode(cls, raw: bytes) -> "FungibleTokenPacketData":
+        payload = json.loads(raw.decode())
+        return cls(
+            denom=payload["denom"],
+            amount=int(payload["amount"]),
+            sender=payload["sender"],
+            receiver=payload["receiver"],
+        )
+
+
+def escrow_address(port_id: str, channel_id: str) -> str:
+    from repro.cosmos.bank import module_address
+
+    return module_address(f"transfer/{port_id}/{channel_id}/escrow")
+
+
+class TransferApp:
+    """The ICS-20 application bound to the ``transfer`` port."""
+
+    def __init__(self, ibc: IbcModule, bank: BankLike):
+        self.ibc = ibc
+        self.bank = bank
+        self.denoms = DenomRegistry()
+        ibc.bind_port(keys.TRANSFER_PORT, self)
+
+    # ------------------------------------------------------------------
+    # Sending (MsgTransfer handler)
+    # ------------------------------------------------------------------
+
+    def msg_transfer(
+        self, msg: MsgTransfer, ctx: ExecContext
+    ) -> tuple[Packet, list[AbciEvent]]:
+        """Handle a user transfer request: lock/burn tokens, send packet."""
+        if msg.amount <= 0:
+            raise PacketError(f"transfer amount must be positive: {msg.amount}")
+        trace = self.denoms.resolve(msg.denom)
+        escrow = escrow_address(msg.source_port, msg.source_channel)
+        returning = (
+            not trace.is_native
+            and trace.outermost_hop() == (msg.source_port, msg.source_channel)
+        )
+        if returning:
+            # Voucher going back where it came from: burn it here.
+            self.bank.burn(msg.sender, msg.denom, msg.amount)
+        else:
+            # Token is native from this chain's perspective: escrow it.
+            self.bank.send(msg.sender, escrow, msg.denom, msg.amount)
+        data = FungibleTokenPacketData(
+            denom=trace.full_path(),
+            amount=msg.amount,
+            sender=msg.sender,
+            receiver=msg.receiver,
+        )
+        packet, events = self.ibc.send_packet(
+            port_id=msg.source_port,
+            channel_id=msg.source_channel,
+            data=data.encode(),
+            timeout_height=msg.timeout_height,
+            timeout_timestamp=msg.timeout_timestamp,
+            ctx=ctx,
+        )
+        return packet, events
+
+    # ------------------------------------------------------------------
+    # IbcApplication callbacks
+    # ------------------------------------------------------------------
+
+    def on_chan_open(self, channel: ChannelEnd) -> None:
+        if channel.version != keys.ICS20_VERSION:
+            raise IbcError(
+                f"transfer app requires version {keys.ICS20_VERSION!r}, "
+                f"got {channel.version!r}"
+            )
+
+    def on_recv_packet(self, packet: Packet, ctx: ExecContext) -> Acknowledgement:
+        try:
+            data = FungibleTokenPacketData.decode(packet.data)
+            self._apply_receive(packet, data)
+        except Exception as exc:  # noqa: BLE001 - ack carries the error
+            return Acknowledgement(success=False, error=str(exc))
+        return Acknowledgement(success=True, result="AQ==")
+
+    def _apply_receive(self, packet: Packet, data: FungibleTokenPacketData) -> None:
+        trace = DenomTrace.parse(data.denom)
+        returning = (
+            not trace.is_native
+            and trace.outermost_hop()
+            == (packet.destination_port, packet.destination_channel)
+        )
+        if returning:
+            # Our own token coming home: un-escrow the original.
+            local_trace = trace.unwind()
+            local_denom = (
+                local_trace.base_denom
+                if local_trace.is_native
+                else self.denoms.register(local_trace)
+            )
+            escrow = escrow_address(
+                packet.destination_port, packet.destination_channel
+            )
+            self.bank.send(escrow, data.receiver, local_denom, data.amount)
+        else:
+            # Foreign token arriving: extend the trace, mint a voucher.
+            voucher_trace = trace.prepend(
+                packet.destination_port, packet.destination_channel
+            )
+            voucher = self.denoms.register(voucher_trace)
+            self.bank.mint(data.receiver, voucher, data.amount)
+
+    def on_acknowledgement(
+        self, packet: Packet, ack: Acknowledgement, ctx: ExecContext
+    ) -> None:
+        if not ack.success:
+            self._refund(packet)
+
+    def on_timeout(self, packet: Packet, ctx: ExecContext) -> None:
+        self._refund(packet)
+
+    def _refund(self, packet: Packet) -> None:
+        """Undo the send: un-escrow or re-mint to the original sender."""
+        data = FungibleTokenPacketData.decode(packet.data)
+        trace = DenomTrace.parse(data.denom)
+        was_return = (
+            not trace.is_native
+            and trace.outermost_hop() == (packet.source_port, packet.source_channel)
+        )
+        local_denom = (
+            trace.base_denom
+            if trace.is_native
+            else self.denoms.register(trace)
+        )
+        if was_return:
+            # We burned a voucher on send: mint it back.
+            self.bank.mint(data.sender, local_denom, data.amount)
+        else:
+            escrow = escrow_address(packet.source_port, packet.source_channel)
+            self.bank.send(escrow, data.sender, local_denom, data.amount)

@@ -1,0 +1,29 @@
+"""Hermes-style IBC relayer: supervisor, workers, chain endpoints, CLI."""
+
+from repro.relayer.cli import TransferSubmission, WorkloadCli
+from repro.relayer.config import RelayerConfig
+from repro.relayer.endpoint import ChainEndpoint, SubmittedTx
+from repro.relayer.events import PacketEvent, WorkBatch
+from repro.relayer.handshake import HandshakeDriver
+from repro.relayer.logging import LogRecord, RelayerLog
+from repro.relayer.relayer import Relayer
+from repro.relayer.supervisor import Supervisor
+from repro.relayer.worker import DirectionWorker, PathEnd, RelayPath
+
+__all__ = [
+    "ChainEndpoint",
+    "DirectionWorker",
+    "HandshakeDriver",
+    "LogRecord",
+    "PacketEvent",
+    "PathEnd",
+    "Relayer",
+    "RelayerConfig",
+    "RelayerLog",
+    "RelayPath",
+    "SubmittedTx",
+    "Supervisor",
+    "TransferSubmission",
+    "WorkBatch",
+    "WorkloadCli",
+]

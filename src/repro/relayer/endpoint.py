@@ -1,0 +1,251 @@
+"""The relayer's Chain Endpoint (Fig. 4): transaction submission per chain.
+
+Responsibilities, mirroring Hermes:
+
+* sign transactions with the relayer's key, tracking the account sequence
+  *optimistically* (incremented locally per signed tx) so several
+  transactions can be queued into one block;
+* on ``account sequence mismatch`` errors, re-sync the sequence from the
+  chain (an RPC query that sees only committed state — the root of the
+  paper's mismatch cascades under load) and retry;
+* poll ``/tx`` for confirmation of broadcast transactions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator, Optional
+
+from repro import calibration as cal
+from repro.cosmos.accounts import Wallet
+from repro.cosmos.gas import GasSchedule
+from repro.cosmos.tx import Tx, TxFactory, chunk_msgs
+from repro.errors import RpcError, RpcTimeoutError
+from repro.relayer.config import RelayerConfig
+from repro.relayer.logging import RelayerLog
+from repro.sim.core import Environment, Event
+from repro.tendermint.node import BroadcastResult, ChainNode, TxLookupResult
+from repro.tendermint.rpc import RpcClient
+
+#: ABCI code for account sequence mismatch (see errors.SequenceMismatchError).
+SEQUENCE_MISMATCH_CODE = 32
+
+
+@dataclass
+class SubmittedTx:
+    """A transaction the endpoint pushed toward the chain."""
+
+    tx: Tx
+    broadcast: Optional[BroadcastResult] = None
+    broadcast_time: float = 0.0
+    confirmed: Optional[TxLookupResult] = None
+    confirm_time: Optional[float] = None
+    #: Packet messages in the tx (excludes the prepended client update).
+    payload_msgs: int = 0
+
+    @property
+    def accepted(self) -> bool:
+        return self.broadcast is not None and self.broadcast.ok
+
+    @property
+    def executed_ok(self) -> bool:
+        return (
+            self.confirmed is not None
+            and self.confirmed.found
+            and self.confirmed.code == 0
+        )
+
+
+class ChainEndpoint:
+    """One relayer's interface to one chain, via a machine-local full node."""
+
+    def __init__(
+        self,
+        env: Environment,
+        node: ChainNode,
+        wallet: Wallet,
+        client_host: str,
+        config: RelayerConfig,
+        log: RelayerLog,
+    ):
+        self.env = env
+        self.node = node
+        self.chain = node.chain
+        self.config = config
+        self.log = log
+        self.client = RpcClient(
+            env,
+            node.chain.network,
+            client_host,
+            node.rpc,
+            timeout=config.rpc_timeout_seconds,
+        )
+        # +1: each packet transaction carries a prepended MsgUpdateClient on
+        # top of the (paper-reported) 100 packet messages.
+        self.factory = TxFactory(
+            wallet,
+            max_msgs_per_tx=config.max_msgs_per_tx + 1,
+            gas_price=config.gas_price,
+        )
+        self._gas = GasSchedule(node.chain.cal)
+        #: Accounting for analysis.
+        self.broadcast_failures = 0
+        self.sequence_resyncs = 0
+
+    @property
+    def chain_id(self) -> str:
+        return self.chain.chain_id
+
+    # ------------------------------------------------------------------
+    # Queries (thin wrappers over the RPC client)
+    # ------------------------------------------------------------------
+
+    def query(self, method: str, **params: Any) -> Generator[Event, Any, Any]:
+        return (yield from self.client.call(method, **params))
+
+    def sync_sequence(self) -> Generator[Event, Any, int]:
+        """Re-sync the local signing sequence from committed chain state."""
+        info = yield from self.client.call(
+            "account", address=self.factory.wallet.address
+        )
+        self.sequence_resyncs += 1
+        self.factory.resync_sequence(info["sequence"])
+        return info["sequence"]
+
+    # ------------------------------------------------------------------
+    # Transaction submission
+    # ------------------------------------------------------------------
+
+    def submit_msgs(
+        self,
+        msgs: list[Any],
+        label: str,
+        build_seconds_per_msg: float = 0.0,
+        prepend_msg: Optional[Any] = None,
+    ) -> Generator[Event, Any, list[SubmittedTx]]:
+        """Chunk, sign and broadcast messages; returns per-tx outcomes.
+
+        ``build_seconds_per_msg`` charges per-message construction CPU time
+        (proof encoding etc.) before each chunk is signed.  ``prepend_msg``
+        (a ``MsgUpdateClient`` in practice) is prepended to every chunk, the
+        way Hermes precedes each packet transaction with a client update.
+        """
+        submitted: list[SubmittedTx] = []
+        for chunk in chunk_msgs(msgs, self.config.max_msgs_per_tx):
+            if build_seconds_per_msg > 0:
+                yield self.env.timeout(build_seconds_per_msg * len(chunk))
+            yield self.env.timeout(cal.RELAYER_SIGN_SECONDS_PER_TX)
+            payload = [prepend_msg] + chunk if prepend_msg is not None else chunk
+            entry = yield from self._sign_and_broadcast(
+                payload, label, payload_msgs=len(chunk)
+            )
+            submitted.append(entry)
+        return submitted
+
+    def _sign_and_broadcast(
+        self,
+        chunk: list[Any],
+        label: str,
+        retried: bool = False,
+        payload_msgs: Optional[int] = None,
+    ) -> Generator[Event, Any, SubmittedTx]:
+        kinds = [getattr(m, "kind", "unknown") for m in chunk]
+        gas_limit = int(self._gas.estimate_tx_gas(kinds) * self.config.gas_multiplier)
+        tx = self.factory.build(chunk, gas_limit=gas_limit)
+        count = payload_msgs if payload_msgs is not None else len(chunk)
+        entry = SubmittedTx(tx=tx, broadcast_time=self.env.now, payload_msgs=count)
+        self.log.info(
+            f"{label}_broadcast",
+            chain=self.chain_id,
+            tx_hash=tx.hash,
+            count=count,
+        )
+        try:
+            result = yield from self.client.call("broadcast_tx_sync", tx=tx)
+        except RpcError as exc:
+            self.broadcast_failures += 1
+            self.log.error(
+                "broadcast_failed", chain=self.chain_id, reason=str(exc)
+            )
+            return entry
+        entry.broadcast = result
+        if result.ok:
+            return entry
+        if result.code == SEQUENCE_MISMATCH_CODE and not retried:
+            # Re-sync from chain and retry once with a fresh sequence.
+            self.log.error(
+                "account_sequence_mismatch",
+                chain=self.chain_id,
+                log=result.log,
+            )
+            try:
+                yield from self.sync_sequence()
+            except RpcError:
+                return entry
+            return (
+                yield from self._sign_and_broadcast(
+                    chunk, label, retried=True, payload_msgs=payload_msgs
+                )
+            )
+        self.broadcast_failures += 1
+        self.log.error(
+            "broadcast_rejected",
+            chain=self.chain_id,
+            code=result.code,
+            log=result.log,
+        )
+        return entry
+
+    # ------------------------------------------------------------------
+    # Confirmation polling
+    # ------------------------------------------------------------------
+
+    def confirm_txs(
+        self, submitted: list[SubmittedTx], label: str
+    ) -> Generator[Event, Any, list[SubmittedTx]]:
+        """Poll ``/tx`` until every accepted tx confirms or the confirmation
+        window lapses.  Failures surface as ``failed tx: no confirmation``.
+        """
+        pending = [s for s in submitted if s.accepted]
+        deadline = self.env.now + self.config.confirm_timeout_seconds
+        while pending and self.env.now < deadline:
+            still_pending: list[SubmittedTx] = []
+            for entry in pending:
+                try:
+                    lookup = yield from self.client.call(
+                        "tx", tx_hash=entry.tx.hash
+                    )
+                except RpcTimeoutError:
+                    self.log.error(
+                        "failed_tx_no_confirmation",
+                        chain=self.chain_id,
+                        tx_hash=entry.tx.hash,
+                    )
+                    still_pending.append(entry)
+                    continue
+                except RpcError:
+                    still_pending.append(entry)
+                    continue
+                if lookup.found:
+                    entry.confirmed = lookup
+                    entry.confirm_time = self.env.now
+                    self.log.info(
+                        f"{label}_confirmation",
+                        chain=self.chain_id,
+                        tx_hash=entry.tx.hash,
+                        code=lookup.code,
+                        height=lookup.height,
+                        count=entry.payload_msgs,
+                    )
+                else:
+                    still_pending.append(entry)
+            pending = still_pending
+            if pending:
+                yield self.env.timeout(self.config.confirm_poll_seconds)
+        for entry in pending:
+            self.log.error(
+                "failed_tx_no_confirmation",
+                chain=self.chain_id,
+                tx_hash=entry.tx.hash,
+            )
+        return submitted

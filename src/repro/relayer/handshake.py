@@ -1,0 +1,302 @@
+"""Channel bootstrap: client / connection / channel handshakes.
+
+Drives the full ICS-02/03/04 handshake between two chains by submitting
+real transactions through each chain's RPC and waiting for commits —
+the job of ``hermes create channel``.  Identifier discovery and proof
+fetching read chain state directly (the real CLI parses tx events and
+queries ``abci_query``; the data is identical), which is an accepted
+setup-time shortcut documented in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.errors import RelayerError
+from repro.ibc import keys
+from repro.ibc.channel import ChannelOrder
+from repro.ibc.client import SignedHeader
+from repro.ibc.msgs import (
+    MsgChannelOpenAck,
+    MsgChannelOpenConfirm,
+    MsgChannelOpenInit,
+    MsgChannelOpenTry,
+    MsgConnectionOpenAck,
+    MsgConnectionOpenConfirm,
+    MsgConnectionOpenInit,
+    MsgConnectionOpenTry,
+    MsgCreateClient,
+    MsgUpdateClient,
+)
+from repro.relayer.endpoint import ChainEndpoint
+from repro.relayer.worker import PathEnd, RelayPath
+from repro.sim.core import Event
+
+
+class HandshakeDriver:
+    """Establishes a relay path between two chains."""
+
+    def __init__(self, endpoint_a: ChainEndpoint, endpoint_b: ChainEndpoint):
+        self.a = endpoint_a
+        self.b = endpoint_b
+        self.env = endpoint_a.env
+
+    # ------------------------------------------------------------------
+
+    def establish(
+        self,
+        ordering: ChannelOrder = ChannelOrder.UNORDERED,
+        port_id: str = keys.TRANSFER_PORT,
+        version: str = keys.ICS20_VERSION,
+    ) -> Generator[Event, Any, RelayPath]:
+        """Run the full handshake; returns the established path."""
+        yield from self._wait_for_headers()
+
+        client_a = yield from self._create_client(self.a, self.b)
+        client_b = yield from self._create_client(self.b, self.a)
+
+        conn_a, conn_b = yield from self._open_connection(client_a, client_b)
+        chan_a, chan_b = yield from self._open_channel(
+            client_a, client_b, conn_a, conn_b, ordering, port_id, version
+        )
+        return RelayPath(
+            a=PathEnd(
+                chain_id=self.a.chain_id,
+                client_id=client_a,
+                connection_id=conn_a,
+                port_id=port_id,
+                channel_id=chan_a,
+            ),
+            b=PathEnd(
+                chain_id=self.b.chain_id,
+                client_id=client_b,
+                connection_id=conn_b,
+                port_id=port_id,
+                channel_id=chan_b,
+            ),
+        )
+
+    # ------------------------------------------------------------------
+
+    def open_extra_channel(
+        self,
+        path: RelayPath,
+        ordering: ChannelOrder = ChannelOrder.UNORDERED,
+        port_id: str = keys.TRANSFER_PORT,
+        version: str = keys.ICS20_VERSION,
+    ) -> Generator[Event, Any, RelayPath]:
+        """Open another channel over an existing connection.
+
+        Two blockchains can open multiple channels on a single connection
+        (paper §II-B1); the paper's §IV-A discusses per-relayer channels as
+        a scalability alternative (with the non-fungibility caveat).
+        """
+        chan_a, chan_b = yield from self._open_channel(
+            path.a.client_id,
+            path.b.client_id,
+            path.a.connection_id,
+            path.b.connection_id,
+            ordering,
+            port_id,
+            version,
+        )
+        return RelayPath(
+            a=PathEnd(
+                chain_id=path.a.chain_id,
+                client_id=path.a.client_id,
+                connection_id=path.a.connection_id,
+                port_id=port_id,
+                channel_id=chan_a,
+            ),
+            b=PathEnd(
+                chain_id=path.b.chain_id,
+                client_id=path.b.client_id,
+                connection_id=path.b.connection_id,
+                port_id=port_id,
+                channel_id=chan_b,
+            ),
+        )
+
+    def _wait_for_headers(self):
+        """Both chains need at least one committed block."""
+        while (
+            self.a.chain.engine.latest_signed_header is None
+            or self.b.chain.engine.latest_signed_header is None
+        ):
+            yield self.env.timeout(1.0)
+
+    def _submit_and_confirm(
+        self, endpoint: ChainEndpoint, msgs: list[Any], step: str
+    ):
+        submitted = yield from endpoint.submit_msgs(msgs, label="handshake")
+        confirmed = yield from endpoint.confirm_txs(submitted, "handshake")
+        for entry in confirmed:
+            if not entry.executed_ok:
+                log = entry.confirmed.log if entry.confirmed else "not confirmed"
+                raise RelayerError(
+                    f"handshake step {step} failed on {endpoint.chain_id}: {log}"
+                )
+
+    @staticmethod
+    def _header_of(endpoint: ChainEndpoint) -> SignedHeader:
+        header = endpoint.chain.engine.latest_signed_header
+        if header is None:
+            raise RelayerError(f"no header available on {endpoint.chain_id}")
+        return header
+
+    def _create_client(self, host: ChainEndpoint, tracked: ChainEndpoint):
+        """Create on ``host`` a light client tracking ``tracked``."""
+        header = self._header_of(tracked)
+        msg = MsgCreateClient(
+            chain_id=tracked.chain_id,
+            trusting_period=14 * 24 * 3600.0,
+            initial_header=header,
+            signer=host.factory.wallet.address,
+        )
+        yield from self._submit_and_confirm(host, [msg], "create_client")
+        clients = [
+            cid
+            for cid, client in host.chain.app.ibc.clients.items()
+            if client.state.chain_id == tracked.chain_id
+        ]
+        if not clients:
+            raise RelayerError(f"client creation not visible on {host.chain_id}")
+        return sorted(clients, key=lambda c: int(c.rsplit("-", 1)[1]))[-1]
+
+    def _open_connection(self, client_a: str, client_b: str):
+        ibc_a = self.a.chain.app.ibc
+        ibc_b = self.b.chain.app.ibc
+
+        # INIT on A.
+        init = MsgConnectionOpenInit(
+            client_id=client_a, counterparty_client_id=client_b
+        )
+        yield from self._submit_and_confirm(self.a, [init], "conn_open_init")
+        conn_a = self._latest_connection(ibc_a, client_a)
+
+        # TRY on B (proof that A recorded INIT).
+        header_a = self._header_of(self.a)
+        try_msg = MsgConnectionOpenTry(
+            client_id=client_b,
+            counterparty_client_id=client_a,
+            counterparty_connection_id=conn_a,
+            proof_init=ibc_a.prove_connection(conn_a),
+            proof_height=header_a.height,
+        )
+        update_b = MsgUpdateClient(client_id=client_b, header=header_a)
+        yield from self._submit_and_confirm(
+            self.b, [update_b, try_msg], "conn_open_try"
+        )
+        conn_b = self._latest_connection(ibc_b, client_b)
+
+        # ACK on A (proof that B recorded TRYOPEN).
+        header_b = self._header_of(self.b)
+        ack = MsgConnectionOpenAck(
+            connection_id=conn_a,
+            counterparty_connection_id=conn_b,
+            proof_try=ibc_b.prove_connection(conn_b),
+            proof_height=header_b.height,
+        )
+        update_a = MsgUpdateClient(client_id=client_a, header=header_b)
+        yield from self._submit_and_confirm(
+            self.a, [update_a, ack], "conn_open_ack"
+        )
+
+        # CONFIRM on B (proof that A is OPEN).
+        header_a = self._header_of(self.a)
+        confirm = MsgConnectionOpenConfirm(
+            connection_id=conn_b,
+            proof_ack=ibc_a.prove_connection(conn_a),
+            proof_height=header_a.height,
+        )
+        update_b = MsgUpdateClient(client_id=client_b, header=header_a)
+        yield from self._submit_and_confirm(
+            self.b, [update_b, confirm], "conn_open_confirm"
+        )
+        return conn_a, conn_b
+
+    def _open_channel(
+        self,
+        client_a: str,
+        client_b: str,
+        conn_a: str,
+        conn_b: str,
+        ordering: ChannelOrder,
+        port_id: str,
+        version: str,
+    ):
+        ibc_a = self.a.chain.app.ibc
+        ibc_b = self.b.chain.app.ibc
+
+        init = MsgChannelOpenInit(
+            port_id=port_id,
+            connection_id=conn_a,
+            counterparty_port_id=port_id,
+            ordering=ordering,
+            version=version,
+        )
+        yield from self._submit_and_confirm(self.a, [init], "chan_open_init")
+        chan_a = self._latest_channel(ibc_a, port_id, conn_a)
+
+        header_a = self._header_of(self.a)
+        try_msg = MsgChannelOpenTry(
+            port_id=port_id,
+            connection_id=conn_b,
+            counterparty_port_id=port_id,
+            counterparty_channel_id=chan_a,
+            ordering=ordering,
+            version=version,
+            proof_init=ibc_a.prove_channel(port_id, chan_a),
+            proof_height=header_a.height,
+        )
+        update_b = MsgUpdateClient(client_id=client_b, header=header_a)
+        yield from self._submit_and_confirm(
+            self.b, [update_b, try_msg], "chan_open_try"
+        )
+        chan_b = self._latest_channel(ibc_b, port_id, conn_b)
+
+        header_b = self._header_of(self.b)
+        ack = MsgChannelOpenAck(
+            port_id=port_id,
+            channel_id=chan_a,
+            counterparty_channel_id=chan_b,
+            proof_try=ibc_b.prove_channel(port_id, chan_b),
+            proof_height=header_b.height,
+        )
+        update_a = MsgUpdateClient(client_id=client_a, header=header_b)
+        yield from self._submit_and_confirm(
+            self.a, [update_a, ack], "chan_open_ack"
+        )
+
+        header_a = self._header_of(self.a)
+        confirm = MsgChannelOpenConfirm(
+            port_id=port_id,
+            channel_id=chan_b,
+            proof_ack=ibc_a.prove_channel(port_id, chan_a),
+            proof_height=header_a.height,
+        )
+        update_b = MsgUpdateClient(client_id=client_b, header=header_a)
+        yield from self._submit_and_confirm(
+            self.b, [update_b, confirm], "chan_open_confirm"
+        )
+        return chan_a, chan_b
+
+    @staticmethod
+    def _latest_connection(ibc, client_id: str) -> str:
+        conns = [
+            cid for cid, end in ibc.connections.items() if end.client_id == client_id
+        ]
+        if not conns:
+            raise RelayerError("connection not found after handshake step")
+        return sorted(conns, key=lambda c: int(c.rsplit("-", 1)[1]))[-1]
+
+    @staticmethod
+    def _latest_channel(ibc, port_id: str, connection_id: str) -> str:
+        chans = [
+            channel_id
+            for (port, channel_id), end in ibc.channels.items()
+            if port == port_id and end.connection_id == connection_id
+        ]
+        if not chans:
+            raise RelayerError("channel not found after handshake step")
+        return sorted(chans, key=lambda c: int(c.rsplit("-", 1)[1]))[-1]

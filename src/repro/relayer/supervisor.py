@@ -1,0 +1,121 @@
+"""The relayer Supervisor (Fig. 4): event subscription and dispatch.
+
+One listener process per chain consumes that chain's WebSocket stream,
+parses events into per-block :class:`WorkBatch` items (the paper's
+*extraction* steps) and routes them to the direction workers.  A failed
+frame (>16 MB) surfaces here as ``Failed to collect events``; the
+subscription stays latched server-side, so — exactly as the paper's §V
+experiment shows — no further events arrive for it.
+"""
+
+from __future__ import annotations
+
+from repro import calibration as cal
+from repro.relayer.events import WorkBatch, batches_from_notification
+from repro.relayer.logging import RelayerLog
+from repro.relayer.worker import DirectionWorker
+from repro.sim.core import Environment
+from repro.tendermint.node import ChainNode
+from repro.tendermint.websocket import BlockNotification, Subscription
+
+#: Event kinds the supervisor subscribes to per chain.
+SUBSCRIBED_KINDS = {"send_packet", "write_acknowledgement", "acknowledge_packet"}
+
+#: Log-step name per extracted event kind (the paper's 13-step naming).
+_EXTRACTION_STEP = {
+    "send_packet": "transfer_extraction",
+    "write_acknowledgement": "recv_extraction",
+    "acknowledge_packet": "ack_extraction",
+}
+
+
+class Supervisor:
+    """Subscribes to both chains and feeds the direction workers."""
+
+    def __init__(
+        self,
+        env: Environment,
+        log: RelayerLog,
+        heights: dict[str, int],
+        client_host: str,
+    ):
+        self.env = env
+        self.log = log
+        self.heights = heights
+        self.client_host = client_host
+        #: (chain_id, channel) -> worker whose recv stage consumes that
+        #: chain's send_packet events for that channel.
+        self._recv_routes: dict[tuple[str, str], DirectionWorker] = {}
+        #: (chain_id, channel) -> worker whose ack stage consumes that
+        #: chain's write_acknowledgement events for that channel.
+        self._ack_routes: dict[tuple[str, str], DirectionWorker] = {}
+        self.subscriptions: dict[str, Subscription] = {}
+        self._started = False
+
+    def route(self, worker: DirectionWorker) -> None:
+        """Register a direction worker's event routes (per channel)."""
+        self._recv_routes[
+            (worker.src_end.chain_id, worker.src_end.channel_id)
+        ] = worker
+        self._ack_routes[
+            (worker.dst_end.chain_id, worker.dst_end.channel_id)
+        ] = worker
+
+    def attach(self, node: ChainNode) -> None:
+        subscription = node.websocket.subscribe(
+            self.client_host, event_types=set(SUBSCRIBED_KINDS)
+        )
+        self.subscriptions[node.chain.chain_id] = subscription
+
+    def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        for chain_id, subscription in self.subscriptions.items():
+            self.env.process(
+                self._listen(chain_id, subscription),
+                name=f"supervisor/{chain_id}",
+            )
+
+    # ------------------------------------------------------------------
+
+    def _listen(self, chain_id: str, subscription: Subscription):
+        while True:
+            notification: BlockNotification = yield subscription.queue.get()
+            self.heights[chain_id] = max(
+                self.heights.get(chain_id, 0), notification.height
+            )
+            if not notification.ok:
+                self.log.error(
+                    "failed_to_collect_events",
+                    chain=chain_id,
+                    height=notification.height,
+                    frame_bytes=notification.frame_bytes,
+                )
+                continue
+            if not notification.events:
+                continue
+            # Parsing cost scales with the number of events in the frame.
+            yield self.env.timeout(
+                cal.RELAYER_EVENT_PARSE_SECONDS * len(notification.events)
+            )
+            batches = batches_from_notification(notification, SUBSCRIBED_KINDS)
+            for batch in batches:
+                self._dispatch(chain_id, batch)
+
+    def _dispatch(self, chain_id: str, batch: WorkBatch) -> None:
+        step = _EXTRACTION_STEP.get(batch.kind)
+        if step is not None:
+            self.log.info(
+                step, chain=chain_id, height=batch.height, count=len(batch)
+            )
+        if batch.kind == "send_packet":
+            worker = self._recv_routes.get((chain_id, batch.routing_channel))
+            if worker is not None:
+                worker.recv_queue.put(batch)
+        elif batch.kind == "write_acknowledgement":
+            worker = self._ack_routes.get((chain_id, batch.routing_channel))
+            if worker is not None:
+                worker.ack_queue.put(batch)
+        # acknowledge_packet events are only logged (step 12 of Fig. 12);
+        # the packet life cycle is complete when they appear.

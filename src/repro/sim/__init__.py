@@ -1,0 +1,56 @@
+"""Discrete-event simulation substrate.
+
+Public surface:
+
+* :class:`Environment`, :class:`Event`, :class:`Timeout`, :class:`Process`,
+  :class:`Interrupt`, :class:`AllOf`, :class:`AnyOf` — the kernel.
+* :class:`Resource`, :class:`Store` — queued servers and buffers.
+* :class:`Network`, :class:`Host`, :class:`LinkSpec` — latency simulation.
+* :class:`RngRegistry` — deterministic named random streams.
+* probes in :mod:`repro.sim.monitor`.
+"""
+
+from repro.sim.core import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    Process,
+    Timeout,
+)
+from repro.sim.monitor import (
+    Counter,
+    DurationHistogram,
+    ProbeSet,
+    SummaryStats,
+    TimeSeries,
+    percentile,
+)
+from repro.sim.network import Host, LinkSpec, Network
+from repro.sim.resources import Request, Resource, Store
+from repro.sim.rng import RngRegistry, derive_seed
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Counter",
+    "DurationHistogram",
+    "Environment",
+    "Event",
+    "Host",
+    "Interrupt",
+    "LinkSpec",
+    "Network",
+    "ProbeSet",
+    "Process",
+    "Request",
+    "Resource",
+    "RngRegistry",
+    "Store",
+    "SummaryStats",
+    "TimeSeries",
+    "Timeout",
+    "derive_seed",
+    "percentile",
+]

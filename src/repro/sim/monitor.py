@@ -1,0 +1,159 @@
+"""Lightweight measurement probes for simulation components.
+
+The paper's analysis pipeline is built on event logs; these probes are the
+in-simulation complement: counters, time-series gauges and duration
+histogram summaries that components update as they run and that the
+framework's analysis module reads afterwards.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.sim.core import Environment
+
+
+class Counter:
+    """A monotonically increasing named counter."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Counter({self.name}={self.value})"
+
+
+class TimeSeries:
+    """Samples of (time, value) pairs, e.g. queue length over time."""
+
+    def __init__(self, env: Environment, name: str):
+        self.env = env
+        self.name = name
+        self.samples: list[tuple[float, float]] = []
+
+    def record(self, value: float) -> None:
+        self.samples.append((self.env.now, value))
+
+    def values(self) -> list[float]:
+        return [v for _, v in self.samples]
+
+    def mean(self) -> float:
+        vals = self.values()
+        return sum(vals) / len(vals) if vals else float("nan")
+
+    def time_weighted_mean(self) -> float:
+        """Mean weighted by how long each value was held."""
+        if len(self.samples) < 2:
+            return self.mean()
+        total = 0.0
+        span = self.samples[-1][0] - self.samples[0][0]
+        if span <= 0:
+            return self.mean()
+        for (t0, v0), (t1, _v1) in zip(self.samples, self.samples[1:]):
+            total += v0 * (t1 - t0)
+        return total / span
+
+
+@dataclass
+class SummaryStats:
+    """Distribution summary — the data behind one violin in Fig. 6."""
+
+    count: int
+    mean: float
+    stdev: float
+    minimum: float
+    p25: float
+    median: float
+    p75: float
+    maximum: float
+
+    @classmethod
+    def from_values(cls, values: Iterable[float]) -> "SummaryStats":
+        vals = sorted(values)
+        n = len(vals)
+        if n == 0:
+            nan = float("nan")
+            return cls(0, nan, nan, nan, nan, nan, nan, nan)
+        mean = sum(vals) / n
+        var = sum((v - mean) ** 2 for v in vals) / n if n > 1 else 0.0
+        return cls(
+            count=n,
+            mean=mean,
+            stdev=math.sqrt(var),
+            minimum=vals[0],
+            p25=percentile(vals, 25.0),
+            median=percentile(vals, 50.0),
+            p75=percentile(vals, 75.0),
+            maximum=vals[-1],
+        )
+
+
+def percentile(sorted_values: list[float], pct: float) -> float:
+    """Linear-interpolation percentile of an already sorted list."""
+    if not sorted_values:
+        return float("nan")
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    rank = (pct / 100.0) * (len(sorted_values) - 1)
+    low = int(math.floor(rank))
+    high = int(math.ceil(rank))
+    if low == high:
+        return sorted_values[low]
+    frac = rank - low
+    return sorted_values[low] * (1 - frac) + sorted_values[high] * frac
+
+
+class DurationHistogram:
+    """Collects durations and summarises them."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.durations: list[float] = []
+
+    def observe(self, duration: float) -> None:
+        self.durations.append(duration)
+
+    def summary(self) -> SummaryStats:
+        return SummaryStats.from_values(self.durations)
+
+
+@dataclass
+class ProbeSet:
+    """A named bundle of probes owned by one component."""
+
+    env: Environment
+    prefix: str
+    counters: dict[str, Counter] = field(default_factory=dict)
+    series: dict[str, TimeSeries] = field(default_factory=dict)
+    histograms: dict[str, DurationHistogram] = field(default_factory=dict)
+
+    def counter(self, name: str) -> Counter:
+        probe = self.counters.get(name)
+        if probe is None:
+            probe = Counter(f"{self.prefix}.{name}")
+            self.counters[name] = probe
+        return probe
+
+    def time_series(self, name: str) -> TimeSeries:
+        probe = self.series.get(name)
+        if probe is None:
+            probe = TimeSeries(self.env, f"{self.prefix}.{name}")
+            self.series[name] = probe
+        return probe
+
+    def histogram(self, name: str) -> DurationHistogram:
+        probe = self.histograms.get(name)
+        if probe is None:
+            probe = DurationHistogram(f"{self.prefix}.{name}")
+            self.histograms[name] = probe
+        return probe
+
+    def counter_value(self, name: str, default: int = 0) -> int:
+        probe = self.counters.get(name)
+        return probe.value if probe is not None else default

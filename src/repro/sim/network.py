@@ -1,0 +1,133 @@
+"""Simulated network: hosts, links and latency-delayed message delivery.
+
+The paper's testbed is five machines on a LAN with an *enforced* 200 ms
+round-trip latency between any pair (``tc netem``-style).  We model that as a
+full mesh with a uniform one-way delay of ``rtt / 2`` plus optional jitter.
+Processes co-located on the same host communicate with zero network delay,
+mirroring the paper's production-style deployment where the relayer talks to
+validators through local endpoints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.errors import SimulationError
+from repro.sim.core import Environment
+from repro.sim.resources import Store
+from repro.sim.rng import RngRegistry
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """One-way delivery characteristics between a pair of hosts."""
+
+    latency: float  # seconds, one-way
+    jitter: float = 0.0  # uniform +/- seconds added to each delivery
+    loss: float = 0.0  # probability a message is silently dropped
+
+
+@dataclass
+class Host:
+    """A machine in the testbed.  Components attach mailboxes to it."""
+
+    name: str
+    mailboxes: dict[str, Store] = field(default_factory=dict)
+
+    def mailbox(self, env: Environment, service: str) -> Store:
+        """Return (creating on demand) the inbound queue for ``service``."""
+        box = self.mailboxes.get(service)
+        if box is None:
+            box = Store(env)
+            self.mailboxes[service] = box
+        return box
+
+
+class Network:
+    """A mesh of hosts with per-pair one-way delays.
+
+    ``default_rtt`` applies to any pair without an explicit link; hosts
+    deliver to themselves with zero delay (local endpoints).
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        rng: RngRegistry,
+        default_rtt: float = 0.0,
+        default_jitter: float = 0.0,
+    ):
+        self.env = env
+        self._rng = rng.stream("network")
+        self.default = LinkSpec(latency=default_rtt / 2.0, jitter=default_jitter)
+        self.hosts: dict[str, Host] = {}
+        self._links: dict[tuple[str, str], LinkSpec] = {}
+        #: Total messages delivered / dropped, for probes.
+        self.delivered = 0
+        self.dropped = 0
+
+    # -- topology -----------------------------------------------------------
+
+    def add_host(self, name: str) -> Host:
+        if name in self.hosts:
+            raise SimulationError(f"duplicate host {name!r}")
+        host = Host(name)
+        self.hosts[name] = host
+        return host
+
+    def host(self, name: str) -> Host:
+        try:
+            return self.hosts[name]
+        except KeyError:
+            raise SimulationError(f"unknown host {name!r}") from None
+
+    def set_link(self, a: str, b: str, spec: LinkSpec) -> None:
+        """Override the link between ``a`` and ``b`` (both directions)."""
+        self._links[(a, b)] = spec
+        self._links[(b, a)] = spec
+
+    def link(self, src: str, dst: str) -> LinkSpec:
+        if src == dst:
+            return LinkSpec(latency=0.0)
+        return self._links.get((src, dst), self.default)
+
+    # -- delivery -----------------------------------------------------------
+
+    def delay(self, src: str, dst: str) -> float:
+        """Sample the one-way delay for a message from ``src`` to ``dst``."""
+        spec = self.link(src, dst)
+        if spec.jitter:
+            return max(0.0, spec.latency + self._rng.uniform(-spec.jitter, spec.jitter))
+        return spec.latency
+
+    def send(
+        self,
+        src: str,
+        dst: str,
+        service: str,
+        payload: Any,
+        on_delivery: Optional[Callable[[Any], None]] = None,
+    ) -> None:
+        """Deliver ``payload`` into ``dst``'s ``service`` mailbox after the
+        link delay.  ``on_delivery`` (if given) runs instead of the mailbox.
+        """
+        spec = self.link(src, dst)
+        if spec.loss and self._rng.random() < spec.loss:
+            self.dropped += 1
+            return
+        delay = self.delay(src, dst)
+        dst_host = self.host(dst)
+
+        def deliver() -> None:
+            self.delivered += 1
+            if on_delivery is not None:
+                on_delivery(payload)
+            else:
+                dst_host.mailbox(self.env, service).put(payload)
+
+        self.env.schedule_callback(delay, deliver)
+
+    def rpc_round_trip(self, src: str, dst: str) -> float:
+        """Sampled round-trip delay for a request/response exchange."""
+        return self.delay(src, dst) + self.delay(dst, src)

@@ -1,0 +1,188 @@
+"""Queued resources and stores for the simulation kernel.
+
+:class:`Resource` models a server with fixed concurrency and a FIFO queue —
+this is exactly how we model Tendermint's *serial* RPC endpoint (capacity 1),
+the mechanism behind the paper's main bottleneck finding.
+
+:class:`Store` models an unbounded or bounded FIFO of items — used for
+mailboxes, mempools and worker task queues.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Generator, Optional
+
+from repro.errors import SimulationError
+from repro.sim.core import Environment, Event
+
+
+class Request(Event):
+    """A pending claim on a :class:`Resource` slot."""
+
+    __slots__ = ("resource",)
+
+    def __init__(self, resource: "Resource"):
+        super().__init__(resource.env)
+        self.resource = resource
+
+    def cancel(self) -> None:
+        """Withdraw the request; frees the slot if it was already granted."""
+        if self.triggered and not self.cancelled:
+            # Slot already granted: give it back.
+            self.resource.release(self)
+        super().cancel()
+
+
+class Resource:
+    """A server with ``capacity`` concurrent slots and a FIFO wait queue.
+
+    Usage inside a process::
+
+        req = resource.request()
+        yield req
+        try:
+            yield env.timeout(service_time)
+        finally:
+            resource.release(req)
+    """
+
+    def __init__(self, env: Environment, capacity: int = 1):
+        if capacity < 1:
+            raise SimulationError(f"resource capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self._users: set[Request] = set()
+        self._queue: Deque[Request] = deque()
+        #: Total number of requests ever granted (for utilisation probes).
+        self.grants = 0
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently in use."""
+        return len(self._users)
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for a slot."""
+        return sum(1 for r in self._queue if not r.cancelled)
+
+    def request(self) -> Request:
+        req = Request(self)
+        if len(self._users) < self.capacity:
+            self._grant(req)
+        else:
+            self._queue.append(req)
+        return req
+
+    def release(self, request: Request) -> None:
+        """Return a slot and wake the next queued request, if any."""
+        self._users.discard(request)
+        self._dispatch()
+
+    def _grant(self, req: Request) -> None:
+        self._users.add(req)
+        self.grants += 1
+        req.succeed(self)
+
+    def _dispatch(self) -> None:
+        while self._queue and len(self._users) < self.capacity:
+            req = self._queue.popleft()
+            if req.cancelled:
+                continue
+            self._grant(req)
+
+    def serve(self, service_time: float) -> Generator[Event, Any, None]:
+        """Convenience process body: queue, hold a slot for ``service_time``.
+
+        Yield from this inside another process::
+
+            yield from resource.serve(0.005)
+        """
+        req = self.request()
+        yield req
+        try:
+            yield self.env.timeout(service_time)
+        finally:
+            self.release(req)
+
+
+class StorePut(Event):
+    __slots__ = ("item",)
+
+    def __init__(self, env: Environment, item: Any):
+        super().__init__(env)
+        self.item = item
+
+
+class StoreGet(Event):
+    __slots__ = ()
+
+
+class Store:
+    """A FIFO buffer of items with optional capacity.
+
+    ``put`` blocks when the store is full; ``get`` blocks when it is empty.
+    """
+
+    def __init__(self, env: Environment, capacity: float = float("inf")):
+        if capacity <= 0:
+            raise SimulationError(f"store capacity must be > 0, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.items: Deque[Any] = deque()
+        self._putters: Deque[StorePut] = deque()
+        self._getters: Deque[StoreGet] = deque()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def put(self, item: Any) -> StorePut:
+        event = StorePut(self.env, item)
+        self._putters.append(event)
+        self._dispatch()
+        return event
+
+    def get(self) -> StoreGet:
+        event = StoreGet(self.env)
+        self._getters.append(event)
+        self._dispatch()
+        return event
+
+    def try_put(self, item: Any) -> bool:
+        """Non-blocking put; returns False when the store is full."""
+        if len(self.items) + self._live_putters() >= self.capacity:
+            return False
+        self.put(item)
+        return True
+
+    def try_get(self) -> Optional[Any]:
+        """Non-blocking get; returns None when the store is empty."""
+        if not self.items:
+            return None
+        event = self.get()
+        # With items available the get triggers synchronously.
+        return event.value
+
+    def _live_putters(self) -> int:
+        return sum(1 for p in self._putters if not p.cancelled)
+
+    def _dispatch(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            # Admit queued putters while there is capacity.
+            while self._putters and len(self.items) < self.capacity:
+                putter = self._putters.popleft()
+                if putter.cancelled:
+                    continue
+                self.items.append(putter.item)
+                putter.succeed()
+                progressed = True
+            # Satisfy queued getters while there are items.
+            while self._getters and self.items:
+                getter = self._getters.popleft()
+                if getter.cancelled:
+                    continue
+                getter.succeed(self.items.popleft())
+                progressed = True

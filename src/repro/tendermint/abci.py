@@ -1,0 +1,168 @@
+"""ABCI — the Application BlockChain Interface.
+
+Tendermint is application-agnostic: transaction contents are validated and
+executed by the application behind this interface.  The shapes mirror the
+real ABCI: ``CheckTx`` gates the mempool, the ``BeginBlock → DeliverTx* →
+EndBlock → Commit`` sequence executes a decided block, and responses carry
+ABCI codes, gas figures and events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Protocol, Sequence
+
+from repro.tendermint.types import Evidence, Header, TxLike
+
+
+@dataclass(frozen=True)
+class AbciEvent:
+    """A typed event emitted during transaction execution.
+
+    ``type`` follows the Cosmos convention (``send_packet``,
+    ``write_acknowledgement``, ...); attributes are flat key/values; and
+    ``size_bytes`` is the indexed footprint used by the RPC/WebSocket cost
+    model (the paper's bottleneck is serialising exactly this data).
+    """
+
+    type: str
+    attributes: tuple[tuple[str, Any], ...]
+    size_bytes: int = 0
+
+    def attr(self, key: str, default: Any = None) -> Any:
+        for k, v in self.attributes:
+            if k == key:
+                return v
+        return default
+
+
+@dataclass
+class ResponseCheckTx:
+    """Outcome of mempool admission."""
+
+    code: int = 0
+    log: str = ""
+    gas_wanted: int = 0
+    codespace: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.code == 0
+
+
+@dataclass
+class ResponseDeliverTx:
+    """Outcome of executing one transaction in a block."""
+
+    code: int = 0
+    log: str = ""
+    gas_wanted: int = 0
+    gas_used: int = 0
+    events: list[AbciEvent] = field(default_factory=list)
+    codespace: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.code == 0
+
+    @property
+    def events_size_bytes(self) -> int:
+        return sum(e.size_bytes for e in self.events)
+
+
+@dataclass
+class ResponseEndBlock:
+    """EndBlock may emit events and adjust the validator set (unused here)."""
+
+    events: list[AbciEvent] = field(default_factory=list)
+
+
+class Application(Protocol):
+    """What the consensus engine requires of an ABCI application."""
+
+    def check_tx(self, tx: TxLike) -> ResponseCheckTx:
+        """Stateless-ish admission check run by the mempool."""
+        ...
+
+    def begin_block(self, header: Header, evidence: Sequence[Evidence]) -> None:
+        """Start executing a decided block."""
+        ...
+
+    def deliver_tx(self, tx: TxLike) -> ResponseDeliverTx:
+        """Execute one transaction against pending state."""
+        ...
+
+    def end_block(self, height: int) -> ResponseEndBlock:
+        ...
+
+    def commit(self) -> bytes:
+        """Persist pending state; returns the new app hash."""
+        ...
+
+
+@dataclass
+class ExecutedTx:
+    """A transaction paired with its DeliverTx result (indexer record)."""
+
+    tx: TxLike
+    height: int
+    index: int
+    result: ResponseDeliverTx
+
+    @property
+    def hash(self) -> bytes:
+        return self.tx.hash
+
+    @property
+    def ok(self) -> bool:
+        return self.result.ok
+
+
+@dataclass
+class ExecutedBlock:
+    """A committed block plus everything the application produced for it."""
+
+    height: int
+    time: float
+    txs: list[ExecutedTx]
+    end_block_events: list[AbciEvent]
+    app_hash: bytes
+    execution_seconds: float
+
+    @property
+    def message_count(self) -> int:
+        return sum(getattr(t.tx, "msg_count", 1) for t in self.txs)
+
+    def events_size_bytes(self) -> int:
+        total = sum(t.result.events_size_bytes for t in self.txs)
+        total += sum(e.size_bytes for e in self.end_block_events)
+        return total
+
+    def events_of_type(self, event_type: str) -> list[AbciEvent]:
+        found: list[AbciEvent] = []
+        for executed in self.txs:
+            if not executed.ok:
+                continue
+            found.extend(
+                e for e in executed.result.events if e.type == event_type
+            )
+        found.extend(e for e in self.end_block_events if e.type == event_type)
+        return found
+
+    def count_events_of_type(self, event_type: str) -> int:
+        return len(self.events_of_type(event_type))
+
+
+def tx_hash_hex(tx: TxLike) -> str:
+    return tx.hash.hex().upper()
+
+
+def find_executed(
+    blocks: Sequence[ExecutedBlock], tx_hash: bytes
+) -> Optional[ExecutedTx]:
+    """Linear search helper used by tests (the indexer is the fast path)."""
+    for block in blocks:
+        for executed in block.txs:
+            if executed.hash == tx_hash:
+                return executed
+    return None

@@ -1,0 +1,317 @@
+"""Merkle commitments: RFC-6962-style trees and a proved key/value store.
+
+Two structures back the chain's commitments:
+
+* :func:`simple_hash_from_byte_slices` — the tree Tendermint uses for the
+  transaction hash in the block header (leaf/inner domain separation as in
+  RFC 6962).
+* :class:`ProvableStore` — a sorted key/value map with membership and
+  non-membership proofs, standing in for the IAVL tree that Cosmos chains
+  commit to via ``app_hash``.  IBC light clients verify packet commitments
+  against this root (ICS-23 semantics).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+from repro.tendermint.crypto import sha256
+
+_LEAF_PREFIX = b"\x00"
+_INNER_PREFIX = b"\x01"
+
+#: Root of an empty tree, per Tendermint convention.
+EMPTY_HASH = sha256(b"")
+
+
+def _leaf_hash(data: bytes) -> bytes:
+    return sha256(_LEAF_PREFIX + data)
+
+
+def _inner_hash(left: bytes, right: bytes) -> bytes:
+    return sha256(_INNER_PREFIX + left + right)
+
+
+def _split_point(length: int) -> int:
+    """Largest power of two strictly less than ``length``."""
+    if length < 1:
+        raise ValueError("split point undefined for length < 1")
+    split = 1
+    while split * 2 < length:
+        split *= 2
+    return split
+
+
+def simple_hash_from_byte_slices(items: Sequence[bytes]) -> bytes:
+    """Tendermint's SimpleMerkleRoot over a list of byte slices."""
+    if len(items) == 0:
+        return EMPTY_HASH
+    if len(items) == 1:
+        return _leaf_hash(items[0])
+    split = _split_point(len(items))
+    left = simple_hash_from_byte_slices(items[:split])
+    right = simple_hash_from_byte_slices(items[split:])
+    return _inner_hash(left, right)
+
+
+@dataclass(frozen=True)
+class ProofNode:
+    """One step in an audit path: a sibling hash and its side."""
+
+    sibling: bytes
+    sibling_on_left: bool
+
+
+@dataclass(frozen=True)
+class MembershipProof:
+    """Audit path proving ``key -> value`` is in the tree with some root."""
+
+    key: bytes
+    value_hash: bytes
+    path: tuple[ProofNode, ...]
+
+    def compute_root(self) -> bytes:
+        node = _leaf_hash(self.key + b"=" + self.value_hash)
+        for step in self.path:
+            if step.sibling_on_left:
+                node = _inner_hash(step.sibling, node)
+            else:
+                node = _inner_hash(node, step.sibling)
+        return node
+
+
+@dataclass(frozen=True)
+class NonMembershipProof:
+    """Proof that ``key`` is absent: membership proofs of its neighbours.
+
+    With leaves sorted by key, a key is absent iff its would-be left and
+    right neighbours are adjacent in the tree.  Edge positions use a single
+    neighbour proof plus the boundary flag.
+    """
+
+    key: bytes
+    left: Optional[MembershipProof]
+    right: Optional[MembershipProof]
+    left_index: Optional[int]
+    right_index: Optional[int]
+
+    def consistent(self) -> bool:
+        """Structural sanity: the claimed neighbours bracket the key."""
+        if self.left is not None and self.left.key >= self.key:
+            return False
+        if self.right is not None and self.right.key <= self.key:
+            return False
+        if self.left is None and self.right is None:
+            # Absent from an empty tree.
+            return self.left_index is None and self.right_index is None
+        if (
+            self.left_index is not None
+            and self.right_index is not None
+            and self.right_index != self.left_index + 1
+        ):
+            return False
+        return True
+
+
+class ProvableStore:
+    """A sorted key/value map committed to by a merkle root.
+
+    The root is recomputed lazily per block (``commit()``); proofs are
+    generated against the last committed snapshot, matching how a chain
+    serves proofs for height ``h`` from the state committed at ``h``.
+    """
+
+    def __init__(self) -> None:
+        self._data: dict[bytes, bytes] = {}
+        self._committed_keys: list[bytes] = []
+        self._committed: dict[bytes, bytes] = {}
+        self._root: bytes = EMPTY_HASH
+        self._dirty = False
+        # Memoized merkle internals for the committed snapshot: leaf hashes
+        # and subtree roots keyed by (start, end) ranges.  Computed once per
+        # commit so that each proof is O(log n) instead of O(n).
+        self._leaf_hashes: list[bytes] = []
+        self._subtree_roots: dict[tuple[int, int], bytes] = {}
+        self._key_index: dict[bytes, int] = {}
+        #: Optional transaction journal (see :mod:`repro.cosmos.journal`).
+        self.journal = None
+
+    # -- mutation (pending state) -------------------------------------------
+
+    def set(self, key: bytes, value: bytes) -> None:
+        if self.journal is not None:
+            previous = self._data.get(key)
+            if previous is None:
+                self.journal.record(lambda: self._data.pop(key, None))
+            elif previous != value:
+                self.journal.record(
+                    lambda k=key, v=previous: self._data.__setitem__(k, v)
+                )
+        self._data[key] = value
+        self._dirty = True
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        return self._data.get(key)
+
+    def delete(self, key: bytes) -> None:
+        if key in self._data:
+            if self.journal is not None:
+                previous = self._data[key]
+                self.journal.record(
+                    lambda k=key, v=previous: self._data.__setitem__(k, v)
+                )
+            del self._data[key]
+            self._dirty = True
+
+    def has(self, key: bytes) -> bool:
+        return key in self._data
+
+    def keys_with_prefix(self, prefix: bytes) -> list[bytes]:
+        return sorted(k for k in self._data if k.startswith(prefix))
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    # -- commitment ----------------------------------------------------------
+
+    def commit(self) -> bytes:
+        """Snapshot the pending state and return the new root."""
+        self._committed = dict(self._data)
+        self._committed_keys = sorted(self._committed)
+        self._key_index = {k: i for i, k in enumerate(self._committed_keys)}
+        self._leaf_hashes = [
+            _leaf_hash(k + b"=" + sha256(self._committed[k]))
+            for k in self._committed_keys
+        ]
+        self._subtree_roots = {}
+        if self._leaf_hashes:
+            self._root = self._subtree_root(0, len(self._leaf_hashes))
+        else:
+            self._root = EMPTY_HASH
+        self._dirty = False
+        return self._root
+
+    def commit_cheap(self, root: bytes) -> bytes:
+        """Commit without rebuilding the merkle tree (stub-proof mode).
+
+        Used by very large benchmark sweeps where per-block tree rebuilds
+        would dominate host CPU.  ``prove``/``prove_absence`` must not be
+        called afterwards (stub proofs are used instead); the provided
+        ``root`` becomes the app hash that stub proofs tag themselves with.
+        """
+        self._root = root
+        self._dirty = False
+        return self._root
+
+    @property
+    def root(self) -> bytes:
+        """Root of the last committed snapshot."""
+        return self._root
+
+    def _subtree_root(self, start: int, end: int) -> bytes:
+        """Root of leaves [start, end), memoized for the committed snapshot."""
+        if end - start == 1:
+            return self._leaf_hashes[start]
+        cached = self._subtree_roots.get((start, end))
+        if cached is not None:
+            return cached
+        split = _split_point(end - start)
+        root = _inner_hash(
+            self._subtree_root(start, start + split),
+            self._subtree_root(start + split, end),
+        )
+        self._subtree_roots[(start, end)] = root
+        return root
+
+    # -- proofs (against the committed snapshot) ------------------------------
+
+    def prove(self, key: bytes) -> MembershipProof:
+        """Membership proof for ``key`` in the committed snapshot."""
+        index = self._key_index.get(key)
+        if index is None:
+            raise KeyError(f"key {key!r} not in committed state")
+        path = self._audit_path(index)
+        return MembershipProof(
+            key=key,
+            value_hash=sha256(self._committed[key]),
+            path=tuple(path),
+        )
+
+    def prove_absence(self, key: bytes) -> NonMembershipProof:
+        """Non-membership proof for ``key`` in the committed snapshot."""
+        if key in self._committed:
+            raise KeyError(f"key {key!r} IS in committed state")
+        idx = bisect.bisect_left(self._committed_keys, key)
+        left = right = None
+        left_index = right_index = None
+        if idx > 0:
+            left_index = idx - 1
+            left = self.prove(self._committed_keys[left_index])
+        if idx < len(self._committed_keys):
+            right_index = idx
+            right = self.prove(self._committed_keys[right_index])
+        return NonMembershipProof(
+            key=key,
+            left=left,
+            right=right,
+            left_index=left_index,
+            right_index=right_index,
+        )
+
+    def _audit_path(self, index: int) -> list[ProofNode]:
+        path: list[ProofNode] = []
+
+        def walk(start: int, end: int, target: int) -> None:
+            if end - start == 1:
+                return
+            split = _split_point(end - start)
+            if target < start + split:
+                walk(start, start + split, target)
+                path.append(
+                    ProofNode(
+                        sibling=self._subtree_root(start + split, end),
+                        sibling_on_left=False,
+                    )
+                )
+            else:
+                walk(start + split, end, target)
+                path.append(
+                    ProofNode(
+                        sibling=self._subtree_root(start, start + split),
+                        sibling_on_left=True,
+                    )
+                )
+
+        walk(0, len(self._leaf_hashes), index)
+        return path
+
+
+def verify_membership(root: bytes, proof: MembershipProof, value: bytes) -> bool:
+    """Check a membership proof against a root and an expected value."""
+    if proof.value_hash != sha256(value):
+        return False
+    return proof.compute_root() == root
+
+
+def verify_non_membership(root: bytes, proof: NonMembershipProof) -> bool:
+    """Check a non-membership proof against a root.
+
+    Verifies both neighbour membership proofs and their bracketing of the
+    absent key.  (Adjacency of audit-path indices is asserted structurally
+    via :meth:`NonMembershipProof.consistent`.)
+    """
+    if not proof.consistent():
+        return False
+    if proof.left is None and proof.right is None:
+        return root == EMPTY_HASH
+    for neighbour in (proof.left, proof.right):
+        if neighbour is not None and neighbour.compute_root() != root:
+            return False
+    return True
+
+
+def merkle_root_of_hashes(hashes: Iterable[bytes]) -> bytes:
+    """Convenience: SimpleMerkleRoot over pre-hashed items."""
+    return simple_hash_from_byte_slices(list(hashes))

@@ -1,0 +1,500 @@
+"""Chains and full nodes: wiring state, consensus, RPC and WebSocket.
+
+A :class:`Chain` owns the canonical state (application, mempool, stores,
+consensus engine).  A :class:`ChainNode` is one machine's full node serving
+that chain over RPC + WebSocket — the paper's deployment runs one full node
+of *each* chain on every machine, and clients (Hermes, the CLI) talk to
+their machine-local node.  Each node has its own serial RPC queue, which is
+why two relayers on different machines do not contend on RPC but still race
+on the chain itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro import calibration as cal
+from repro.cosmos.app import GaiaApp
+from repro.errors import RpcError, SimulationError
+from repro.ibc.module import CounterpartyChainInfo
+from repro.sim.core import Environment
+from repro.sim.network import Network
+from repro.sim.rng import RngRegistry
+from repro.tendermint.consensus import (
+    CommittedBlockInfo,
+    ConsensusConfig,
+    ConsensusEngine,
+)
+from repro.tendermint.mempool import Mempool
+from repro.tendermint.rpc import RpcServer
+from repro.tendermint.store import BlockStore, TxIndexer
+from repro.tendermint.validator import ValidatorSet
+from repro.tendermint.websocket import WebSocketServer
+
+#: Event kinds whose indexed entries a packet-data pull must scan, and the
+#: calibration attribute holding the per-event scan cost.
+_SCAN_COST_ATTR = {
+    "send_packet": "rpc_scan_seconds_per_transfer_event",
+    "write_acknowledgement": "rpc_scan_seconds_per_recv_event",
+    "acknowledge_packet": "rpc_scan_seconds_per_ack_event",
+}
+
+
+@dataclass
+class BroadcastResult:
+    code: int
+    log: str
+    tx_hash: bytes
+
+    @property
+    def ok(self) -> bool:
+        return self.code == 0
+
+
+@dataclass
+class TxLookupResult:
+    found: bool
+    code: int = 0
+    log: str = ""
+    height: int = 0
+    gas_used: int = 0
+
+
+class Chain:
+    """One blockchain: canonical state plus its validator/simulation setup."""
+
+    def __init__(
+        self,
+        env: Environment,
+        network: Network,
+        chain_id: str,
+        validator_hosts: list[str],
+        rng: RngRegistry,
+        calibration: Optional[cal.Calibration] = None,
+        proof_mode: str = "merkle",
+    ):
+        if not validator_hosts:
+            raise SimulationError("a chain needs at least one validator host")
+        self.env = env
+        self.network = network
+        self.chain_id = chain_id
+        self.cal = calibration or cal.DEFAULT_CALIBRATION
+        self.rng = rng
+        self._gossip_rng = rng.stream(f"gossip/{chain_id}")
+
+        names = [f"{chain_id}-val{i}" for i in range(len(validator_hosts))]
+        self.validators = ValidatorSet.with_names(names)
+        self.validator_hosts = dict(zip(names, validator_hosts))
+
+        self.app = GaiaApp(
+            chain_id,
+            calibration=self.cal,
+            proof_mode=proof_mode,
+            rng=rng.stream(f"gas/{chain_id}"),
+        )
+        self.mempool = Mempool(self.app, max_txs=self.cal.mempool_max_txs)
+        self.block_store = BlockStore()
+        self.indexer = TxIndexer()
+        self.engine = ConsensusEngine(
+            env=env,
+            network=network,
+            chain_id=chain_id,
+            validators=self.validators,
+            validator_hosts=self.validator_hosts,
+            app=self.app,
+            mempool=self.mempool,
+            block_store=self.block_store,
+            indexer=self.indexer,
+            rng=rng,
+            config=ConsensusConfig.from_calibration(self.cal),
+            primary_host=validator_hosts[0],
+        )
+        self.nodes: dict[str, ChainNode] = {}
+        self.engine.subscribe(self._fanout_block)
+
+    # ------------------------------------------------------------------
+
+    def add_node(self, host: str) -> "ChainNode":
+        if host in self.nodes:
+            return self.nodes[host]
+        node = ChainNode(self, host)
+        self.nodes[host] = node
+        return node
+
+    def node(self, host: str) -> "ChainNode":
+        node = self.nodes.get(host)
+        if node is None:
+            raise SimulationError(f"chain {self.chain_id} has no node on {host!r}")
+        return node
+
+    def start(self) -> None:
+        self.engine.start()
+
+    def stop(self) -> None:
+        self.engine.stop()
+
+    def counterparty_info(self) -> CounterpartyChainInfo:
+        return CounterpartyChainInfo(
+            chain_id=self.chain_id, validator_set=self.validators
+        )
+
+    @property
+    def height(self) -> int:
+        return self.engine.height
+
+    def _fanout_block(self, info: CommittedBlockInfo) -> None:
+        for node in self.nodes.values():
+            node.websocket.publish_block(info.executed)
+
+    def gossip_delay(self, from_host: str) -> float:
+        """Delay until a tx submitted at ``from_host`` reaches proposers."""
+        validator_host = self._gossip_rng.choice(
+            list(self.validator_hosts.values())
+        )
+        return self.network.delay(from_host, validator_host) + 0.05
+
+
+class ChainNode:
+    """A full node on one machine: serial RPC server + WebSocket server."""
+
+    def __init__(self, chain: Chain, host: str):
+        self.chain = chain
+        self.host = host
+        self.rpc = RpcServer(
+            chain.env, chain.network, host, calibration=chain.cal
+        )
+        self.websocket = WebSocketServer(
+            chain.env, chain.network, host, chain.chain_id, calibration=chain.cal
+        )
+        self._register_handlers()
+
+    # ------------------------------------------------------------------
+    # RPC handlers: (params) -> (service_seconds, result_fn)
+    # ------------------------------------------------------------------
+
+    def _register_handlers(self) -> None:
+        register = self.rpc.register
+        register("status", self._h_status)
+        register("account", self._h_account)
+        register("broadcast_tx_sync", self._h_broadcast)
+        register("tx", self._h_tx_lookup)
+        register("pull_packet_data", self._h_pull_packet_data)
+        register("prove_packets", self._h_prove_packets)
+        register("signed_header", self._h_signed_header)
+        register("unreceived_packets", self._h_unreceived_packets)
+        register("unreceived_acks", self._h_unreceived_acks)
+        register("commitments", self._h_commitments)
+        register("prove_unreceived", self._h_prove_unreceived)
+        register("packets_by_sequence", self._h_packets_by_sequence)
+        register("acks_by_sequence", self._h_acks_by_sequence)
+        register("block_info", self._h_block_info)
+        register("balance", self._h_balance)
+
+    def _h_status(self, params: dict[str, Any]):
+        def result():
+            return {
+                "chain_id": self.chain.chain_id,
+                "height": self.chain.engine.height,
+                "time": self.chain.env.now,
+            }
+
+        return self.chain.cal.rpc_base_seconds, result
+
+    def _h_account(self, params: dict[str, Any]):
+        address = params["address"]
+
+        def result():
+            return {"sequence": self.chain.app.account_sequence(address)}
+
+        return self.chain.cal.rpc_base_seconds, result
+
+    def _h_balance(self, params: dict[str, Any]):
+        address, denom = params["address"], params["denom"]
+
+        def result():
+            return {"balance": self.chain.app.bank.balance(address, denom)}
+
+        return self.chain.cal.rpc_base_seconds, result
+
+    def _h_broadcast(self, params: dict[str, Any]):
+        tx = params["tx"]
+        c = self.chain.cal
+        service = (
+            c.rpc_broadcast_base_seconds
+            + c.rpc_broadcast_seconds_per_msg * getattr(tx, "msg_count", 1)
+        )
+
+        def result():
+            response = self.chain.mempool.add(
+                tx,
+                now=self.chain.env.now,
+                gossip_delay=self.chain.gossip_delay(self.host),
+            )
+            return BroadcastResult(
+                code=response.code, log=response.log, tx_hash=tx.hash
+            )
+
+        return service, result
+
+    def _h_tx_lookup(self, params: dict[str, Any]):
+        tx_hash = params["tx_hash"]
+
+        def result():
+            executed = self.chain.indexer.get_tx(tx_hash)
+            if executed is None:
+                return TxLookupResult(found=False)
+            return TxLookupResult(
+                found=True,
+                code=executed.result.code,
+                log=executed.result.log,
+                height=executed.height,
+                gas_used=executed.result.gas_used,
+            )
+
+        return self.chain.cal.rpc_tx_lookup_seconds, result
+
+    def _h_pull_packet_data(self, params: dict[str, Any]):
+        """THE bottleneck query: packet data + proofs for one transaction.
+
+        Service time scales with the number of same-kind events indexed at
+        the transaction's height — the tx_search-style scan the paper blames
+        for 69 % of large-batch processing time.
+        """
+        height = params["height"]
+        tx_hash = params["tx_hash"]
+        kind = params["kind"]
+        cost_attr = _SCAN_COST_ATTR.get(kind)
+        if cost_attr is None:
+            raise RpcError(f"cannot pull packet data for event kind {kind!r}")
+        per_event = getattr(self.chain.cal, cost_attr)
+        events_at_height = self.chain.indexer.events_at(height).get(kind, 0)
+        # Failed transactions (e.g. a losing relayer's redundant packets)
+        # are indexed too and inflate the scan.
+        failed = self.chain.indexer.failed_message_count_at(height)
+        service = self.chain.cal.rpc_base_seconds + per_event * (
+            events_at_height + failed
+        )
+
+        def result():
+            return self._collect_packet_data(height, tx_hash, kind)
+
+        return service, result
+
+    def _collect_packet_data(
+        self, height: int, tx_hash: bytes, kind: str
+    ) -> dict[str, Any]:
+        executed = self.chain.indexer.get_tx(tx_hash)
+        if executed is None:
+            return {"entries": []}
+        ibc = self.chain.app.ibc
+        entries: list[dict[str, Any]] = []
+        for event in executed.result.events:
+            if event.type != kind:
+                continue
+            attrs = dict(event.attributes)
+            if attrs.get("packet_data") is None:
+                continue
+            entry: dict[str, Any] = {"attrs": attrs}
+            if kind == "write_acknowledgement":
+                port = attrs["packet_dst_port"]
+                channel = attrs["packet_dst_channel"]
+                seq = attrs["packet_sequence"]
+                entry["ack"] = ibc.acknowledgement_for(port, channel, seq)
+            entries.append(entry)
+        return {"entries": entries}
+
+    def _h_prove_packets(self, params: dict[str, Any]):
+        """Per-transaction proof fetch, served at one consistent height.
+
+        Mirrors Hermes's ``abci_query(prove=true)`` calls: the returned
+        proofs and the signed header come from the same committed state,
+        so a client update built from this response always verifies them.
+        """
+        port, channel = params["port"], params["channel"]
+        sequences = params["sequences"]
+        kind = params["kind"]  # "commitment" | "ack"
+        service = self.chain.cal.rpc_base_seconds + 2e-4 * len(sequences)
+
+        def result():
+            ibc = self.chain.app.ibc
+            header = self.chain.engine.latest_signed_header
+            proofs: dict[int, Any] = {}
+            for sequence in sequences:
+                if kind == "commitment":
+                    if ibc.has_commitment(port, channel, sequence):
+                        proofs[sequence] = ibc.prove_commitment(
+                            port, channel, sequence
+                        )
+                elif kind == "ack":
+                    if ibc.acknowledgement_for(port, channel, sequence) is not None:
+                        proofs[sequence] = ibc.prove_acknowledgement(
+                            port, channel, sequence
+                        )
+                else:
+                    raise RpcError(f"unknown proof kind {kind!r}")
+            return {
+                "proofs": proofs,
+                "signed_header": header,
+                "proof_height": header.height if header else 0,
+            }
+
+        return service, result
+
+    def _h_signed_header(self, params: dict[str, Any]):
+        def result():
+            return self.chain.engine.latest_signed_header
+
+        return self.chain.cal.rpc_base_seconds, result
+
+    def _h_unreceived_packets(self, params: dict[str, Any]):
+        port, channel = params["port"], params["channel"]
+        sequences = params["sequences"]
+        service = self.chain.cal.rpc_base_seconds + 2e-5 * len(sequences)
+
+        def result():
+            ibc = self.chain.app.ibc
+            return [
+                s for s in sequences if not ibc.has_receipt(port, channel, s)
+            ]
+
+        return service, result
+
+    def _h_unreceived_acks(self, params: dict[str, Any]):
+        """Sequences whose commitments still exist (acks not yet relayed)."""
+        port, channel = params["port"], params["channel"]
+        sequences = params["sequences"]
+        service = self.chain.cal.rpc_base_seconds + 2e-5 * len(sequences)
+
+        def result():
+            ibc = self.chain.app.ibc
+            return [s for s in sequences if ibc.has_commitment(port, channel, s)]
+
+        return service, result
+
+    def _h_commitments(self, params: dict[str, Any]):
+        port, channel = params["port"], params["channel"]
+
+        def result():
+            return self.chain.app.ibc.pending_commitments(port, channel)
+
+        pending = len(self.chain.app.ibc.pending_commitments(port, channel))
+        service = self.chain.cal.rpc_base_seconds + 1e-5 * pending
+        return service, result
+
+    def _h_prove_unreceived(self, params: dict[str, Any]):
+        port, channel = params["port"], params["channel"]
+        sequence = params["sequence"]
+        service = self.chain.cal.rpc_base_seconds + 0.002
+
+        def result():
+            ibc = self.chain.app.ibc
+            if ibc.has_receipt(port, channel, sequence):
+                return {"received": True, "proof": None, "signed_header": None}
+            return {
+                "received": False,
+                "proof": ibc.prove_unreceived(port, channel, sequence),
+                "signed_header": self.chain.engine.latest_signed_header,
+            }
+
+        return service, result
+
+    def _h_packets_by_sequence(self, params: dict[str, Any]):
+        """Packet-clearing fetch: reconstruct pending packets by sequence.
+
+        In the real system this is a tx_search over history, so the service
+        time uses the transfer-event scan cost per requested sequence.
+        """
+        port, channel = params["port"], params["channel"]
+        sequences = params["sequences"]
+        c = self.chain.cal
+        service = c.rpc_base_seconds + (
+            c.rpc_scan_seconds_per_transfer_event * 2 * len(sequences)
+        )
+
+        def result():
+            ibc = self.chain.app.ibc
+            header = self.chain.engine.latest_signed_header
+            entries = []
+            for sequence in sequences:
+                packet = ibc.sent_packet(port, channel, sequence)
+                if packet is None or not ibc.has_commitment(port, channel, sequence):
+                    continue
+                entries.append(
+                    {
+                        "attrs": {
+                            "packet_sequence": packet.sequence,
+                            "packet_src_port": packet.source_port,
+                            "packet_src_channel": packet.source_channel,
+                            "packet_dst_port": packet.destination_port,
+                            "packet_dst_channel": packet.destination_channel,
+                            "packet_data": packet.data,
+                            "packet_timeout_height": packet.timeout_height,
+                            "packet_timeout_timestamp": packet.timeout_timestamp,
+                        },
+                        "proof": ibc.prove_commitment(port, channel, sequence),
+                    }
+                )
+            return {
+                "entries": entries,
+                "signed_header": header,
+                "proof_height": header.height if header else 0,
+            }
+
+        return service, result
+
+    def _h_acks_by_sequence(self, params: dict[str, Any]):
+        """Ack-clearing fetch: written acknowledgements for given packets.
+
+        ``port``/``channel`` identify the *destination* end (where the
+        acks were written).  Costs scale like a recv-event history scan.
+        """
+        port, channel = params["port"], params["channel"]
+        sequences = params["sequences"]
+        c = self.chain.cal
+        service = c.rpc_base_seconds + (
+            c.rpc_scan_seconds_per_recv_event * len(sequences)
+        )
+
+        def result():
+            ibc = self.chain.app.ibc
+            acks = {}
+            for sequence in sequences:
+                ack = ibc.acknowledgement_for(port, channel, sequence)
+                if ack is not None:
+                    acks[sequence] = ack
+            return {"acks": acks}
+
+        return service, result
+
+    def _h_block_info(self, params: dict[str, Any]):
+        """Bulk per-height query used by the analysis tooling.
+
+        This is the query the paper's §V complains about: hundreds of
+        thousands of output lines per block, seconds of service time —
+        service scales with the full indexed event payload.
+        """
+        height = params["height"]
+        event_bytes = self.chain.indexer.event_bytes_at(height)
+        service = (
+            self.chain.cal.rpc_base_seconds
+            + self.chain.cal.rpc_seconds_per_response_byte * event_bytes
+        )
+
+        def result():
+            block = self.chain.block_store.block(height)
+            executed = self.chain.block_store.executed(height)
+            if block is None or executed is None:
+                return None
+            return {
+                "height": height,
+                "time": block.header.time,
+                "tx_hashes": [tx.hash for tx in block.data.txs],
+                "message_count": executed.message_count,
+                "event_bytes": event_bytes,
+                "tx_results": [
+                    (t.hash, t.result.code, t.result.gas_used) for t in executed.txs
+                ],
+            }
+
+        return service, result

@@ -1,0 +1,171 @@
+"""Tendermint WebSocket event subscriptions, with the 16 MB frame limit.
+
+Subscribers (relayer supervisors) receive a notification per committed
+block, carrying lightweight descriptors of that block's IBC events.  The
+*frame size* is computed from the full indexed event payload; when it
+exceeds ``websocket_max_frame_bytes`` the server fails the delivery and the
+subscription latches into an error state — Hermes logs this as ``Failed to
+collect events`` and, as the paper's §V experiment shows, never recovers
+for that subscription: the events of the oversized block are lost and (with
+``clear_interval=0``) so are all later packets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro import calibration as cal
+from repro.errors import WebSocketFrameTooLargeError
+from repro.sim.core import Environment
+from repro.sim.network import Network
+from repro.sim.resources import Store
+from repro.tendermint.abci import ExecutedBlock
+
+
+@dataclass
+class EventDescriptor:
+    """What a subscriber learns about one event from the notification."""
+
+    type: str
+    height: int
+    tx_hash: Optional[bytes]
+    attributes: dict[str, Any]
+
+
+@dataclass
+class BlockNotification:
+    """One WebSocket frame: NewBlock plus the block's events."""
+
+    chain_id: str
+    height: int
+    time: float
+    frame_bytes: int
+    events: list[EventDescriptor]
+    error: Optional[WebSocketFrameTooLargeError] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+@dataclass
+class Subscription:
+    """One client's subscription to a node's event stream."""
+
+    subscriber_host: str
+    queue: Store
+    event_types: Optional[set[str]] = None
+    failed: bool = False
+    delivered: int = 0
+    failures: int = 0
+
+
+class WebSocketServer:
+    """Per-node event server fed by the consensus engine."""
+
+    def __init__(
+        self,
+        env: Environment,
+        network: Network,
+        host: str,
+        chain_id: str,
+        calibration: Optional[cal.Calibration] = None,
+    ):
+        self.env = env
+        self.network = network
+        self.host = host
+        self.chain_id = chain_id
+        self.cal = calibration or cal.DEFAULT_CALIBRATION
+        self.subscriptions: list[Subscription] = []
+
+    def subscribe(
+        self,
+        subscriber_host: str,
+        event_types: Optional[set[str]] = None,
+    ) -> Subscription:
+        subscription = Subscription(
+            subscriber_host=subscriber_host,
+            queue=Store(self.env),
+            event_types=set(event_types) if event_types else None,
+        )
+        self.subscriptions.append(subscription)
+        return subscription
+
+    def unsubscribe(self, subscription: Subscription) -> None:
+        if subscription in self.subscriptions:
+            self.subscriptions.remove(subscription)
+
+    def resubscribe(self, subscription: Subscription) -> None:
+        """Clear a failed subscription's error latch (client reconnect)."""
+        subscription.failed = False
+
+    # ------------------------------------------------------------------
+
+    def publish_block(self, executed: ExecutedBlock) -> None:
+        """Called by the node for each committed block."""
+        descriptors: list[EventDescriptor] = []
+        frame_bytes = 200  # envelope
+        for item in executed.txs:
+            if not item.result.ok:
+                continue
+            for event in item.result.events:
+                frame_bytes += event.size_bytes
+                descriptors.append(
+                    EventDescriptor(
+                        type=event.type,
+                        height=executed.height,
+                        tx_hash=item.hash,
+                        attributes=dict(event.attributes),
+                    )
+                )
+        for subscription in self.subscriptions:
+            self._deliver(subscription, executed, descriptors, frame_bytes)
+
+    def _deliver(
+        self,
+        subscription: Subscription,
+        executed: ExecutedBlock,
+        descriptors: list[EventDescriptor],
+        frame_bytes: int,
+    ) -> None:
+        if subscription.failed:
+            # The paper's observation: after a frame failure the
+            # subscription stops yielding events entirely.
+            subscription.failures += 1
+            return
+        selected = [
+            d
+            for d in descriptors
+            if subscription.event_types is None or d.type in subscription.event_types
+        ]
+        if frame_bytes > self.cal.websocket_max_frame_bytes:
+            subscription.failed = True
+            subscription.failures += 1
+            notification = BlockNotification(
+                chain_id=self.chain_id,
+                height=executed.height,
+                time=executed.time,
+                frame_bytes=frame_bytes,
+                events=[],
+                error=WebSocketFrameTooLargeError(
+                    size=frame_bytes, limit=self.cal.websocket_max_frame_bytes
+                ),
+            )
+        else:
+            notification = BlockNotification(
+                chain_id=self.chain_id,
+                height=executed.height,
+                time=executed.time,
+                frame_bytes=frame_bytes,
+                events=selected,
+            )
+        delay = self.network.delay(self.host, subscription.subscriber_host)
+        # Large frames also take wire time (frame bytes / ~1 Gbps).
+        delay += frame_bytes * 8e-9
+
+        def push() -> None:
+            subscription.delivered += 1
+            subscription.queue.put(notification)
+
+        self.env.schedule_callback(delay, push)

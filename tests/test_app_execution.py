@@ -1,0 +1,165 @@
+"""GaiaApp execution semantics: fees, gas, atomicity, stub proofs."""
+
+import pytest
+
+from repro.cosmos.accounts import Wallet
+from repro.cosmos.app import FEE_DENOM, TRANSFER_DENOM
+from repro.cosmos.tx import MsgSend, TxFactory
+from repro.ibc.msgs import MsgTransfer
+from repro.ibc.packet import Height
+
+from tests.ibc_harness import BLOCK_INTERVAL, DirectChain, IbcPair
+
+
+@pytest.fixture
+def chain() -> DirectChain:
+    return DirectChain("exec-chain")
+
+
+def funded(chain, name, fee=10**12, tokens=10**9) -> TxFactory:
+    factory = chain.fund_wallet(Wallet.named(name), tokens=tokens)
+    return factory
+
+
+def test_fee_deducted_even_on_failed_messages(chain):
+    factory = funded(chain, "exec-a")
+    balance_before = chain.bank.balance(factory.wallet.address, FEE_DENOM)
+    bad = MsgSend(
+        sender=factory.wallet.address, recipient="r", denom="nope", amount=5
+    )
+    (result,) = chain.make_block([factory.build([bad], gas_limit=200_000)])
+    assert not result.ok
+    paid = balance_before - chain.bank.balance(factory.wallet.address, FEE_DENOM)
+    assert paid == pytest.approx(200_000 * 0.01)  # gas_limit * gas_price
+    assert chain.app.fee_pool.collected >= paid
+
+
+def test_out_of_gas_fails_and_rolls_back(chain):
+    factory = funded(chain, "exec-b")
+    recipient_before = chain.bank.balance("sink", FEE_DENOM)
+    msgs = [
+        MsgSend(sender=factory.wallet.address, recipient="sink", denom=FEE_DENOM, amount=1)
+        for _ in range(10)
+    ]
+    (result,) = chain.make_block([factory.build(msgs, gas_limit=120_000)])
+    assert not result.ok
+    assert result.code == 11  # out of gas
+    assert chain.bank.balance("sink", FEE_DENOM) == recipient_before
+
+
+def test_failed_tx_rolls_back_partial_sends(chain):
+    factory = funded(chain, "exec-c")
+    good = MsgSend(
+        sender=factory.wallet.address, recipient="sink", denom=FEE_DENOM, amount=100
+    )
+    bad = MsgSend(
+        sender=factory.wallet.address, recipient="r", denom="missing-denom", amount=1
+    )
+    (result,) = chain.make_block([factory.build([good, bad], gas_limit=10**7)])
+    assert not result.ok
+    # The successful first message was rolled back with the tx.
+    assert chain.bank.balance("sink", FEE_DENOM) == 0
+
+
+def test_bank_send_requires_signer(chain):
+    factory = funded(chain, "exec-d")
+    other = Wallet.named("exec-other")
+    chain.fund_wallet(other)
+    forged = MsgSend(
+        sender=other.address,  # not the tx signer
+        recipient="sink",
+        denom=FEE_DENOM,
+        amount=5,
+    )
+    (result,) = chain.make_block([factory.build([forged], gas_limit=10**6)])
+    assert not result.ok
+    assert "signer" in result.log
+
+
+def test_insufficient_fee_rejected_in_checktx(chain):
+    pauper = chain.fund_wallet(Wallet.named("exec-pauper"), tokens=0)
+    # Drain the fee balance.
+    chain.bank.burn(
+        pauper.wallet.address, FEE_DENOM,
+        chain.bank.balance(pauper.wallet.address, FEE_DENOM),
+    )
+    msg = MsgSend(
+        sender=pauper.wallet.address, recipient="r", denom=FEE_DENOM, amount=1
+    )
+    tx = pauper.build([msg], gas_limit=100_000)
+    response = chain.app.check_tx(tx)
+    assert not response.ok and response.code == 13
+
+
+def test_gas_used_recorded(chain):
+    factory = funded(chain, "exec-e")
+    msg = MsgSend(
+        sender=factory.wallet.address, recipient="r", denom=FEE_DENOM, amount=1
+    )
+    (result,) = chain.make_block([factory.build([msg], gas_limit=10**6)])
+    assert result.ok
+    assert 50_000 < result.gas_used < 200_000
+    assert result.gas_wanted == 10**6
+
+
+def test_unroutable_message_rejected(chain):
+    class WeirdMsg:
+        kind = "weird"
+
+    factory = funded(chain, "exec-f")
+    (result,) = chain.make_block([factory.build([WeirdMsg()], gas_limit=10**6)])
+    assert not result.ok
+    assert "unroutable" in result.log
+
+
+def test_app_hash_changes_only_with_state(chain):
+    factory = funded(chain, "exec-g")
+    chain.make_block([])
+    h_empty_1 = chain.app_hash
+    chain.make_block([])
+    h_empty_2 = chain.app_hash
+    assert h_empty_1 == h_empty_2  # empty blocks leave state unchanged
+    msg = MsgSend(
+        sender=factory.wallet.address, recipient="r", denom=FEE_DENOM, amount=1
+    )
+    chain.make_block([factory.build([msg], gas_limit=10**6)])
+    assert chain.app_hash != h_empty_2
+
+
+def test_stub_proof_mode_full_cycle():
+    """The large-sweep proof mode still runs the whole packet life cycle."""
+    pair = IbcPair(proof_mode="stub")
+    packet = pair.relay_full_cycle(amount=9)
+    assert not pair.a.ibc.has_commitment("transfer", pair.chan_a, packet.sequence)
+    voucher = pair.voucher_denom()
+    assert pair.b.bank.balance(pair.receiver.address, voucher) == 9
+
+
+def test_stub_proofs_still_catch_wrong_key():
+    from repro.errors import ProofVerificationError
+    from repro.ibc.proofs import StubMembershipProof, verify_membership
+
+    proof = StubMembershipProof(key=b"a", value=b"1", root_tag=b"r")
+    with pytest.raises(ProofVerificationError):
+        verify_membership(b"r", b"b", b"1", proof)
+    with pytest.raises(ProofVerificationError):
+        verify_membership(b"r", b"a", b"2", proof)
+    with pytest.raises(ProofVerificationError):
+        verify_membership(b"WRONG", b"a", b"1", proof)
+    verify_membership(b"r", b"a", b"1", proof)  # matching claim passes
+
+
+def test_missing_proof_rejected():
+    from repro.errors import ProofVerificationError
+    from repro.ibc.proofs import verify_membership, verify_non_membership
+
+    with pytest.raises(ProofVerificationError):
+        verify_membership(b"r", b"k", b"v", None)
+    with pytest.raises(ProofVerificationError):
+        verify_non_membership(b"r", b"k", None)
+
+
+def test_direct_chain_time_advances(chain):
+    t0 = chain.time
+    chain.make_block([])
+    assert chain.time == t0 + BLOCK_INTERVAL

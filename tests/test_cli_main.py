@@ -1,0 +1,71 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import json
+
+import pytest
+
+from repro.__main__ import build_parser, config_from_args, main
+
+
+def parse(argv):
+    return build_parser().parse_args(argv)
+
+
+def test_defaults_map_to_paper_deployment():
+    config = config_from_args(parse([]))
+    assert config.input_rate == 100
+    assert config.measurement_blocks == 50
+    assert config.network_rtt == 0.2
+    assert config.num_relayers == 1
+    assert config.msgs_per_tx == 100
+    assert config.num_validators == 5
+    assert config.block_interval == 5.0
+
+
+def test_chain_only_disables_relayers():
+    config = config_from_args(parse(["--chain-only", "--relayers", "2"]))
+    assert config.chain_only and config.num_relayers == 0
+
+
+def test_fixed_total_flags():
+    config = config_from_args(
+        parse(["--total", "5000", "--spread", "16", "--to-completion"])
+    )
+    assert config.total_transfers == 5000
+    assert config.submission_blocks == 16
+    assert config.run_to_completion
+
+
+def test_extension_flags():
+    config = config_from_args(
+        parse(["--relayers", "2", "--coordinate"])
+    )
+    assert config.coordinate_relayers
+    config = config_from_args(parse(["--relayers", "2", "--channels", "2"]))
+    assert config.num_channels == 2
+
+
+def test_main_runs_and_prints_summary(capsys):
+    assert main(["--rate", "20", "--blocks", "3", "--seed", "41"]) == 0
+    out = capsys.readouterr().out
+    assert "Cross-chain experiment report" in out
+
+
+def test_main_json_output(capsys):
+    assert main(["--rate", "20", "--blocks", "3", "--seed", "41", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["config"]["input_rate"] == 20
+
+
+def test_main_writes_report_files(tmp_path, capsys):
+    assert (
+        main(
+            [
+                "--rate", "20", "--blocks", "3", "--seed", "41",
+                "--out", str(tmp_path),
+            ]
+        )
+        == 0
+    )
+    assert (tmp_path / "experiment.json").exists()
+    assert (tmp_path / "experiment.txt").exists()

@@ -1,0 +1,153 @@
+"""Tests for the scaling extensions (multi-channel, coordinated relayers)."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.framework import ExperimentConfig, ExperimentRunner
+from repro.relayer.events import WorkBatch, batches_from_notification
+from repro.relayer.worker import DirectionWorker
+
+
+def test_multichannel_config_validation():
+    with pytest.raises(WorkloadError):
+        ExperimentConfig(num_channels=0)
+    with pytest.raises(WorkloadError):
+        ExperimentConfig(num_channels=3, num_relayers=2)
+    with pytest.raises(WorkloadError):
+        ExperimentConfig(
+            num_channels=2, num_relayers=2, coordinate_relayers=True
+        )
+    ExperimentConfig(num_channels=2, num_relayers=2)  # valid
+
+
+def test_ordered_channel_experiment_end_to_end():
+    """The framework can run on an ORDERED channel; deliveries stay in
+    sequence order and transfers still complete."""
+    config = ExperimentConfig(
+        input_rate=20,
+        measurement_blocks=4,
+        seed=43,
+        channel_ordering="ordered",
+        drain_seconds=40.0,
+    )
+    runner = ExperimentRunner(config)
+    report = runner.run()
+    assert report.window.acks > 0
+    path = runner.testbed.path
+    from repro.ibc.channel import ChannelOrder
+
+    end = runner.testbed.chain_a.app.ibc.channels[
+        ("transfer", path.a.channel_id)
+    ]
+    assert end.ordering is ChannelOrder.ORDERED
+    with pytest.raises(WorkloadError):
+        ExperimentConfig(channel_ordering="sideways")
+
+
+def test_two_channels_open_and_relay():
+    config = ExperimentConfig(
+        input_rate=40,
+        measurement_blocks=8,
+        num_relayers=2,
+        num_channels=2,
+        seed=15,
+        drain_seconds=60.0,
+    )
+    runner = ExperimentRunner(config)
+    report = runner.run()
+    testbed = runner.testbed
+    assert len(testbed.paths) == 2
+    channels = {p.a.channel_id for p in testbed.paths}
+    assert channels == {"channel-0", "channel-1"}
+    # Both channels carried packets and they completed.
+    ibc_a = testbed.chain_a.app.ibc
+    for path in testbed.paths:
+        assert ibc_a.next_sequence_send[("transfer", path.a.channel_id)] > 1
+    assert report.window.acks > 0
+    # The receiver holds TWO distinct voucher denominations (§IV-A caveat:
+    # per-channel tokens are not fungible with each other).
+    balances = testbed.chain_b.app.bank.balances(testbed.receiver.address)
+    vouchers = [d for d in balances if d.startswith("ibc/")]
+    assert len(vouchers) == 2
+
+
+def test_coordinated_relayers_do_not_duplicate():
+    config = ExperimentConfig(
+        input_rate=60,
+        measurement_blocks=8,
+        num_relayers=2,
+        coordinate_relayers=True,
+        seed=15,
+        drain_seconds=90.0,
+    )
+    runner = ExperimentRunner(config)
+    report = runner.run()
+    # No redundant deliveries at all with static partitioning.
+    assert report.errors.get("packet_messages_redundant", 0) == 0
+    # And the work was actually split: both relayers submitted recv txs.
+    recv_counts = [
+        relayer.log.count("recv_broadcast")
+        for relayer in runner.testbed.relayers
+    ]
+    assert all(count > 0 for count in recv_counts)
+    assert report.window.acks > 0
+
+
+def test_ownership_partition_is_exhaustive_and_disjoint():
+    """Every tx hash is owned by exactly one coordinated instance."""
+    import hashlib
+
+    total = 3
+    hashes = [hashlib.sha256(bytes([i])).digest() for i in range(200)]
+    owners = {
+        h: [
+            idx
+            for idx in range(total)
+            if int.from_bytes(h[:4], "big") % total == idx
+        ]
+        for h in hashes
+    }
+    assert all(len(owner) == 1 for owner in owners.values())
+    counts = [0] * total
+    for (owner,) in owners.values():
+        counts[owner] += 1
+    assert all(count > 30 for count in counts)  # roughly balanced
+
+
+def test_batches_split_per_channel():
+    """The supervisor routes per (kind, channel), so one block's events on
+    two channels become two batches."""
+    from repro.ibc.packet import Height
+    from repro.tendermint.websocket import BlockNotification, EventDescriptor
+
+    def descriptor(channel, seq):
+        return EventDescriptor(
+            type="send_packet",
+            height=5,
+            tx_hash=bytes([seq]) * 32,
+            attributes={
+                "packet_sequence": seq,
+                "packet_src_port": "transfer",
+                "packet_src_channel": channel,
+                "packet_dst_port": "transfer",
+                "packet_dst_channel": channel,
+                "packet_data": b"{}",
+                "packet_timeout_height": Height(0, 100),
+                "packet_timeout_timestamp": 0.0,
+            },
+        )
+
+    notification = BlockNotification(
+        chain_id="x",
+        height=5,
+        time=1.0,
+        frame_bytes=100,
+        events=[
+            descriptor("channel-0", 1),
+            descriptor("channel-1", 2),
+            descriptor("channel-0", 3),
+        ],
+    )
+    batches = batches_from_notification(notification, {"send_packet"})
+    by_channel = {b.routing_channel: len(b) for b in batches}
+    assert by_channel == {"channel-0": 2, "channel-1": 1}

@@ -1,0 +1,201 @@
+"""ICS-03/04 handshake tests: state machines and proof checks."""
+
+import pytest
+
+from repro.cosmos.accounts import Wallet
+from repro.ibc.channel import ChannelOrder, ChannelState
+from repro.ibc.connection import ConnectionState
+from repro.ibc.msgs import (
+    MsgChannelOpenInit,
+    MsgChannelOpenTry,
+    MsgConnectionOpenAck,
+    MsgConnectionOpenInit,
+    MsgConnectionOpenTry,
+    MsgUpdateClient,
+)
+
+from tests.ibc_harness import IbcPair
+
+
+@pytest.fixture(scope="module")
+def pair() -> IbcPair:
+    return IbcPair()
+
+
+def test_handshake_left_both_ends_open(pair):
+    conn_a = pair.a.ibc.connections[pair.conn_a]
+    conn_b = pair.b.ibc.connections[pair.conn_b]
+    assert conn_a.state is ConnectionState.OPEN
+    assert conn_b.state is ConnectionState.OPEN
+    assert conn_a.counterparty.connection_id == pair.conn_b
+    chan_a = pair.a.ibc.channels[("transfer", pair.chan_a)]
+    chan_b = pair.b.ibc.channels[("transfer", pair.chan_b)]
+    assert chan_a.state is ChannelState.OPEN
+    assert chan_b.state is ChannelState.OPEN
+    assert chan_a.ordering is ChannelOrder.UNORDERED
+    assert chan_a.version == "ics20-1"
+
+
+def test_connection_ends_committed_to_store(pair):
+    from repro.ibc import keys
+
+    raw = pair.a.ibc.store.get(keys.connection_path(pair.conn_a))
+    assert raw is not None
+    from repro.ibc.connection import ConnectionEnd
+
+    end = ConnectionEnd.decode(pair.conn_a, raw)
+    assert end.state is ConnectionState.OPEN
+
+
+def test_conn_open_init_requires_known_client(pair):
+    result = pair.exec_expect_fail(
+        pair.a,
+        pair.relayer_a,
+        [MsgConnectionOpenInit(client_id="07-tendermint-99", counterparty_client_id="x")],
+    )
+    assert "unknown client" in result.log
+
+
+def test_conn_open_try_with_bad_proof_rejected():
+    pair = IbcPair()
+    # Open a second connection INIT on A, then try on B with a proof of the
+    # WRONG connection.
+    pair.exec_ok(
+        pair.a,
+        pair.relayer_a,
+        [
+            MsgConnectionOpenInit(
+                client_id=pair.client_on_a,
+                counterparty_client_id=pair.client_on_b,
+            )
+        ],
+    )
+    new_conn = sorted(pair.a.ibc.connections)[-1]
+    header_a = pair.update_a_on_b()
+    result = pair.exec_expect_fail(
+        pair.b,
+        pair.relayer_b,
+        [
+            MsgConnectionOpenTry(
+                client_id=pair.client_on_b,
+                counterparty_client_id=pair.client_on_a,
+                counterparty_connection_id=new_conn,
+                # Proof of the OLD (already-open) connection.
+                proof_init=pair.a.ibc.prove_connection(pair.conn_a),
+                proof_height=header_a.height,
+            )
+        ],
+    )
+    assert "proof" in result.log.lower()
+
+
+def test_conn_open_ack_requires_init_state(pair):
+    header_b = pair.b.signed_header()
+    result = pair.exec_expect_fail(
+        pair.a,
+        pair.relayer_a,
+        [
+            MsgUpdateClient(client_id=pair.client_on_a, header=header_b),
+            MsgConnectionOpenAck(
+                connection_id=pair.conn_a,  # already OPEN
+                counterparty_connection_id=pair.conn_b,
+                proof_try=pair.b.ibc.prove_connection(pair.conn_b),
+                proof_height=header_b.height,
+            ),
+        ],
+    )
+    assert "state" in result.log
+
+
+def test_chan_open_init_requires_open_connection():
+    pair = IbcPair()
+    # A fresh INIT-state connection cannot host a channel yet.
+    pair.exec_ok(
+        pair.a,
+        pair.relayer_a,
+        [
+            MsgConnectionOpenInit(
+                client_id=pair.client_on_a,
+                counterparty_client_id=pair.client_on_b,
+            )
+        ],
+    )
+    pending_conn = sorted(pair.a.ibc.connections)[-1]
+    result = pair.exec_expect_fail(
+        pair.a,
+        pair.relayer_a,
+        [
+            MsgChannelOpenInit(
+                port_id="transfer",
+                connection_id=pending_conn,
+                counterparty_port_id="transfer",
+                ordering=ChannelOrder.UNORDERED,
+                version="ics20-1",
+            )
+        ],
+    )
+    assert "state" in result.log
+
+
+def test_chan_open_init_requires_bound_port(pair):
+    result = pair.exec_expect_fail(
+        pair.a,
+        pair.relayer_a,
+        [
+            MsgChannelOpenInit(
+                port_id="oracle",  # nothing bound there
+                connection_id=pair.conn_a,
+                counterparty_port_id="oracle",
+                ordering=ChannelOrder.UNORDERED,
+                version="ics20-1",
+            )
+        ],
+    )
+    assert "no application bound" in result.log
+
+
+def test_transfer_app_rejects_wrong_channel_version():
+    """The ICS-20 app validates the version at OnChanOpenInit (ibc-go)."""
+    pair = IbcPair()
+    result = pair.exec_expect_fail(
+        pair.a,
+        pair.relayer_a,
+        [
+            MsgChannelOpenInit(
+                port_id="transfer",
+                connection_id=pair.conn_a,
+                counterparty_port_id="transfer",
+                ordering=ChannelOrder.UNORDERED,
+                version="ics99-wrong",
+            )
+        ],
+    )
+    assert "ics20-1" in result.log
+    # The atomic rollback leaves no half-created channel behind.
+    assert all(
+        end.version != "ics99-wrong" for end in pair.a.ibc.channels.values()
+    )
+
+
+def test_second_channel_on_same_connection(pair):
+    """Two blockchains can open multiple channels over one connection
+    (paper §II-B1)."""
+    before = len(pair.a.ibc.channels)
+    pair.exec_ok(
+        pair.a,
+        pair.relayer_a,
+        [
+            MsgChannelOpenInit(
+                port_id="transfer",
+                connection_id=pair.conn_a,
+                counterparty_port_id="transfer",
+                ordering=ChannelOrder.UNORDERED,
+                version="ics20-1",
+            )
+        ],
+    )
+    assert len(pair.a.ibc.channels) == before + 1
+    new_chan = sorted(c for (_p, c) in pair.a.ibc.channels)[-1]
+    assert new_chan != pair.chan_a
+    end = pair.a.ibc.channels[("transfer", new_chan)]
+    assert end.connection_id == pair.conn_a

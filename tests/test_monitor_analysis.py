@@ -1,0 +1,124 @@
+"""Tests for measurement probes and the analysis helpers."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import format_table, relative_error, summarize
+from repro.sim import Environment
+from repro.sim.monitor import (
+    Counter,
+    DurationHistogram,
+    ProbeSet,
+    SummaryStats,
+    TimeSeries,
+    percentile,
+)
+
+
+def test_counter():
+    counter = Counter("x")
+    counter.inc()
+    counter.inc(5)
+    assert counter.value == 6
+
+
+def test_time_series_means(env):
+    series = TimeSeries(env, "queue")
+    env._now = 0.0
+    series.record(10)
+    env._now = 4.0
+    series.record(20)
+    env._now = 5.0
+    series.record(0)
+    assert series.mean() == pytest.approx(10.0)
+    # 10 held for 4 s, 20 held for 1 s.
+    assert series.time_weighted_mean() == pytest.approx((10 * 4 + 20 * 1) / 5)
+
+
+def test_time_series_empty():
+    env = Environment()
+    series = TimeSeries(env, "empty")
+    assert math.isnan(series.mean())
+
+
+def test_percentile_interpolation():
+    values = [1.0, 2.0, 3.0, 4.0]
+    assert percentile(values, 0) == 1.0
+    assert percentile(values, 100) == 4.0
+    assert percentile(values, 50) == pytest.approx(2.5)
+    assert math.isnan(percentile([], 50))
+    assert percentile([7.0], 99) == 7.0
+
+
+def test_summary_stats():
+    stats = SummaryStats.from_values([5, 1, 3, 2, 4])
+    assert stats.count == 5
+    assert stats.median == 3
+    assert stats.minimum == 1 and stats.maximum == 5
+    assert stats.mean == 3
+    assert stats.p25 == 2 and stats.p75 == 4
+
+
+def test_summary_stats_empty():
+    stats = SummaryStats.from_values([])
+    assert stats.count == 0
+    assert math.isnan(stats.median)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=50))
+def test_summary_orderings_hold(values):
+    """Property: min <= p25 <= median <= p75 <= max, mean within range."""
+    stats = SummaryStats.from_values(values)
+    assert stats.minimum <= stats.p25 <= stats.median <= stats.p75 <= stats.maximum
+    assert stats.minimum <= stats.mean <= stats.maximum
+    assert stats.stdev >= 0
+
+
+def test_duration_histogram():
+    histogram = DurationHistogram("lat")
+    for d in (0.1, 0.2, 0.3):
+        histogram.observe(d)
+    assert histogram.summary().count == 3
+    assert histogram.summary().mean == pytest.approx(0.2)
+
+
+def test_probe_set_reuses_probes(env):
+    probes = ProbeSet(env, "rpc")
+    assert probes.counter("served") is probes.counter("served")
+    probes.counter("served").inc(3)
+    assert probes.counter_value("served") == 3
+    assert probes.counter_value("missing", default=-1) == -1
+    assert probes.time_series("q") is probes.time_series("q")
+    assert probes.histogram("h") is probes.histogram("h")
+
+
+# -- analysis helpers -------------------------------------------------------------
+
+
+def test_summarize_distribution():
+    dist = summarize([10, 20, 30, 40])
+    assert dist.count == 4
+    assert dist.median == 25
+    assert dist.spread() == pytest.approx(dist.p75 - dist.p25)
+
+
+def test_relative_error():
+    assert relative_error(110, 100) == pytest.approx(0.1)
+    assert relative_error(0, 0) == 0.0
+    assert relative_error(1, 0) == float("inf")
+    assert relative_error(90, 100) == pytest.approx(0.1)
+
+
+def test_format_table_alignment():
+    table = format_table(["rate", "tfps"], [(250, 200.5), (13000, 51.0)])
+    lines = table.splitlines()
+    assert len(lines) == 4
+    assert lines[0].startswith("rate")
+    assert "13000" in lines[3]
+    # Columns aligned: every line equally indented at the second column.
+    first_col_width = lines[0].index("tfps")
+    assert all(len(line) >= first_col_width for line in lines)

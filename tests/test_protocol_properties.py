@@ -1,0 +1,133 @@
+"""Property-based tests of packet life-cycle invariants.
+
+A randomised "relayer" performs arbitrary interleavings of valid and
+redundant relay actions across two chains; the IBC invariants must hold in
+every reachable state:
+
+* a packet is settled (commitment cleared) at most once, by exactly one of
+  {acknowledge, timeout};
+* vouchers minted on B always equal tokens escrowed on A minus refunds;
+* receipts are never rolled back once written;
+* redundant deliveries always fail and change nothing.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cosmos.app import TRANSFER_DENOM
+from repro.ibc.transfer import escrow_address
+
+from tests.ibc_harness import IbcPair
+
+
+ACTIONS = st.lists(
+    st.sampled_from(
+        ["send", "recv", "recv_dup", "ack", "ack_dup", "advance_b", "timeout"]
+    ),
+    min_size=5,
+    max_size=25,
+)
+
+
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(actions=ACTIONS)
+def test_lifecycle_invariants_under_random_interleavings(actions):
+    pair = IbcPair()
+    sent = {}  # seq -> packet
+    received = set()
+    settled = set()  # acked or timed out
+
+    def unsettled_received():
+        return [s for s in sorted(received) if s not in settled]
+
+    def unreceived():
+        return [s for s in sorted(sent) if s not in received and s not in settled]
+
+    for action in actions:
+        if action == "send":
+            packet = pair.transfer(amount=3, timeout_blocks=6)
+            sent[packet.sequence] = packet
+        elif action == "recv" and unreceived():
+            seq = unreceived()[0]
+            packet = sent[seq]
+            # The receive executes in the NEXT destination block.
+            from repro.ibc.packet import Height
+
+            if packet.timed_out(Height(0, pair.b.height + 1), pair.b.time + 5.0):
+                continue  # would be rejected; covered by 'timeout'
+            pair.relay_recv([packet])
+            received.add(seq)
+        elif action == "recv_dup" and (received - settled):
+            seq = sorted(received - settled)[0]
+            result = pair.exec_expect_fail(
+                pair.b, pair.relayer_b, pair.recv_msgs([sent[seq]])
+            )
+            assert "redundant" in result.log or "timed out" in result.log
+        elif action == "ack" and unsettled_received():
+            seq = unsettled_received()[0]
+            pair.relay_ack([sent[seq]])
+            settled.add(seq)
+        elif action == "ack_dup" and settled & received:
+            seq = sorted(settled & received)[0]
+            result = pair.exec_expect_fail(
+                pair.a, pair.relayer_a, pair.ack_msgs([sent[seq]])
+            )
+            assert "redundant" in result.log
+        elif action == "advance_b":
+            pair.b.make_block([])
+        elif action == "timeout":
+            expired = [
+                s
+                for s in unreceived()
+                if sent[s].timeout_height.revision_height <= pair.b.height
+            ]
+            if expired:
+                seq = expired[0]
+                pair.exec_ok(pair.a, pair.relayer_a, pair.timeout_msgs([sent[seq]]))
+                settled.add(seq)
+
+        # ---- invariants, checked after every step -----------------------
+        ibc_a, ibc_b = pair.a.ibc, pair.b.ibc
+        for seq in sent:
+            has_commitment = ibc_a.has_commitment("transfer", pair.chan_a, seq)
+            assert has_commitment == (seq not in settled), seq
+            if seq in received:
+                assert ibc_b.has_receipt("transfer", pair.chan_b, seq)
+        # Conservation: escrowed tokens back every voucher and every
+        # in-flight packet; timed-out packets were refunded in full.
+        escrow = pair.a.bank.balance(
+            escrow_address("transfer", pair.chan_a), TRANSFER_DENOM
+        )
+        voucher_supply = pair.b.bank.supply(pair.voucher_denom())
+        refunded = len(settled - received)  # timed out, never received
+        in_flight = len(set(sent)) - len(received) - refunded
+        assert voucher_supply == 3 * len(received)
+        assert escrow == voucher_supply + 3 * in_flight
+        assert in_flight >= 0
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    amounts=st.lists(st.integers(min_value=1, max_value=10**6), min_size=1, max_size=8)
+)
+def test_value_conservation_over_full_cycles(amounts):
+    """Property: after n completed transfers, sender+escrow on A and the
+    voucher supply on B account for every token exactly."""
+    pair = IbcPair()
+    sender = pair.user.wallet.address
+    start = pair.a.bank.balance(sender, TRANSFER_DENOM)
+    for amount in amounts:
+        pair.relay_full_cycle(amount=amount)
+    total = sum(amounts)
+    escrow = pair.a.bank.balance(
+        escrow_address("transfer", pair.chan_a), TRANSFER_DENOM
+    )
+    assert pair.a.bank.balance(sender, TRANSFER_DENOM) == start - total
+    assert escrow == total
+    assert pair.b.bank.supply(pair.voucher_denom()) == total
+    assert pair.b.bank.balance(pair.receiver.address, pair.voucher_denom()) == total

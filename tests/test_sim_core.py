@@ -1,0 +1,273 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import AllOf, AnyOf, Environment, Interrupt
+
+
+def test_clock_starts_at_zero(env):
+    assert env.now == 0.0
+
+
+def test_timeout_advances_clock(env):
+    seen = []
+
+    def proc():
+        yield env.timeout(3.5)
+        seen.append(env.now)
+
+    env.process(proc())
+    env.run()
+    assert seen == [3.5]
+
+
+def test_timeouts_fire_in_order(env):
+    order = []
+
+    def proc(delay, tag):
+        yield env.timeout(delay)
+        order.append(tag)
+
+    env.process(proc(2.0, "b"))
+    env.process(proc(1.0, "a"))
+    env.process(proc(3.0, "c"))
+    env.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_same_time_events_fifo(env):
+    """Ties break by scheduling order, keeping runs deterministic."""
+    order = []
+
+    def proc(tag):
+        yield env.timeout(1.0)
+        order.append(tag)
+
+    for tag in range(5):
+        env.process(proc(tag))
+    env.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_negative_timeout_rejected(env):
+    with pytest.raises(SimulationError):
+        env.timeout(-1)
+
+
+def test_process_return_value(env):
+    def proc():
+        yield env.timeout(1)
+        return 42
+
+    p = env.process(proc())
+    assert env.run_until_complete(p) == 42
+
+
+def test_process_exception_propagates_to_waiter(env):
+    def failing():
+        yield env.timeout(1)
+        raise ValueError("boom")
+
+    def waiter():
+        with pytest.raises(ValueError, match="boom"):
+            yield env.process(failing())
+        return "handled"
+
+    p = env.process(waiter())
+    assert env.run_until_complete(p) == "handled"
+
+
+def test_run_until_complete_raises_process_error(env):
+    def failing():
+        yield env.timeout(1)
+        raise RuntimeError("dead")
+
+    p = env.process(failing())
+    with pytest.raises(RuntimeError, match="dead"):
+        env.run_until_complete(p)
+
+
+def test_event_succeed_delivers_value(env):
+    event = env.event()
+    got = []
+
+    def waiter():
+        value = yield event
+        got.append(value)
+
+    env.process(waiter())
+    env.schedule_callback(2.0, lambda: event.succeed("hello"))
+    env.run()
+    assert got == ["hello"]
+
+
+def test_event_double_trigger_rejected(env):
+    event = env.event()
+    event.succeed(1)
+    with pytest.raises(SimulationError):
+        event.succeed(2)
+
+
+def test_event_fail_requires_exception(env):
+    with pytest.raises(SimulationError):
+        env.event().fail("not an exception")  # type: ignore[arg-type]
+
+
+def test_any_of_takes_first(env):
+    def proc():
+        fast = env.timeout(1.0, value="fast")
+        slow = env.timeout(5.0, value="slow")
+        result = yield env.any_of([fast, slow])
+        return (env.now, list(result.values()))
+
+    p = env.process(proc())
+    when, values = env.run_until_complete(p)
+    assert when == 1.0
+    assert values == ["fast"]
+
+
+def test_any_of_does_not_fire_on_pending_timeout(env):
+    """Regression: a Timeout must not satisfy AnyOf before its instant."""
+
+    def proc():
+        never = env.event()
+        deadline = env.timeout(10.0)
+        yield env.any_of([never, deadline])
+        return env.now
+
+    p = env.process(proc())
+    assert env.run_until_complete(p) == 10.0
+
+
+def test_all_of_waits_for_every_event(env):
+    def proc():
+        events = [env.timeout(d) for d in (1.0, 4.0, 2.0)]
+        yield env.all_of(events)
+        return env.now
+
+    p = env.process(proc())
+    assert env.run_until_complete(p) == 4.0
+
+
+def test_all_of_fails_fast(env):
+    failing = env.event()
+
+    def proc():
+        with pytest.raises(ValueError):
+            yield env.all_of([env.timeout(100.0), failing])
+        return env.now
+
+    p = env.process(proc())
+    env.schedule_callback(1.0, lambda: failing.fail(ValueError("nope")))
+    assert env.run_until_complete(p) == 1.0
+
+
+def test_run_until_stops_at_horizon(env):
+    hits = []
+
+    def proc():
+        while True:
+            yield env.timeout(1.0)
+            hits.append(env.now)
+
+    env.process(proc())
+    env.run(until=3.5)
+    assert hits == [1.0, 2.0, 3.0]
+    assert env.now == 3.5
+
+
+def test_run_until_in_past_rejected(env):
+    env.run(until=5.0)
+    with pytest.raises(SimulationError):
+        env.run(until=1.0)
+
+
+def test_interrupt_raises_in_process(env):
+    caught = []
+
+    def sleeper():
+        try:
+            yield env.timeout(100.0)
+        except Interrupt as interrupt:
+            caught.append((env.now, interrupt.cause))
+
+    p = env.process(sleeper())
+
+    def interrupter():
+        yield env.timeout(2.0)
+        p.interrupt("wake up")
+
+    env.process(interrupter())
+    env.run()
+    assert caught == [(2.0, "wake up")]
+
+
+def test_interrupt_finished_process_rejected(env):
+    def quick():
+        yield env.timeout(1.0)
+
+    p = env.process(quick())
+    env.run()
+    with pytest.raises(SimulationError):
+        p.interrupt()
+
+
+def test_yield_non_event_fails_process(env):
+    def bad():
+        yield 42  # type: ignore[misc]
+
+    p = env.process(bad())
+    env.run()
+    assert p.triggered and not p.ok
+    assert isinstance(p.value, SimulationError)
+
+
+def test_nested_yield_from(env):
+    def inner():
+        yield env.timeout(1.0)
+        return "inner-done"
+
+    def outer():
+        value = yield from inner()
+        yield env.timeout(1.0)
+        return value + "+outer"
+
+    p = env.process(outer())
+    assert env.run_until_complete(p) == "inner-done+outer"
+    assert env.now == 2.0
+
+
+def test_schedule_callback(env):
+    fired = []
+    env.schedule_callback(4.0, lambda: fired.append(env.now))
+    env.run()
+    assert fired == [4.0]
+
+
+def test_peek_returns_next_event_time(env):
+    env.timeout(7.0)
+    assert env.peek() == 7.0
+
+
+def test_peek_empty_queue_is_inf(env):
+    assert env.peek() == float("inf")
+
+
+def test_cancelled_event_does_not_resume(env):
+    resumed = []
+    event = env.event()
+
+    def waiter():
+        yield event
+        resumed.append(True)
+
+    env.process(waiter())
+
+    def canceller():
+        yield env.timeout(1.0)
+        event.cancel()
+
+    env.process(canceller())
+    env.run()
+    assert resumed == []

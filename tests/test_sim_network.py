@@ -1,0 +1,115 @@
+"""Tests for the network latency model and named RNG streams."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Environment, LinkSpec, Network, RngRegistry, derive_seed
+
+
+@pytest.fixture
+def quiet_network(env):
+    rng = RngRegistry(7)
+    net = Network(env, rng, default_rtt=0.2)  # no jitter
+    net.add_host("a")
+    net.add_host("b")
+    return net
+
+
+def test_default_one_way_delay_is_half_rtt(quiet_network):
+    assert quiet_network.delay("a", "b") == pytest.approx(0.1)
+
+
+def test_local_delivery_is_instant(quiet_network):
+    assert quiet_network.delay("a", "a") == 0.0
+
+
+def test_link_override(quiet_network):
+    quiet_network.set_link("a", "b", LinkSpec(latency=0.5))
+    assert quiet_network.delay("a", "b") == pytest.approx(0.5)
+    assert quiet_network.delay("b", "a") == pytest.approx(0.5)
+
+
+def test_send_delivers_into_mailbox(env, quiet_network):
+    quiet_network.send("a", "b", "svc", payload={"x": 1})
+    env.run()
+    box = quiet_network.host("b").mailbox(env, "svc")
+    assert env.now == pytest.approx(0.1)
+    assert box.try_get() == {"x": 1}
+
+
+def test_send_with_callback(env, quiet_network):
+    got = []
+    quiet_network.send("a", "b", "svc", "ping", on_delivery=got.append)
+    env.run()
+    assert got == ["ping"]
+
+
+def test_jitter_stays_within_bounds(env):
+    rng = RngRegistry(3)
+    net = Network(env, rng, default_rtt=0.2, default_jitter=0.02)
+    net.add_host("a")
+    net.add_host("b")
+    delays = [net.delay("a", "b") for _ in range(200)]
+    assert all(0.08 <= d <= 0.12 for d in delays)
+    assert len(set(delays)) > 1  # actually jittered
+
+
+def test_lossy_link_drops(env):
+    rng = RngRegistry(5)
+    net = Network(env, rng, default_rtt=0.0)
+    net.add_host("a")
+    net.add_host("b")
+    net.set_link("a", "b", LinkSpec(latency=0.0, loss=1.0))
+    net.send("a", "b", "svc", "gone")
+    env.run()
+    assert net.dropped == 1
+    assert net.delivered == 0
+
+
+def test_duplicate_host_rejected(env, quiet_network):
+    with pytest.raises(SimulationError):
+        quiet_network.add_host("a")
+
+
+def test_unknown_host_rejected(quiet_network):
+    with pytest.raises(SimulationError):
+        quiet_network.host("zzz")
+
+
+# -- RNG streams ------------------------------------------------------------
+
+
+def test_named_streams_are_independent():
+    registry = RngRegistry(42)
+    a = [registry.stream("a").random() for _ in range(5)]
+    b = [registry.stream("b").random() for _ in range(5)]
+    assert a != b
+
+
+def test_same_name_same_stream_object():
+    registry = RngRegistry(42)
+    assert registry.stream("x") is registry.stream("x")
+
+
+def test_reproducible_across_registries():
+    r1 = RngRegistry(42).stream("net")
+    r2 = RngRegistry(42).stream("net")
+    assert [r1.random() for _ in range(10)] == [r2.random() for _ in range(10)]
+
+
+def test_different_seeds_differ():
+    r1 = RngRegistry(1).stream("net")
+    r2 = RngRegistry(2).stream("net")
+    assert [r1.random() for _ in range(5)] != [r2.random() for _ in range(5)]
+
+
+def test_derive_seed_stable():
+    assert derive_seed(1, "a") == derive_seed(1, "a")
+    assert derive_seed(1, "a") != derive_seed(1, "b")
+
+
+def test_spawned_registry_is_independent():
+    root = RngRegistry(9)
+    child = root.spawn("sub")
+    assert child.root_seed != root.root_seed
+    assert child.stream("n").random() != root.stream("n").random()

@@ -1,0 +1,192 @@
+"""Tests for Resource (FIFO server) and Store (queues)."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Environment, Resource, Store
+
+
+def test_resource_capacity_one_serialises(env):
+    """Two jobs on a serial resource run back to back — the RPC model."""
+    resource = Resource(env, capacity=1)
+    finished = []
+
+    def job(tag, service):
+        req = resource.request()
+        yield req
+        try:
+            yield env.timeout(service)
+            finished.append((tag, env.now))
+        finally:
+            resource.release(req)
+
+    env.process(job("a", 2.0))
+    env.process(job("b", 3.0))
+    env.run()
+    assert finished == [("a", 2.0), ("b", 5.0)]
+
+
+def test_resource_parallel_capacity(env):
+    resource = Resource(env, capacity=2)
+    finished = []
+
+    def job(tag):
+        req = resource.request()
+        yield req
+        try:
+            yield env.timeout(2.0)
+            finished.append((tag, env.now))
+        finally:
+            resource.release(req)
+
+    for tag in ("a", "b", "c"):
+        env.process(job(tag))
+    env.run()
+    # a and b run together; c waits for the first release.
+    assert finished == [("a", 2.0), ("b", 2.0), ("c", 4.0)]
+
+
+def test_resource_fifo_ordering(env):
+    resource = Resource(env, capacity=1)
+    order = []
+
+    def job(tag):
+        req = resource.request()
+        yield req
+        try:
+            order.append(tag)
+            yield env.timeout(1.0)
+        finally:
+            resource.release(req)
+
+    for tag in range(6):
+        env.process(job(tag))
+    env.run()
+    assert order == [0, 1, 2, 3, 4, 5]
+
+
+def test_resource_request_cancel_frees_queue_slot(env):
+    resource = Resource(env, capacity=1)
+    got = []
+
+    def holder():
+        req = resource.request()
+        yield req
+        yield env.timeout(5.0)
+        resource.release(req)
+
+    def quitter():
+        req = resource.request()
+        # Give up immediately without ever being granted.
+        req.cancel()
+        yield env.timeout(0.0)
+
+    def patient():
+        req = resource.request()
+        yield req
+        got.append(env.now)
+        resource.release(req)
+
+    env.process(holder())
+    env.process(quitter())
+    env.process(patient())
+    env.run()
+    assert got == [5.0]
+
+
+def test_resource_serve_helper(env):
+    resource = Resource(env, capacity=1)
+    done = []
+
+    def job(tag):
+        yield from resource.serve(1.5)
+        done.append((tag, env.now))
+
+    env.process(job("x"))
+    env.process(job("y"))
+    env.run()
+    assert done == [("x", 1.5), ("y", 3.0)]
+
+
+def test_resource_utilisation_counters(env):
+    resource = Resource(env, capacity=1)
+
+    def job():
+        yield from resource.serve(1.0)
+
+    env.process(job())
+    env.process(job())
+    env.run()
+    assert resource.grants == 2
+    assert resource.count == 0
+
+
+def test_invalid_capacity_rejected(env):
+    with pytest.raises(SimulationError):
+        Resource(env, capacity=0)
+    with pytest.raises(SimulationError):
+        Store(env, capacity=0)
+
+
+def test_store_fifo(env):
+    store = Store(env)
+    got = []
+
+    def consumer():
+        for _ in range(3):
+            item = yield store.get()
+            got.append(item)
+
+    env.process(consumer())
+    for item in ("a", "b", "c"):
+        store.put(item)
+    env.run()
+    assert got == ["a", "b", "c"]
+
+
+def test_store_get_blocks_until_put(env):
+    store = Store(env)
+    got = []
+
+    def consumer():
+        item = yield store.get()
+        got.append((item, env.now))
+
+    env.process(consumer())
+
+    def producer():
+        yield env.timeout(3.0)
+        store.put("late")
+
+    env.process(producer())
+    env.run()
+    assert got == [("late", 3.0)]
+
+
+def test_store_capacity_blocks_put(env):
+    store = Store(env, capacity=1)
+    times = []
+
+    def producer():
+        yield store.put("first")
+        times.append(("first", env.now))
+        yield store.put("second")
+        times.append(("second", env.now))
+
+    def consumer():
+        yield env.timeout(5.0)
+        yield store.get()
+
+    env.process(producer())
+    env.process(consumer())
+    env.run()
+    assert times == [("first", 0.0), ("second", 5.0)]
+
+
+def test_store_try_put_and_try_get(env):
+    store = Store(env, capacity=1)
+    assert store.try_get() is None
+    assert store.try_put("x") is True
+    assert store.try_put("y") is False
+    assert store.try_get() == "x"
+    assert len(store) == 0

@@ -1,0 +1,38 @@
+"""Tests for the parameter-sweep harness."""
+
+import math
+
+import pytest
+
+from repro.framework import ExperimentConfig, METRICS, run_seeded, sweep
+
+
+def test_run_seeded_summarises_across_seeds():
+    config = ExperimentConfig(input_rate=20, measurement_blocks=3)
+    point = run_seeded(config, "chain_tfps", seeds=[41, 42])
+    assert len(point.values) == 2
+    assert point.summary.count == 2
+    assert point.summary.minimum <= point.summary.median <= point.summary.maximum
+    assert all(v > 0 for v in point.values)
+
+
+def test_sweep_varies_parameter():
+    base = ExperimentConfig(input_rate=20, measurement_blocks=3)
+    points = sweep(base, "input_rate", [20, 60], metric="chain_tfps", seeds=[41])
+    assert set(points) == {20, 60}
+    # Higher input rate includes more transfers per second at these loads.
+    assert points[60].summary.median > points[20].summary.median
+    # The base config is not mutated.
+    assert base.input_rate == 20
+
+
+def test_metric_registry_extractors():
+    config = ExperimentConfig(input_rate=20, measurement_blocks=3)
+    point = run_seeded(config, METRICS["completed_fraction"], seeds=[41])
+    assert 0.0 <= point.values[0] <= 1.0
+
+
+def test_completion_latency_metric_nan_without_completion_mode():
+    config = ExperimentConfig(input_rate=20, measurement_blocks=3)
+    point = run_seeded(config, "completion_latency", seeds=[41])
+    assert math.isnan(point.values[0])
