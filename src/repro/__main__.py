@@ -19,6 +19,9 @@ Examples::
 
     # Write report files
     python -m repro --rate 100 --blocks 20 --out results/
+
+    # Static determinism analysis (see repro.lint)
+    python -m repro lint src/repro --format json
 """
 
 from __future__ import annotations
@@ -127,6 +130,13 @@ def config_from_args(args: argparse.Namespace) -> ExperimentConfig:
 
 
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "lint":
+        # Subcommand: the determinism & simulation-correctness analyzer.
+        from repro.lint.cli import main as lint_main
+
+        return lint_main(argv[1:])
     args = build_parser().parse_args(argv)
     config = config_from_args(args)
     report = run_experiment(config)

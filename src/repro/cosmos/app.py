@@ -45,6 +45,7 @@ from repro.ibc.msgs import (
 )
 from repro.ibc.proofs import PROOF_MODE_MERKLE
 from repro.ibc.transfer import TransferApp
+from repro.sim.rng import RngRegistry
 from repro.tendermint.abci import (
     AbciEvent,
     ResponseCheckTx,
@@ -81,7 +82,12 @@ class GaiaApp:
         self.accounts = AccountKeeper()
         self.store = ProvableStore()
         self.bank = BankKeeper(store=self.store)
-        self.gas_schedule = GasSchedule(self.cal, rng=rng or random.Random(1))
+        # The testbed injects a named stream from its RngRegistry (see
+        # tendermint.node.Chain); default-constructed apps derive a
+        # deterministic per-chain stream instead of a hard-coded seed.
+        if rng is None:
+            rng = RngRegistry(1).stream(f"gas/{chain_id}")
+        self.gas_schedule = GasSchedule(self.cal, rng=rng)
         self.ante = AnteHandler(self.accounts)
         self.ibc = IbcModule(
             chain_id=chain_id,

@@ -15,6 +15,7 @@ from typing import Optional
 
 from repro import calibration as cal
 from repro.errors import OutOfGasError
+from repro.sim.rng import RngRegistry
 
 
 @dataclass
@@ -43,7 +44,12 @@ class GasSchedule:
         rng: Optional[random.Random] = None,
     ):
         self.cal = calibration or cal.DEFAULT_CALIBRATION
-        self._rng = rng or random.Random(0)
+        # Experiments inject a stream from the testbed's RngRegistry; a
+        # default-constructed schedule still derives its jitter through the
+        # registry so standalone uses replay deterministically too.
+        if rng is None:
+            rng = RngRegistry(0).stream("gas-schedule/default")
+        self._rng = rng
 
     def _jittered(self, base: int, band: float) -> int:
         if band <= 0:

@@ -9,7 +9,7 @@ signer, sequence, gas, fee and the message list.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Optional, Sequence
 
 from repro import calibration as cal
@@ -29,15 +29,17 @@ class MsgSend:
     amount: int
 
 
-_TX_COUNTER = itertools.count()
-
-
 @dataclass
 class Tx:
     """A signed transaction.
 
     ``hash``/``size_bytes`` satisfy Tendermint's ``TxLike`` protocol; the
     rest is consumed by the ante handler and the application.
+
+    ``nonce`` distinguishes rebuilt transactions that share a signer and
+    sequence (e.g. a relayer re-signing after a sequence mismatch).  It is
+    issued per :class:`TxFactory` — a process-global counter would leak
+    state between runs and change every tx hash on replay.
     """
 
     msgs: list[Any]
@@ -48,7 +50,7 @@ class Tx:
     fee: float
     signature: bytes
     memo: str = ""
-    nonce: int = field(default_factory=lambda: next(_TX_COUNTER))
+    nonce: int = 0
 
     def __post_init__(self) -> None:
         if not self.msgs:
@@ -111,6 +113,7 @@ class TxFactory:
         self.max_msgs_per_tx = max_msgs_per_tx
         self.gas_price = gas_price
         self.local_sequence = 0
+        self._nonces = itertools.count()
 
     def build(
         self,
@@ -137,6 +140,7 @@ class TxFactory:
             fee=gas_limit * self.gas_price,
             signature=b"",
             memo=memo,
+            nonce=next(self._nonces),
         )
         signature = self.wallet.private_key.sign(tx.sign_bytes())
         tx.signature = signature

@@ -44,7 +44,13 @@ class CrossChainDataConnector:
     def __init__(self, env: Environment, nodes: dict[str, ChainNode], host: str):
         self.env = env
         self.clients = {
-            chain_id: RpcClient(env, node.chain.network, host, node.rpc)
+            chain_id: RpcClient(
+                env,
+                node.chain.network,
+                host,
+                node.rpc,
+                client_id=f"analysis/{host}/{chain_id}",
+            )
             for chain_id, node in nodes.items()
         }
 

@@ -37,7 +37,9 @@ class WorkloadStats:
     lost_transfers: int = 0  # broadcast RPC failures (never reached the node)
     submissions: list[TransferSubmission] = field(default_factory=list)
     start_time: float = 0.0
-    end_time: float = 0.0
+    #: None until the workload finishes (an explicit sentinel: comparing a
+    #: simulated float timestamp against 0.0 for "unset" is fragile).
+    end_time: Optional[float] = None
 
     def record(self, submission: TransferSubmission) -> None:
         self.submissions.append(submission)
@@ -180,6 +182,6 @@ class WorkloadDriver:
 
     def finalize(self) -> WorkloadStats:
         self.stats.finalize_commits()
-        if self.stats.end_time == 0.0:
+        if self.stats.end_time is None:
             self.stats.end_time = self.env.now
         return self.stats

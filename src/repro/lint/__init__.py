@@ -1,0 +1,36 @@
+"""repro.lint — AST-based determinism & simulation-correctness analyzer.
+
+The reproduction's numbers are only credible if the discrete-event
+simulation replays identically for a given seed.  This package enforces
+that property statically, forever, with a small rule set:
+
+=======  ==============================================================
+Rule     What it forbids
+=======  ==============================================================
+D001     wall-clock reads (``time.time``, ``datetime.now``, ...)
+D002     RNG construction outside ``sim/rng.py``'s RngRegistry streams
+D003     iteration over sets / raw ``dict.keys()`` in ordered positions
+D004     float equality comparisons on simulated timestamps
+R001     sim resource ``request()`` without a matching ``release()``
+=======  ==============================================================
+
+Run it with ``python -m repro.lint [paths]`` (or ``python -m repro lint``).
+Findings can be waived inline with ``# repro-lint: disable=<RULE>``.
+"""
+
+from repro.lint.config import LintConfig
+from repro.lint.driver import lint_paths, lint_source
+from repro.lint.findings import Finding
+from repro.lint.reporters import render_json, render_text
+from repro.lint.rules import REGISTRY, all_rules
+
+__all__ = [
+    "Finding",
+    "LintConfig",
+    "REGISTRY",
+    "all_rules",
+    "lint_paths",
+    "lint_source",
+    "render_json",
+    "render_text",
+]

@@ -1,0 +1,75 @@
+"""``python -m repro.lint`` — run the determinism analyzer from the shell.
+
+Exit status: 0 when no findings, 1 when any finding survives suppression
+and exemption filtering, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+from repro.lint.config import LintConfig
+from repro.lint.driver import lint_paths
+from repro.lint.reporters import REPORTERS
+from repro.lint.rules import REGISTRY
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description=(
+            "AST-based determinism and simulation-correctness analyzer "
+            "for the repro codebase."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to analyze (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=sorted(REPORTERS),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--rules",
+        default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the registered rules and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule_id, rule in REGISTRY.items():
+            print(f"{rule_id}  {rule.description}")
+        return 0
+
+    select = None
+    if args.rules:
+        select = frozenset(r.strip() for r in args.rules.split(",") if r.strip())
+        unknown = select - set(REGISTRY)
+        if unknown:
+            parser.error(f"unknown rule id(s): {', '.join(sorted(unknown))}")
+    config = LintConfig.with_rules(select)
+
+    findings = lint_paths(args.paths, config)
+    print(REPORTERS[args.format](findings))
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

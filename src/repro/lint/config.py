@@ -1,0 +1,42 @@
+"""Analyzer configuration: rule selection and per-rule path exemptions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+#: Files that are structurally allowed to violate a rule.  Matched as
+#: posix-path suffixes so the config is independent of the checkout root.
+DEFAULT_EXEMPT_PATHS: Mapping[str, tuple[str, ...]] = {
+    # sim/rng.py is the one blessed constructor of random.Random instances:
+    # every other module must go through its RngRegistry named streams.
+    "D002": ("sim/rng.py",),
+    # resources.py implements request()/release() themselves.
+    "R001": ("sim/resources.py",),
+}
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """What to check and where exceptions are allowed."""
+
+    #: Rule ids to run; ``None`` means every registered rule.
+    select: Optional[frozenset[str]] = None
+    #: rule id -> posix path suffixes exempt from that rule.
+    exempt_paths: Mapping[str, tuple[str, ...]] = field(
+        default_factory=lambda: dict(DEFAULT_EXEMPT_PATHS)
+    )
+
+    def rule_enabled(self, rule_id: str) -> bool:
+        return self.select is None or rule_id in self.select
+
+    def rule_exempt(self, rule_id: str, posix_path: str) -> bool:
+        """True when ``posix_path`` is structurally exempt from the rule."""
+        for suffix in self.exempt_paths.get(rule_id, ()):
+            if posix_path.endswith(suffix):
+                return True
+        return False
+
+    @classmethod
+    def with_rules(cls, rule_ids: Optional[frozenset[str]]) -> "LintConfig":
+        return cls(select=rule_ids)

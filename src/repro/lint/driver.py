@@ -1,0 +1,90 @@
+"""The analysis driver: file discovery, parsing and rule execution."""
+
+from __future__ import annotations
+
+import ast
+import os
+from pathlib import Path
+from typing import Iterable, Iterator, Optional, Sequence
+
+from repro.lint.config import LintConfig
+from repro.lint.findings import PARSE_ERROR_RULE, Finding
+from repro.lint.rules import all_rules
+from repro.lint.rules.base import ModuleContext
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterator[str]:
+    """Expand files/directories into a sorted, de-duplicated file list."""
+    seen: list[str] = []
+    known: set[str] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            candidates: Iterable[Path] = sorted(path.rglob("*.py"))
+        else:
+            candidates = [path]
+        for candidate in candidates:
+            key = os.path.normpath(str(candidate))
+            if key not in known:
+                known.add(key)
+                seen.append(key)
+    return iter(seen)
+
+
+def lint_source(
+    source: str,
+    path: str = "<memory>",
+    config: Optional[LintConfig] = None,
+) -> list[Finding]:
+    """Lint one module given as text (the unit-test entry point)."""
+    config = config or LintConfig()
+    posix_path = path.replace(os.sep, "/")
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1),
+                rule_id=PARSE_ERROR_RULE,
+                message=f"cannot parse module: {exc.msg}",
+            )
+        ]
+    ctx = ModuleContext(path=path, posix_path=posix_path, source=source, tree=tree)
+    findings: list[Finding] = []
+    for rule in all_rules():
+        if not config.rule_enabled(rule.rule_id):
+            continue
+        if config.rule_exempt(rule.rule_id, posix_path):
+            continue
+        for finding in rule.check(ctx):
+            if ctx.suppressions.is_suppressed(finding.line, finding.rule_id):
+                continue
+            findings.append(finding)
+    return sorted(findings)
+
+
+def lint_paths(
+    paths: Sequence[str], config: Optional[LintConfig] = None
+) -> list[Finding]:
+    """Lint every ``.py`` file under the given files/directories."""
+    config = config or LintConfig()
+    findings: list[Finding] = []
+    for filename in iter_python_files(paths):
+        try:
+            with open(filename, "r", encoding="utf-8") as handle:
+                source = handle.read()
+        except OSError as exc:
+            findings.append(
+                Finding(
+                    path=filename,
+                    line=1,
+                    col=1,
+                    rule_id=PARSE_ERROR_RULE,
+                    message=f"cannot read file: {exc}",
+                )
+            )
+            continue
+        findings.extend(lint_source(source, path=filename, config=config))
+    return sorted(findings)

@@ -1,0 +1,94 @@
+"""Rule base class and the per-module analysis context."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Optional
+
+from repro.lint.findings import Finding
+from repro.lint.suppress import SuppressionIndex
+
+
+class ModuleContext:
+    """Everything a rule needs to analyze one parsed module."""
+
+    def __init__(self, path: str, posix_path: str, source: str, tree: ast.Module):
+        self.path = path
+        #: Normalized forward-slash path used for exemption matching.
+        self.posix_path = posix_path
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = tree
+        self.suppressions = SuppressionIndex(self.lines)
+        #: ``import x.y as z`` -> {"z": "x.y"}
+        self.module_aliases: dict[str, str] = {}
+        #: ``from x.y import f as g`` -> {"g": "x.y.f"}
+        self.from_imports: dict[str, str] = {}
+        self._collect_imports()
+
+    def _collect_imports(self) -> None:
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    self.module_aliases[alias.asname or alias.name] = alias.name
+            elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    self.from_imports[alias.asname or alias.name] = (
+                        f"{node.module}.{alias.name}"
+                    )
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def dotted_parts(node: ast.AST) -> Optional[list[str]]:
+        """``a.b.c`` -> ["a", "b", "c"]; None for non-name chains."""
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        parts.append(node.id)
+        parts.reverse()
+        return parts
+
+    def resolve(self, node: ast.AST) -> Optional[str]:
+        """Resolve a name chain through the module's imports.
+
+        ``t.monotonic`` under ``import time as t`` resolves to
+        ``"time.monotonic"``; ``datetime.now`` under
+        ``from datetime import datetime`` resolves to
+        ``"datetime.datetime.now"``.  Locally defined names resolve to
+        themselves, so rules match on fully qualified stdlib names only.
+        """
+        parts = self.dotted_parts(node)
+        if not parts:
+            return None
+        head, rest = parts[0], parts[1:]
+        if head in self.from_imports:
+            head = self.from_imports[head]
+        elif head in self.module_aliases:
+            head = self.module_aliases[head]
+        return ".".join([head, *rest])
+
+
+class Rule:
+    """One static check.  Subclasses set the id/description and implement
+    :meth:`check` to yield findings for a module."""
+
+    rule_id: str = ""
+    description: str = ""
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        raise NotImplementedError
+
+    def finding(self, ctx: ModuleContext, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule_id=self.rule_id,
+            message=message,
+        )

@@ -1,0 +1,346 @@
+"""Determinism rules D001-D004.
+
+The discrete-event simulation is only trustworthy if the same seed replays
+the same event schedule.  These rules mechanically forbid the classic ways
+Python code goes nondeterministic: wall clocks, unmanaged RNGs, set
+iteration order and float-equality on simulated timestamps.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.lint.findings import Finding
+from repro.lint.rules import register
+from repro.lint.rules.base import ModuleContext, Rule
+
+# ----------------------------------------------------------------------
+# D001 — wall-clock reads
+# ----------------------------------------------------------------------
+
+_WALL_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "time.localtime",
+        "time.gmtime",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+
+@register
+class WallClockRule(Rule):
+    """Simulated components must read ``env.now``, never the host clock."""
+
+    rule_id = "D001"
+    description = (
+        "wall-clock read (time.time/monotonic/perf_counter, datetime.now); "
+        "use the simulation clock (env.now) instead"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = ctx.resolve(node.func)
+            if resolved in _WALL_CLOCK_CALLS:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"wall-clock call {resolved}() breaks replayability; "
+                    "use the simulation clock (Environment.now)",
+                )
+
+
+# ----------------------------------------------------------------------
+# D002 — RNG construction outside the registry
+# ----------------------------------------------------------------------
+
+_GLOBAL_RANDOM_FUNCS = frozenset(
+    {
+        "random.random",
+        "random.randint",
+        "random.randrange",
+        "random.uniform",
+        "random.choice",
+        "random.choices",
+        "random.sample",
+        "random.shuffle",
+        "random.seed",
+        "random.gauss",
+        "random.normalvariate",
+        "random.expovariate",
+        "random.betavariate",
+        "random.getrandbits",
+        "random.randbytes",
+    }
+)
+
+
+@register
+class RngConstructionRule(Rule):
+    """RNGs come from ``sim/rng.py``'s RngRegistry named streams."""
+
+    rule_id = "D002"
+    description = (
+        "unseeded / hard-coded-seed RNG construction or global-random use; "
+        "draw a named stream from sim.rng.RngRegistry instead"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = ctx.resolve(node.func)
+            if resolved is None:
+                continue
+            if resolved in _GLOBAL_RANDOM_FUNCS:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"{resolved}() uses the shared module-global RNG, whose "
+                    "state any import can perturb; use an RngRegistry stream",
+                )
+            elif resolved == "random.SystemRandom":
+                yield self.finding(
+                    ctx,
+                    node,
+                    "random.SystemRandom() draws OS entropy and can never "
+                    "be replayed; use an RngRegistry stream",
+                )
+            elif resolved == "random.Random":
+                if not node.args and not node.keywords:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "random.Random() without a seed is seeded from the "
+                        "OS; derive the stream from RngRegistry",
+                    )
+                elif node.args and isinstance(node.args[0], ast.Constant):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "random.Random with a hard-coded seed bypasses the "
+                        "experiment seed; derive the stream from RngRegistry",
+                    )
+
+
+# ----------------------------------------------------------------------
+# D003 — iteration over sets (and raw dict.keys()) in ordered sinks
+# ----------------------------------------------------------------------
+
+_SET_ANNOTATIONS = frozenset(
+    {"set", "frozenset", "Set", "FrozenSet", "MutableSet", "AbstractSet"}
+)
+_SET_RETURNING_METHODS = frozenset(
+    {"union", "intersection", "difference", "symmetric_difference", "copy"}
+)
+_ORDERED_SINK_CALLS = frozenset({"list", "tuple", "enumerate", "iter", "reversed"})
+
+
+def _annotation_base(node: ast.AST) -> str:
+    """The head identifier of an annotation (``set[int]`` -> ``set``)."""
+    if isinstance(node, ast.Subscript):
+        node = node.value
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        # String annotation: take the text before any subscript.
+        return node.value.split("[", 1)[0].strip()
+    return ""
+
+
+class _SetNames:
+    """Flow-insensitive record of names/attributes known to hold sets."""
+
+    def __init__(self) -> None:
+        self.names: set[str] = set()
+        self.self_attrs: set[str] = set()
+
+    def add_target(self, target: ast.AST) -> None:
+        if isinstance(target, ast.Name):
+            self.names.add(target.id)
+        elif isinstance(target, ast.Attribute):
+            if isinstance(target.value, ast.Name) and target.value.id == "self":
+                self.self_attrs.add(target.attr)
+
+
+@register
+class SetIterationRule(Rule):
+    """Set iteration order depends on hash seeding; sort before iterating."""
+
+    rule_id = "D003"
+    description = (
+        "iteration over a set (or raw dict.keys()) in an order-sensitive "
+        "position; wrap the iterable in sorted(...)"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        known = self._collect_set_names(ctx.tree)
+        yield from self._scan(ctx, ctx.tree, known)
+
+    # -- what counts as a set expression --------------------------------
+
+    def _collect_set_names(self, tree: ast.Module) -> _SetNames:
+        known = _SetNames()
+        # Two passes so ``a = some_set`` chains settle regardless of order.
+        for _ in range(2):
+            for node in ast.walk(tree):
+                if isinstance(node, ast.Assign):
+                    if self._is_set_expr(node.value, known):
+                        for target in node.targets:
+                            known.add_target(target)
+                elif isinstance(node, ast.AnnAssign):
+                    if _annotation_base(node.annotation) in _SET_ANNOTATIONS or (
+                        node.value is not None
+                        and self._is_set_expr(node.value, known)
+                    ):
+                        known.add_target(node.target)
+                elif isinstance(node, ast.arg):
+                    if node.annotation is not None and (
+                        _annotation_base(node.annotation) in _SET_ANNOTATIONS
+                    ):
+                        known.names.add(node.arg)
+        return known
+
+    def _is_set_expr(self, node: ast.AST, known: _SetNames) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Name):
+            return node.id in known.names
+        if isinstance(node, ast.Attribute):
+            return (
+                isinstance(node.value, ast.Name)
+                and node.value.id == "self"
+                and node.attr in known.self_attrs
+            )
+        if isinstance(node, ast.Call):
+            if isinstance(node.func, ast.Name) and node.func.id in (
+                "set",
+                "frozenset",
+            ):
+                return True
+            if isinstance(node.func, ast.Attribute) and (
+                node.func.attr in _SET_RETURNING_METHODS
+            ):
+                return self._is_set_expr(node.func.value, known)
+            return False
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+        ):
+            return self._is_set_expr(node.left, known) or self._is_set_expr(
+                node.right, known
+            )
+        return False
+
+    @staticmethod
+    def _is_raw_keys_call(node: ast.AST) -> bool:
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "keys"
+            and not node.args
+        )
+
+    # -- order-sensitive sinks ------------------------------------------
+
+    def _scan(
+        self, ctx: ModuleContext, tree: ast.Module, known: _SetNames
+    ) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                yield from self._check_iterable(ctx, node.iter, "for-loop", known)
+            elif isinstance(node, ast.ListComp):
+                for gen in node.generators:
+                    yield from self._check_iterable(
+                        ctx, gen.iter, "list comprehension", known
+                    )
+            elif isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+                if node.func.id in _ORDERED_SINK_CALLS and node.args:
+                    yield from self._check_iterable(
+                        ctx, node.args[0], f"{node.func.id}()", known
+                    )
+            elif isinstance(node, ast.Starred):
+                yield from self._check_iterable(
+                    ctx, node.value, "star-unpacking", known
+                )
+
+    def _check_iterable(
+        self, ctx: ModuleContext, iterable: ast.AST, sink: str, known: _SetNames
+    ) -> Iterator[Finding]:
+        if self._is_set_expr(iterable, known):
+            yield self.finding(
+                ctx,
+                iterable,
+                f"set iterated by a {sink}: set order follows the hash "
+                "seed, not the simulation; wrap in sorted(...)",
+            )
+        elif self._is_raw_keys_call(iterable):
+            yield self.finding(
+                ctx,
+                iterable,
+                f"dict.keys() iterated by a {sink}: make the intended "
+                "order explicit — iterate the dict or wrap in sorted(...)",
+            )
+
+
+# ----------------------------------------------------------------------
+# D004 — float equality on simulated timestamps
+# ----------------------------------------------------------------------
+
+_TIME_WORDS = frozenset({"time", "now", "timestamp", "ts", "deadline"})
+
+
+def _identifier_words(name: str) -> set[str]:
+    return {w for w in name.lower().split("_") if w}
+
+
+def _is_time_like(node: ast.AST) -> bool:
+    if isinstance(node, ast.Attribute):
+        return bool(_identifier_words(node.attr) & _TIME_WORDS)
+    if isinstance(node, ast.Name):
+        return bool(_identifier_words(node.id) & _TIME_WORDS)
+    return False
+
+
+@register
+class TimestampEqualityRule(Rule):
+    """Simulated timestamps are floats; ``==`` on them is accumulation-
+    order dependent.  Compare with a tolerance or restructure."""
+
+    rule_id = "D004"
+    description = (
+        "float equality comparison on a simulated timestamp; use an "
+        "ordering comparison, a tolerance, or an Optional sentinel"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            if not any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+                continue
+            operands = [node.left, *node.comparators]
+            if any(
+                isinstance(o, ast.Constant) and o.value is None for o in operands
+            ):
+                continue  # `x == None` is an identity bug, not a float one
+            if any(_is_time_like(o) for o in operands):
+                yield self.finding(
+                    ctx,
+                    node,
+                    "equality on a simulated timestamp compares floats "
+                    "bit-for-bit; use <=/>=, a tolerance, or None sentinels",
+                )

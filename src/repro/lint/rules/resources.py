@@ -1,0 +1,108 @@
+"""Simulation-correctness rule R001: leaked resource slots.
+
+A :class:`repro.sim.resources.Resource` slot obtained with ``request()``
+must be returned with ``release()`` (or withdrawn with ``cancel()``) in the
+same function, or the simulated server loses capacity forever — a leak that
+silently turns a throughput experiment into a starvation experiment.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.lint.findings import Finding
+from repro.lint.rules import register
+from repro.lint.rules.base import ModuleContext, Rule
+
+
+def _own_nodes(func: ast.AST) -> Iterator[ast.AST]:
+    """Walk a function body without descending into nested functions."""
+    stack: list[ast.AST] = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _is_request_call(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == "request"
+        and not node.args
+        and not node.keywords
+    )
+
+
+@register
+class ResourceLeakRule(Rule):
+    """``request()`` without a matching ``release``/``cancel`` in scope."""
+
+    rule_id = "R001"
+    description = (
+        "sim resource request() without a matching release()/cancel() in "
+        "the same function; the slot leaks and capacity shrinks forever"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_function(ctx, node)
+
+    def _check_function(
+        self, ctx: ModuleContext, func: ast.AST
+    ) -> Iterator[Finding]:
+        requests: dict[str, ast.AST] = {}
+        released: set[str] = set()
+        escaped: set[str] = set()
+        for node in _own_nodes(func):
+            if isinstance(node, ast.Assign) and _is_request_call(node.value):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        requests[target.id] = node.value
+                    else:
+                        # Stored on an object: lifetime exceeds this scope.
+                        pass
+            elif isinstance(node, ast.Expr) and _is_request_call(node.value):
+                yield self.finding(
+                    ctx,
+                    node.value,
+                    "request() result discarded; the granted slot can "
+                    "never be released",
+                )
+            elif isinstance(node, ast.Call) and isinstance(
+                node.func, ast.Attribute
+            ):
+                if node.func.attr == "release":
+                    for arg in node.args:
+                        if isinstance(arg, ast.Name):
+                            released.add(arg.id)
+                elif node.func.attr == "cancel" and isinstance(
+                    node.func.value, ast.Name
+                ):
+                    released.add(node.func.value.id)
+                else:
+                    # Passed to another call: treat as handed off.
+                    for arg in node.args:
+                        if isinstance(arg, ast.Name):
+                            escaped.add(arg.id)
+            elif isinstance(node, ast.Return) and isinstance(
+                node.value, ast.Name
+            ):
+                escaped.add(node.value.id)
+            elif isinstance(node, ast.Assign) and isinstance(
+                node.value, ast.Name
+            ):
+                escaped.add(node.value.id)
+        for name, call in requests.items():
+            if name in released or name in escaped:
+                continue
+            yield self.finding(
+                ctx,
+                call,
+                f"slot {name!r} from request() is never released or "
+                "cancelled in this function",
+            )

@@ -1,0 +1,56 @@
+"""Inline suppression comments.
+
+Two forms, mirroring the usual linter conventions:
+
+* ``# repro-lint: disable=D003`` on the offending line suppresses the
+  listed rules (comma-separated) for that line only;
+* ``# repro-lint: disable-file=D003`` anywhere in the file suppresses the
+  listed rules for the whole file.
+
+``all`` (or ``*``) may be used instead of a rule list to suppress every
+rule.  Suppressions are deliberately *visible* in the diff: a reviewer can
+grep ``repro-lint:`` to audit every waived determinism finding.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable
+
+_DIRECTIVE = re.compile(
+    r"#\s*repro-lint:\s*(?P<scope>disable(?:-file)?)\s*=\s*"
+    r"(?P<rules>(?:[A-Za-z][A-Za-z0-9_]*|\*)(?:\s*,\s*(?:[A-Za-z][A-Za-z0-9_]*|\*))*)"
+)
+
+#: Sentinel meaning "every rule".
+ALL_RULES = "*"
+
+
+def _parse_rule_list(raw: str) -> frozenset[str]:
+    rules = {part.strip() for part in raw.split(",") if part.strip()}
+    if ALL_RULES in rules or any(r.lower() == "all" for r in rules):
+        return frozenset({ALL_RULES})
+    return frozenset(rules)
+
+
+class SuppressionIndex:
+    """Per-file map of suppressed rules, built from the source lines."""
+
+    def __init__(self, source_lines: Iterable[str]):
+        self.by_line: dict[int, frozenset[str]] = {}
+        self.file_wide: frozenset[str] = frozenset()
+        for lineno, text in enumerate(source_lines, start=1):
+            match = _DIRECTIVE.search(text)
+            if match is None:
+                continue
+            rules = _parse_rule_list(match.group("rules"))
+            if match.group("scope") == "disable-file":
+                self.file_wide = self.file_wide | rules
+            else:
+                self.by_line[lineno] = self.by_line.get(lineno, frozenset()) | rules
+
+    def is_suppressed(self, line: int, rule_id: str) -> bool:
+        for scope in (self.file_wide, self.by_line.get(line, frozenset())):
+            if ALL_RULES in scope or rule_id in scope:
+                return True
+        return False

@@ -79,6 +79,10 @@ class ChainEndpoint:
             client_host,
             node.rpc,
             timeout=config.rpc_timeout_seconds,
+            # Stable id (relayer names are unique per testbed): the default
+            # falls back to a process-global counter, which is replay-safe
+            # but drifts across runs in one process.
+            client_id=f"{config.name}/{node.chain.chain_id}",
         )
         # +1: each packet transaction carries a prepended MsgUpdateClient on
         # top of the (paper-reported) 100 packet messages.

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Collection, Optional
 
 from repro.ibc.packet import Height, Packet
 from repro.tendermint.websocket import BlockNotification, EventDescriptor
@@ -78,9 +78,14 @@ def routing_channel_for(kind: str, packet: Packet) -> str:
 
 
 def batches_from_notification(
-    notification: BlockNotification, kinds: set[str]
+    notification: BlockNotification, kinds: Collection[str]
 ) -> list[WorkBatch]:
-    """Split a block notification into per-(kind, channel) work batches."""
+    """Split a block notification into per-(kind, channel) work batches.
+
+    ``kinds`` is a membership filter only — it is never iterated, so the
+    produced batch order depends exclusively on the (deterministic) event
+    order inside the notification.
+    """
     batches: dict[tuple[str, str], WorkBatch] = {}
     for descriptor in notification.events:
         if descriptor.type not in kinds:

@@ -18,8 +18,11 @@ from repro.sim.core import Environment
 from repro.tendermint.node import ChainNode
 from repro.tendermint.websocket import BlockNotification, Subscription
 
-#: Event kinds the supervisor subscribes to per chain.
-SUBSCRIBED_KINDS = {"send_packet", "write_acknowledgement", "acknowledge_packet"}
+#: Event kinds the supervisor subscribes to per chain.  A frozenset: used
+#: for membership filtering only, never iterated (repro.lint D003).
+SUBSCRIBED_KINDS = frozenset(
+    {"send_packet", "write_acknowledgement", "acknowledge_packet"}
+)
 
 #: Log-step name per extracted event kind (the paper's 13-step naming).
 _EXTRACTION_STEP = {
@@ -63,7 +66,7 @@ class Supervisor:
 
     def attach(self, node: ChainNode) -> None:
         subscription = node.websocket.subscribe(
-            self.client_host, event_types=set(SUBSCRIBED_KINDS)
+            self.client_host, event_types=SUBSCRIBED_KINDS
         )
         self.subscriptions[node.chain.chain_id] = subscription
 

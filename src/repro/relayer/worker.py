@@ -160,8 +160,13 @@ class DirectionWorker:
             except RpcError as exc:
                 self.log.error("query_failed", stage="unreceived", reason=str(exc))
                 return
+            # Membership set only — never iterated: iteration order would
+            # depend on the hash seed, not the simulation (repro.lint D003).
             wanted = set(unreceived)
-            to_relay = [p for p in packets if p.sequence in wanted]
+            to_relay = sorted(
+                (p for p in packets if p.sequence in wanted),
+                key=lambda p: p.sequence,
+            )
             skipped = len(packets) - len(to_relay)
             if skipped:
                 # Another relayer won the race before we even built the msgs.
@@ -344,8 +349,13 @@ class DirectionWorker:
         except RpcError as exc:
             self.log.error("query_failed", stage="unreceived_acks", reason=str(exc))
             return
+        # Membership-only set; the submitted order is made canonical by
+        # sorting on sequence so ack transactions replay identically.
         wanted = set(unacked)
-        to_relay = [p for p in packets if p.sequence in wanted]
+        to_relay = sorted(
+            (p for p in packets if p.sequence in wanted),
+            key=lambda p: p.sequence,
+        )
         if not to_relay:
             return
         yield from self._submit_ack_chunks(to_relay, acks)
@@ -413,9 +423,11 @@ class DirectionWorker:
             if not self.pending:
                 continue
             dst_height = self.heights.get(self.dst_end.chain_id, 0)
+            # Sorted by sequence: timeout submission order must not depend
+            # on pending-dict insertion history.
             expired = [
                 p
-                for p in self.pending.values()
+                for _seq, p in sorted(self.pending.items())
                 if not p.timeout_height.is_zero
                 and p.timeout_height.revision_height <= dst_height
                 and p.sequence not in self._in_flight
@@ -492,7 +504,7 @@ class DirectionWorker:
         except RpcError as exc:
             self.log.error("query_failed", stage="clear_scan", reason=str(exc))
             return
-        stale = [s for s in sequences if s not in self._in_flight]
+        stale = sorted(s for s in sequences if s not in self._in_flight)
         if not stale:
             return
         self.log.info("packet_clear", count=len(stale))

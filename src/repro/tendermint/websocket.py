@@ -13,7 +13,7 @@ for that subscription: the events of the oversized block are lost and (with
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Optional
+from typing import Any, Collection, Optional
 
 from repro import calibration as cal
 from repro.errors import WebSocketFrameTooLargeError
@@ -55,7 +55,9 @@ class Subscription:
 
     subscriber_host: str
     queue: Store
-    event_types: Optional[set[str]] = None
+    #: Membership filter only — kept frozen so it can never be iterated in
+    #: an order-sensitive path (repro.lint D003).
+    event_types: Optional[frozenset[str]] = None
     failed: bool = False
     delivered: int = 0
     failures: int = 0
@@ -82,12 +84,12 @@ class WebSocketServer:
     def subscribe(
         self,
         subscriber_host: str,
-        event_types: Optional[set[str]] = None,
+        event_types: Optional[Collection[str]] = None,
     ) -> Subscription:
         subscription = Subscription(
             subscriber_host=subscriber_host,
             queue=Store(self.env),
-            event_types=set(event_types) if event_types else None,
+            event_types=frozenset(event_types) if event_types else None,
         )
         self.subscriptions.append(subscription)
         return subscription

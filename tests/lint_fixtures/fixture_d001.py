@@ -1,0 +1,12 @@
+"""Seeded D001 violations (wall-clock reads).  Parsed by repro.lint tests,
+never imported or executed."""
+
+import time as clock
+from datetime import datetime
+
+
+def stamp_events(events):
+    started = clock.time()  # line 9: D001
+    for event in events:
+        event.seen_at = datetime.now()  # line 11: D001
+    return clock.monotonic() - started  # line 12: D001

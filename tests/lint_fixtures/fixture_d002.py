@@ -1,0 +1,18 @@
+"""Seeded D002 violations (RNG construction outside the registry).
+Parsed by repro.lint tests, never imported or executed."""
+
+import random
+from random import Random
+
+
+def make_generators():
+    jitter = random.Random(0)  # line 9: D002 hard-coded seed
+    noise = random.Random()  # line 10: D002 unseeded
+    aliased = Random(42)  # line 11: D002 via from-import
+    sample = random.uniform(0.0, 1.0)  # line 12: D002 global RNG
+    return jitter, noise, aliased, sample
+
+
+def fine(registry):
+    # Going through the registry is the blessed path: not flagged.
+    return registry.stream("fixture/ok")

@@ -1,0 +1,20 @@
+"""Seeded D003 violations (set / raw dict.keys() iteration order).
+Parsed by repro.lint tests, never imported or executed."""
+
+
+def submission_order(pending: set, table):
+    order = []
+    for sequence in pending:  # line 7: D003 set iterated by for-loop
+        order.append(sequence)
+    ready = {3, 1, 2}
+    batch = list(ready)  # line 10: D003 set into list()
+    hashes = [k for k in table.keys()]  # line 11: D003 raw dict.keys()
+    return order, batch, hashes
+
+
+def deterministic(pending: set, table):
+    # Sorting first makes the order explicit: none of these are flagged.
+    ordered = sorted(pending)
+    names = sorted(table.keys())
+    present = 3 in pending  # membership is order-free
+    return ordered, names, present

@@ -1,0 +1,14 @@
+"""Seeded D004 violations (float equality on simulated timestamps).
+Parsed by repro.lint tests, never imported or executed."""
+
+
+def settled(env_now, deadline, records):
+    if env_now == deadline:  # line 6: D004
+        return []
+    return [r for r in records if r.time != deadline]  # line 8: D004
+
+
+def fine(env_now, deadline, count):
+    overdue = env_now >= deadline  # ordering comparison: not flagged
+    exact = count == 5  # not time-like: not flagged
+    return overdue, exact

@@ -1,0 +1,21 @@
+"""Seeded R001 violations (leaked simulation resource slots).
+Parsed by repro.lint tests, never imported or executed."""
+
+
+def leaky(env, resource):
+    slot = resource.request()  # line 6: R001 never released
+    yield slot
+    yield env.timeout(1.0)
+
+
+def discarded(resource):
+    resource.request()  # line 12: R001 result discarded
+
+
+def correct(env, resource):
+    slot = resource.request()
+    yield slot
+    try:
+        yield env.timeout(1.0)
+    finally:
+        resource.release(slot)

@@ -1,0 +1,16 @@
+"""All violations in this file are waived by inline suppressions; the
+analyzer must report nothing.  Parsed by repro.lint tests, never executed."""
+# repro-lint: disable-file=D004
+
+import random
+
+
+def build():
+    rng = random.Random(7)  # repro-lint: disable=D002
+    seen = {1, 2}
+    order = list(seen)  # repro-lint: disable=D003
+    return rng, order
+
+
+def check(env_now, deadline):
+    return env_now == deadline  # waived by the disable-file above

@@ -1,0 +1,23 @@
+"""Tier-1 gate: the analyzer must be clean over the whole source tree.
+
+Running this inside the normal pytest run makes ``repro.lint`` a standing
+determinism gate with no extra CI plumbing: any future wall-clock read,
+rogue RNG, set-order dependence or leaked resource slot fails the suite.
+"""
+
+from pathlib import Path
+
+import repro
+from repro.lint import lint_paths
+
+SRC_ROOT = Path(repro.__file__).parent
+
+
+def test_source_tree_exists():
+    assert (SRC_ROOT / "sim" / "rng.py").is_file()
+
+
+def test_lint_clean_over_src_repro():
+    findings = lint_paths([str(SRC_ROOT)])
+    rendered = "\n".join(f.format() for f in findings)
+    assert not findings, f"repro.lint found violations:\n{rendered}"

@@ -1,0 +1,253 @@
+"""Unit tests for the repro.lint analyzer: rules, suppressions, CLI."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.lint import REGISTRY, LintConfig, lint_paths, lint_source
+from repro.lint.cli import main as lint_cli
+from repro.lint.findings import PARSE_ERROR_RULE
+from repro.lint.reporters import render_json, render_text
+
+FIXTURES = Path(__file__).parent / "lint_fixtures"
+
+
+def rules_hit(findings):
+    return {f.rule_id for f in findings}
+
+
+def lint_fixture(name):
+    return lint_paths([str(FIXTURES / name)])
+
+
+# ----------------------------------------------------------------------
+# Per-rule detection on the seeded fixture files
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "fixture, rule_id, expected_lines",
+    [
+        ("fixture_d001.py", "D001", {9, 11, 12}),
+        ("fixture_d002.py", "D002", {9, 10, 11, 12}),
+        ("fixture_d003.py", "D003", {7, 10, 11}),
+        ("fixture_d004.py", "D004", {6, 8}),
+        ("fixture_r001.py", "R001", {6, 12}),
+    ],
+)
+def test_fixture_findings(fixture, rule_id, expected_lines):
+    findings = lint_fixture(fixture)
+    assert rules_hit(findings) == {rule_id}
+    assert {f.line for f in findings} == expected_lines
+    assert all(f.path.endswith(fixture) for f in findings)
+
+
+def test_fixture_files_cover_every_rule():
+    findings = lint_paths([str(FIXTURES)])
+    assert rules_hit(findings) == set(REGISTRY)
+
+
+# ----------------------------------------------------------------------
+# Rule behaviour details (in-memory sources)
+# ----------------------------------------------------------------------
+
+
+def test_d001_resolves_import_aliases():
+    findings = lint_source(
+        "import time as t\n"
+        "from time import perf_counter as pc\n"
+        "a = t.time()\n"
+        "b = pc()\n"
+    )
+    assert [f.rule_id for f in findings] == ["D001", "D001"]
+    assert {f.line for f in findings} == {3, 4}
+
+
+def test_d001_ignores_env_now_and_local_time_names():
+    findings = lint_source(
+        "def run(env):\n"
+        "    t = env.now\n"
+        "    time = lambda: 1\n"
+        "    return time(), t\n"
+    )
+    assert findings == []
+
+
+def test_d002_allows_variable_seeds():
+    findings = lint_source(
+        "import random\n"
+        "def make(seed):\n"
+        "    return random.Random(seed)\n"
+    )
+    assert findings == []
+
+
+def test_d002_exempts_the_registry_module():
+    source = "import random\nrng = random.Random(0)\n"
+    assert lint_source(source, path="src/repro/sim/rng.py") == []
+    assert rules_hit(lint_source(source, path="src/repro/other.py")) == {"D002"}
+
+
+def test_d003_sorted_wrapping_is_clean():
+    findings = lint_source(
+        "def run(items: set):\n"
+        "    for x in sorted(items):\n"
+        "        yield x\n"
+        "    return 3 in items\n"
+    )
+    assert findings == []
+
+
+def test_d003_tracks_assigned_set_names_and_self_attrs():
+    findings = lint_source(
+        "class W:\n"
+        "    def __init__(self):\n"
+        "        self.in_flight = set()\n"
+        "    def drain(self):\n"
+        "        pending = {1, 2}\n"
+        "        a = list(pending)\n"
+        "        b = [s for s in self.in_flight]\n"
+        "        return a, b\n"
+    )
+    assert [f.rule_id for f in findings] == ["D003", "D003"]
+    assert {f.line for f in findings} == {6, 7}
+
+
+def test_d003_set_operations_propagate():
+    findings = lint_source(
+        "def run(a: set, b: set):\n"
+        "    for x in a | b:\n"
+        "        yield x\n"
+    )
+    assert rules_hit(findings) == {"D003"}
+
+
+def test_d004_none_comparisons_are_ignored():
+    findings = lint_source(
+        "def check(end_time):\n"
+        "    return end_time == None\n"
+    )
+    assert findings == []
+
+
+def test_r001_release_in_finally_is_clean():
+    findings = lint_source(
+        "def serve(self, service_time):\n"
+        "    req = self.resource.request()\n"
+        "    yield req\n"
+        "    try:\n"
+        "        yield self.env.timeout(service_time)\n"
+        "    finally:\n"
+        "        self.resource.release(req)\n"
+    )
+    assert findings == []
+
+
+def test_r001_cancel_counts_as_release():
+    findings = lint_source(
+        "def serve(resource):\n"
+        "    req = resource.request()\n"
+        "    req.cancel()\n"
+    )
+    assert findings == []
+
+
+def test_r001_escaped_request_not_flagged():
+    findings = lint_source(
+        "def acquire(resource):\n"
+        "    req = resource.request()\n"
+        "    return req\n"
+    )
+    assert findings == []
+
+
+def test_parse_error_reported_as_finding():
+    findings = lint_source("def broken(:\n")
+    assert [f.rule_id for f in findings] == [PARSE_ERROR_RULE]
+
+
+# ----------------------------------------------------------------------
+# Suppressions and configuration
+# ----------------------------------------------------------------------
+
+
+def test_inline_and_file_suppressions():
+    assert lint_fixture("fixture_suppressed.py") == []
+
+
+def test_inline_suppression_is_rule_specific():
+    findings = lint_source(
+        "import random\n"
+        "a = random.Random(1)  # repro-lint: disable=D003\n"
+    )
+    assert rules_hit(findings) == {"D002"}
+
+
+def test_disable_all_wildcard():
+    findings = lint_source(
+        "import random\n"
+        "a = random.Random(1)  # repro-lint: disable=all\n"
+    )
+    assert findings == []
+
+
+def test_rule_selection_config():
+    config = LintConfig.with_rules(frozenset({"D001"}))
+    findings = lint_paths([str(FIXTURES)], config)
+    assert rules_hit(findings) == {"D001"}
+
+
+# ----------------------------------------------------------------------
+# Reporters and CLI
+# ----------------------------------------------------------------------
+
+
+def test_text_reporter_format():
+    findings = lint_fixture("fixture_d002.py")
+    text = render_text(findings)
+    assert "fixture_d002.py:9:" in text
+    assert "D002" in text
+    assert "finding(s)" in text
+
+
+def test_json_reporter_roundtrip():
+    findings = lint_fixture("fixture_d001.py")
+    payload = json.loads(render_json(findings))
+    assert payload["count"] == len(findings) == 3
+    assert payload["findings"][0]["rule"] == "D001"
+    assert payload["findings"][0]["line"] == 9
+
+
+def test_cli_exit_codes(capsys):
+    assert lint_cli([str(FIXTURES / "fixture_d001.py")]) == 1
+    assert lint_cli([str(FIXTURES / "fixture_suppressed.py")]) == 0
+    capsys.readouterr()
+
+
+def test_cli_json_format(capsys):
+    code = lint_cli([str(FIXTURES / "fixture_r001.py"), "--format", "json"])
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 1
+    assert {f["rule"] for f in payload["findings"]} == {"R001"}
+
+
+def test_cli_list_rules(capsys):
+    assert lint_cli(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("D001", "D002", "D003", "D004", "R001"):
+        assert rule_id in out
+
+
+def test_cli_rule_selection(capsys):
+    code = lint_cli([str(FIXTURES), "--rules", "R001"])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "R001" in out and "D001" not in out
+
+
+def test_main_cli_lint_subcommand(capsys):
+    from repro.__main__ import main
+
+    assert main(["lint", str(FIXTURES / "fixture_d004.py")]) == 1
+    assert "D004" in capsys.readouterr().out
