@@ -53,7 +53,16 @@ def relative_error(measured: float, expected: float) -> float:
 
 
 def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
-    """Render an aligned text table."""
+    """Render an aligned text table.
+
+    Every row must have exactly ``len(headers)`` cells; ragged input
+    raises :class:`ValueError` instead of silently truncating columns.
+    """
+    for index, row in enumerate(rows):
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row {index} has {len(row)} cells, expected {len(headers)}"
+            )
     columns = [
         [str(h)] + [str(row[i]) for row in rows] for i, h in enumerate(headers)
     ]

@@ -127,6 +127,15 @@ class RpcOverloadedError(RpcError):
     """The RPC server shed the request because its queue is saturated."""
 
 
+class NodeUnavailableError(RpcError):
+    """The full node refused the connection because it is down.
+
+    Raised when a fault-injected node crash (``repro.faults``) makes the
+    RPC/WebSocket endpoints refuse new connections.  Transient: the node
+    comes back after the crash window, so retry-with-backoff recovers.
+    """
+
+
 class WebSocketFrameTooLargeError(RpcError):
     """Event payload exceeded the Tendermint WebSocket 16 MB frame limit.
 

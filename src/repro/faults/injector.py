@@ -1,0 +1,146 @@
+"""The fault injector: drives a :class:`FaultSchedule` against a testbed.
+
+One sim process per fault waits for its activation time, applies the
+fault to every affected component, and (for windowed faults) restores
+the component at the window's end.  The injector records every window it
+opened in :attr:`FaultInjector.windows`, which the experiment framework
+folds into the report.
+
+Determinism: activation/restoration are pure sim-time waits; the only
+randomness — brown-out drop decisions — draws from a per-fault derived
+stream (``faults/brownout/<host>/<index>``), so adding or removing one
+fault never shifts another's draws.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.faults.schedule import (
+    Fault,
+    FaultSchedule,
+    LinkDegradation,
+    NodeCrash,
+    RpcBrownout,
+    WsDisconnect,
+)
+from repro.sim.core import Environment
+from repro.sim.network import LinkSpec, Network
+from repro.sim.rng import RngRegistry
+from repro.tendermint.node import Chain
+
+
+@dataclass
+class FaultWindow:
+    """One applied fault occurrence, for reporting."""
+
+    kind: str
+    target: str
+    start: float
+    end: Optional[float] = None
+
+
+class FaultInjector:
+    """Applies a schedule to a set of chains sharing one network."""
+
+    def __init__(
+        self,
+        env: Environment,
+        network: Network,
+        chains: list[Chain],
+        rng: RngRegistry,
+        schedule: FaultSchedule,
+    ):
+        self.env = env
+        self.network = network
+        self.chains = chains
+        self.rng = rng
+        self.schedule = schedule
+        #: Every window this injector opened, in activation order.
+        self.windows: list[FaultWindow] = []
+        self._started = False
+
+    def start(self) -> None:
+        """Arm the schedule; fault times count from the current sim time."""
+        if self._started:
+            return
+        self._started = True
+        base = self.env.now
+        for index, fault in enumerate(self.schedule.faults):
+            self.env.process(
+                self._run(fault, index, base), name=f"fault/{index}"
+            )
+
+    # ------------------------------------------------------------------
+
+    def _nodes_on(self, host: str):
+        """Full nodes on ``host``, across chains, in chain declaration
+        order (a machine typically hosts one node per chain)."""
+        return [
+            chain.nodes[host] for chain in self.chains if host in chain.nodes
+        ]
+
+    def _run(self, fault: Fault, index: int, base: float):
+        yield self.env.timeout(max(0.0, base + fault.at - self.env.now))
+        if isinstance(fault, NodeCrash):
+            yield from self._run_crash(fault)
+        elif isinstance(fault, RpcBrownout):
+            yield from self._run_brownout(fault, index)
+        elif isinstance(fault, WsDisconnect):
+            self._run_disconnect(fault)
+        elif isinstance(fault, LinkDegradation):
+            yield from self._run_link(fault)
+
+    def _run_crash(self, fault: NodeCrash):
+        window = FaultWindow("node_crash", fault.host, start=self.env.now)
+        self.windows.append(window)
+        silenced: list[tuple[Chain, str]] = []
+        for node in self._nodes_on(fault.host):
+            node.set_crashed(True)
+        for chain in self.chains:
+            for name, host in sorted(chain.validator_hosts.items()):
+                if host == fault.host:
+                    chain.engine.set_silent(name, True)
+                    silenced.append((chain, name))
+        yield self.env.timeout(fault.duration)
+        # Restart: the node recovers its (never lost) state and rejoins.
+        for node in self._nodes_on(fault.host):
+            node.set_crashed(False)
+        for chain, name in silenced:
+            chain.engine.set_silent(name, False)
+        window.end = self.env.now
+
+    def _run_brownout(self, fault: RpcBrownout, index: int):
+        window = FaultWindow("rpc_brownout", fault.host, start=self.env.now)
+        self.windows.append(window)
+        until = self.env.now + fault.duration
+        stream = self.rng.stream(f"faults/brownout/{fault.host}/{index}")
+        for node in self._nodes_on(fault.host):
+            node.rpc.set_brownout(fault.drop_probability, until, stream)
+        yield self.env.timeout(fault.duration)
+        window.end = self.env.now
+
+    def _run_disconnect(self, fault: WsDisconnect) -> None:
+        window = FaultWindow("ws_disconnect", fault.host, start=self.env.now)
+        window.end = self.env.now  # instantaneous: the reset has no width
+        self.windows.append(window)
+        for node in self._nodes_on(fault.host):
+            node.websocket.disconnect_all("fault injection")
+
+    def _run_link(self, fault: LinkDegradation):
+        target = f"{fault.a}<->{fault.b}"
+        window = FaultWindow("link_degradation", target, start=self.env.now)
+        self.windows.append(window)
+        previous = self.network.link_override(fault.a, fault.b)
+        self.network.set_link(
+            fault.a,
+            fault.b,
+            LinkSpec(latency=fault.latency, jitter=fault.jitter, loss=fault.loss),
+        )
+        yield self.env.timeout(fault.duration)
+        if previous is None:
+            self.network.clear_link(fault.a, fault.b)
+        else:
+            self.network.set_link(fault.a, fault.b, previous)
+        window.end = self.env.now

@@ -13,9 +13,11 @@ from repro.framework.connectors import (
 )
 from repro.framework.metrics import (
     CompletionStatus,
+    FaultReport,
     GasMetrics,
     RpcBusyMetrics,
     WindowMetrics,
+    collect_fault_metrics,
     collect_gas_metrics,
     collect_rpc_metrics,
     collect_window_metrics,
@@ -39,6 +41,7 @@ __all__ = [
     "ExperimentConfig",
     "ExperimentReport",
     "ExperimentRunner",
+    "FaultReport",
     "GasMetrics",
     "METRICS",
     "SweepPoint",
@@ -51,6 +54,7 @@ __all__ = [
     "WindowMetrics",
     "WorkloadDriver",
     "WorkloadStats",
+    "collect_fault_metrics",
     "collect_gas_metrics",
     "collect_rpc_metrics",
     "collect_window_metrics",

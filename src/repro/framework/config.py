@@ -14,6 +14,7 @@ from typing import Optional
 
 from repro import calibration as cal
 from repro.errors import WorkloadError
+from repro.faults import FaultSchedule
 
 
 @dataclass
@@ -71,6 +72,17 @@ class ExperimentConfig:
     #: large sweeps), or "auto" (stub above ``AUTO_STUB_THRESHOLD`` expected
     #: packets).
     proof_mode: str = "auto"
+
+    # -- robustness scenarios -----------------------------------------------
+    #: Deterministic fault schedule (see :mod:`repro.faults`); fault times
+    #: are relative to the measurement-window start.  None = fault-free.
+    faults: Optional[FaultSchedule] = None
+    #: Relayer retry budget for transient RPC errors (0 = Hermes 1.0.0
+    #: behaviour: fail the query on the first timeout).
+    rpc_retry_attempts: int = 0
+    #: Relayer reopens dropped WebSocket subscriptions (with height-gap
+    #: detection feeding the clear machinery).
+    resubscribe_on_disconnect: bool = True
 
     # -- measurement/simulation mechanics ----------------------------------------
     seed: int = 1

@@ -53,6 +53,8 @@ class CrossChainDataConnector:
             )
             for chain_id, node in nodes.items()
         }
+        #: Blocks whose fetch failed (RPC error), for honest accounting.
+        self.failed_fetches: list[tuple[str, int]] = []
 
     def collect_blocks(
         self, chain_id: str, heights: list[int]
@@ -65,6 +67,7 @@ class CrossChainDataConnector:
             try:
                 info = yield from client.call("block_info", height=height)
             except RpcError:
+                self.failed_fetches.append((chain_id, height))
                 continue
             if info is None:
                 continue

@@ -8,8 +8,9 @@ comes from the event processor.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Any, Optional
 
+from repro.faults import FaultWindow
 from repro.sim.monitor import SummaryStats
 from repro.tendermint.node import Chain
 
@@ -242,6 +243,77 @@ def collect_gas_metrics(chain_a: Chain, chain_b: Chain) -> GasMetrics:
         transfer_samples=len(transfer),
         recv_samples=len(recv),
         ack_samples=len(ack),
+    )
+
+
+@dataclass
+class FaultReport:
+    """What a fault schedule did to the run, and how the relayers coped.
+
+    Injection counts come from the chain-side servers; recovery counts
+    come from the relayer journals.  ``recovery_latency`` summarises, per
+    packet completed after the first fault window opened, the seconds from
+    that window's opening to the packet's ack — the recovery-latency
+    inflation the fault-recovery benchmark bounds.
+    """
+
+    windows: list[dict[str, Any]]
+    rpc_refused: int
+    rpc_dropped: int
+    ws_disconnects: int
+    rpc_retries: int
+    retry_exhausted: int
+    resubscribes: int
+    height_gaps: int
+    recovery_latency: Optional[SummaryStats] = None
+
+
+def collect_fault_metrics(
+    windows: list[FaultWindow],
+    chains: list[Chain],
+    logs: list,
+    completion_curve: list[tuple[float, int]],
+    first_fault_offset: Optional[float] = None,
+) -> FaultReport:
+    """Assemble the fault report after a run.
+
+    ``completion_curve`` and ``first_fault_offset`` share the same origin
+    (the workload start); the offset is the first fault window's opening
+    relative to it.
+    """
+    refused = 0
+    dropped = 0
+    for chain in chains:
+        for node in chain.nodes.values():
+            refused += node.rpc.stats.refused
+            dropped += node.rpc.stats.dropped
+
+    def count(event: str) -> int:
+        return sum(log.count(event) for log in logs)
+
+    latencies: list[float] = []
+    if first_fault_offset is not None:
+        previous = 0
+        for time, cumulative in completion_curve:
+            if time >= first_fault_offset:
+                latencies.extend([time - first_fault_offset] * (cumulative - previous))
+            previous = cumulative
+
+    return FaultReport(
+        windows=[
+            {"kind": w.kind, "target": w.target, "start": w.start, "end": w.end}
+            for w in windows
+        ],
+        rpc_refused=refused,
+        rpc_dropped=dropped,
+        ws_disconnects=count("websocket_disconnected"),
+        rpc_retries=count("rpc_retry"),
+        retry_exhausted=count("rpc_retry_exhausted"),
+        resubscribes=count("resubscribed"),
+        height_gaps=count("height_gap_detected"),
+        recovery_latency=(
+            SummaryStats.from_values(latencies) if latencies else None
+        ),
     )
 
 

@@ -13,7 +13,12 @@ from dataclasses import dataclass, field
 from typing import Any, Optional
 
 from repro.framework.config import ExperimentConfig
-from repro.framework.metrics import GasMetrics, RpcBusyMetrics, WindowMetrics
+from repro.framework.metrics import (
+    FaultReport,
+    GasMetrics,
+    RpcBusyMetrics,
+    WindowMetrics,
+)
 from repro.framework.processor import TransferTimelineReport
 from repro.framework.workload import WorkloadStats
 
@@ -31,6 +36,9 @@ class ExperimentReport:
     #: Time from workload start until all requested transfers completed
     #: (only set when run_to_completion was requested and reached).
     completion_latency: Optional[float] = None
+    #: Fault-injection accounting (None when no schedule was active; the
+    #: key is always present in ``to_dict`` for schema stability).
+    faults: Optional[FaultReport] = None
     sim_end_time: float = 0.0
 
     # ------------------------------------------------------------------
@@ -89,6 +97,33 @@ class ExperimentReport:
                 "pull_fraction": self.rpc.pull_fraction,
             },
             "timeline": self._timeline_dict(),
+            "faults": self._faults_dict(),
+        }
+
+    def _faults_dict(self) -> Optional[dict[str, Any]]:
+        if self.faults is None:
+            return None
+        latency = self.faults.recovery_latency
+        return {
+            "windows": list(self.faults.windows),
+            "rpc_refused": self.faults.rpc_refused,
+            "rpc_dropped": self.faults.rpc_dropped,
+            "ws_disconnects": self.faults.ws_disconnects,
+            "rpc_retries": self.faults.rpc_retries,
+            "retry_exhausted": self.faults.retry_exhausted,
+            "resubscribes": self.faults.resubscribes,
+            "height_gaps": self.faults.height_gaps,
+            "recovery_latency": (
+                None
+                if latency is None
+                else {
+                    "count": latency.count,
+                    "mean": latency.mean,
+                    "median": latency.median,
+                    "p75": latency.p75,
+                    "max": latency.maximum,
+                }
+            ),
         }
 
     def _timeline_dict(self) -> Optional[dict[str, Any]]:
@@ -156,6 +191,20 @@ class ExperimentReport:
                 f"ack {t.phase_fraction('acknowledge') * 100:.1f}% "
                 f"(pulls {t.data_pull_fraction * 100:.1f}%)"
             )
+        if self.faults is not None:
+            f = self.faults
+            lines.append(
+                f"faults            : {len(f.windows)} window(s), "
+                f"{f.rpc_refused} refused / {f.rpc_dropped} dropped RPCs, "
+                f"{f.rpc_retries} retries, {f.resubscribes} resubscribes, "
+                f"{f.height_gaps} height gap(s)"
+            )
+            if f.recovery_latency is not None:
+                lines.append(
+                    f"recovery latency  : median "
+                    f"{f.recovery_latency.median:.1f} s, max "
+                    f"{f.recovery_latency.maximum:.1f} s after first fault"
+                )
         if self.errors:
             rendered = ", ".join(f"{k}={v}" for k, v in sorted(self.errors.items()))
             lines.append(f"errors            : {rendered}")

@@ -4,9 +4,11 @@ from __future__ import annotations
 
 from typing import Any, Generator, Optional
 
+from repro.faults import FaultInjector
 from repro.framework.config import ExperimentConfig
 from repro.framework.connectors import CrossChainEventConnector
 from repro.framework.metrics import (
+    collect_fault_metrics,
     collect_gas_metrics,
     collect_rpc_metrics,
     collect_window_metrics,
@@ -28,6 +30,7 @@ class ExperimentRunner:
         self.config = config
         self.testbed = Testbed(config)
         self.driver: Optional[WorkloadDriver] = None
+        self.injector: Optional[FaultInjector] = None
         self._window_start_time = 0.0
         self._window_end_time = 0.0
         self._window_start_height = 0
@@ -81,6 +84,17 @@ class ExperimentRunner:
         self._window_start_height = testbed.chain_a.engine.height
         self.driver = WorkloadDriver(testbed)
         self.driver.start()
+        if config.faults:
+            # Fault times are relative to the measurement-window start, so
+            # they land inside the measured region whatever bootstrap took.
+            self.injector = FaultInjector(
+                env,
+                testbed.network,
+                [testbed.chain_a, testbed.chain_b],
+                testbed.rng,
+                config.faults,
+            )
+            self.injector.start()
 
         # Measurement window: `measurement_blocks` source-chain blocks.
         end_height = self._window_start_height + config.measurement_blocks
@@ -158,6 +172,20 @@ class ExperimentRunner:
         )
         processor = self._processor()
         timeline = processor.transfer_timeline(self._window_start_time)
+        completion_curve = processor.completion_curve(self._window_start_time)
+        faults = None
+        if self.injector is not None:
+            windows = self.injector.windows
+            first_offset = (
+                windows[0].start - self._window_start_time if windows else None
+            )
+            faults = collect_fault_metrics(
+                windows,
+                [self.testbed.chain_a, self.testbed.chain_b],
+                [relayer.log for relayer in self.testbed.relayers],
+                completion_curve,
+                first_fault_offset=first_offset,
+            )
         return ExperimentReport(
             config=self.config,
             window=window,
@@ -166,8 +194,9 @@ class ExperimentRunner:
             gas=collect_gas_metrics(self.testbed.chain_a, self.testbed.chain_b),
             rpc=collect_rpc_metrics([self.testbed.chain_a, self.testbed.chain_b]),
             errors=processor.error_summary(),
-            completion_curve=processor.completion_curve(self._window_start_time),
+            completion_curve=completion_curve,
             completion_latency=self._completion_latency,
+            faults=faults,
             sim_end_time=self.testbed.env.now,
         )
 

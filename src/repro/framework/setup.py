@@ -103,6 +103,8 @@ class Testbed:
                     coordination_total=(
                         config.num_relayers if config.coordinate_relayers else 1
                     ),
+                    rpc_retry_attempts=config.rpc_retry_attempts,
+                    resubscribe_on_disconnect=config.resubscribe_on_disconnect,
                 ),
             )
             self.relayers.append(relayer)

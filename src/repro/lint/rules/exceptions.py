@@ -1,0 +1,86 @@
+"""Relayer-robustness rule R002: silently swallowed RPC errors.
+
+An ``except RpcError: pass``-style handler hides a transport failure from
+both the operator (nothing logged) and the analysis layer (error counts
+undercount real failures).  The §V lesson is that silent failure modes are
+exactly the ones that cost packets; every caught RPC error must be logged,
+re-raised, or otherwise acted on.
+
+A handler is flagged when it catches an RPC error class
+(:mod:`repro.errors`) and its body performs no call and no raise — i.e.
+nothing observable happens: ``pass``, ``continue``, a bare ``return`` or a
+plain assignment all count as swallowing.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.lint.findings import Finding
+from repro.lint.rules import register
+from repro.lint.rules.base import ModuleContext, Rule
+
+#: The transport-error hierarchy of repro.errors.  Matching on class names
+#: (after import resolution) keeps the rule purely static.
+RPC_ERROR_NAMES = frozenset(
+    {
+        "RpcError",
+        "RpcTimeoutError",
+        "RpcOverloadedError",
+        "NodeUnavailableError",
+        "WebSocketFrameTooLargeError",
+    }
+)
+
+
+def _caught_types(handler: ast.ExceptHandler) -> list[ast.AST]:
+    if handler.type is None:
+        return []
+    if isinstance(handler.type, ast.Tuple):
+        return list(handler.type.elts)
+    return [handler.type]
+
+
+@register
+class SwallowedRpcErrorRule(Rule):
+    """``except RpcError`` whose body neither calls, raises nor logs."""
+
+    rule_id = "R002"
+    description = (
+        "RPC error caught and silently swallowed (no call, no raise); "
+        "log the failure or re-raise so error accounting stays truthful"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not self._catches_rpc_error(ctx, node):
+                continue
+            acts = any(
+                isinstance(inner, (ast.Call, ast.Raise))
+                for stmt in node.body
+                for inner in ast.walk(stmt)
+            )
+            if not acts:
+                caught = ", ".join(
+                    ctx.resolve(t) or "<?>" for t in _caught_types(node)
+                )
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"handler for {caught} swallows the error: no call, "
+                    "no raise — log it or re-raise",
+                )
+
+    def _catches_rpc_error(
+        self, ctx: ModuleContext, handler: ast.ExceptHandler
+    ) -> bool:
+        for type_node in _caught_types(handler):
+            resolved = ctx.resolve(type_node)
+            if resolved is None:
+                continue
+            if resolved.split(".")[-1] in RPC_ERROR_NAMES:
+                return True
+        return False

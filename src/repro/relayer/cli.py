@@ -152,8 +152,10 @@ class WorkloadCli:
                         "account", address=self.wallet.address
                     )
                     self.factory.resync_sequence(info["sequence"])
-                except RpcError:
-                    pass
+                except RpcError as exc:
+                    self.log.error(
+                        "sequence_resync_failed", reason=str(exc)
+                    )
         return submission
 
     def wait_confirmation(

@@ -42,6 +42,20 @@ class RelayerConfig:
     confirm_timeout_seconds: float = 120.0
     #: RPC client timeout.
     rpc_timeout_seconds: float = cal.RPC_CLIENT_TIMEOUT_SECONDS
+    #: Retries (on top of the first attempt) for transient RPC failures
+    #: (timeout / overload / node-down), with capped exponential backoff.
+    #: 0 disables retries — Hermes 1.0.0's effective behaviour for queries,
+    #: and the default so baseline experiments are unchanged.
+    rpc_retry_attempts: int = 0
+    #: First retry backoff; doubles per attempt up to the cap below.
+    rpc_retry_base_seconds: float = 0.5
+    rpc_retry_max_seconds: float = 8.0
+    #: Re-open a WebSocket subscription when the connection drops (the
+    #: fault-injection disconnect, *not* the §V frame-limit latch).
+    resubscribe_on_disconnect: bool = True
+    #: First resubscribe backoff; doubles per attempt up to the cap.
+    resubscribe_backoff_seconds: float = 1.0
+    resubscribe_max_backoff_seconds: float = 30.0
     #: Timeout offset (in destination blocks) stamped on relayed... not used
     #: by the relayer itself; kept for CLI convenience.
     default_timeout_blocks: int = cal.DEFAULT_TIMEOUT_BLOCKS

@@ -20,7 +20,12 @@ from repro import calibration as cal
 from repro.cosmos.accounts import Wallet
 from repro.cosmos.gas import GasSchedule
 from repro.cosmos.tx import Tx, TxFactory, chunk_msgs
-from repro.errors import RpcError, RpcTimeoutError
+from repro.errors import (
+    NodeUnavailableError,
+    RpcError,
+    RpcOverloadedError,
+    RpcTimeoutError,
+)
 from repro.relayer.config import RelayerConfig
 from repro.relayer.logging import RelayerLog
 from repro.sim.core import Environment, Event
@@ -29,6 +34,10 @@ from repro.tendermint.rpc import RpcClient
 
 #: ABCI code for account sequence mismatch (see errors.SequenceMismatchError).
 SEQUENCE_MISMATCH_CODE = 32
+
+#: RPC failures worth retrying: the request may simply have hit a busy or
+#: briefly-unavailable node.  Application-level RpcErrors are not retried.
+TRANSIENT_RPC_ERRORS = (RpcTimeoutError, RpcOverloadedError, NodeUnavailableError)
 
 
 @dataclass
@@ -95,6 +104,7 @@ class ChainEndpoint:
         #: Accounting for analysis.
         self.broadcast_failures = 0
         self.sequence_resyncs = 0
+        self.rpc_retries = 0
 
     @property
     def chain_id(self) -> str:
@@ -105,7 +115,41 @@ class ChainEndpoint:
     # ------------------------------------------------------------------
 
     def query(self, method: str, **params: Any) -> Generator[Event, Any, Any]:
-        return (yield from self.client.call(method, **params))
+        """RPC query with capped exponential backoff on transient failures.
+
+        With ``rpc_retry_attempts = 0`` (the default, matching Hermes
+        1.0.0's query behaviour) this is a plain call.  Retries apply only
+        to queries — broadcasts are never auto-retried, since the tx may
+        have been accepted even when the response was lost.
+        """
+        budget = self.config.rpc_retry_attempts
+        backoff = self.config.rpc_retry_base_seconds
+        attempt = 0
+        while True:
+            try:
+                return (yield from self.client.call(method, **params))
+            except TRANSIENT_RPC_ERRORS as exc:
+                if attempt >= budget:
+                    if budget > 0:
+                        self.log.error(
+                            "rpc_retry_exhausted",
+                            chain=self.chain_id,
+                            method=method,
+                            attempts=attempt + 1,
+                            reason=str(exc),
+                        )
+                    raise
+                attempt += 1
+                self.rpc_retries += 1
+                self.log.info(
+                    "rpc_retry",
+                    chain=self.chain_id,
+                    method=method,
+                    attempt=attempt,
+                    backoff=backoff,
+                )
+                yield self.env.timeout(backoff)
+                backoff = min(backoff * 2.0, self.config.rpc_retry_max_seconds)
 
     def sync_sequence(self) -> Generator[Event, Any, int]:
         """Re-sync the local signing sequence from committed chain state."""
@@ -184,7 +228,10 @@ class ChainEndpoint:
             )
             try:
                 yield from self.sync_sequence()
-            except RpcError:
+            except RpcError as exc:
+                self.log.error(
+                    "sequence_resync_failed", chain=self.chain_id, reason=str(exc)
+                )
                 return entry
             return (
                 yield from self._sign_and_broadcast(
@@ -219,15 +266,11 @@ class ChainEndpoint:
                     lookup = yield from self.client.call(
                         "tx", tx_hash=entry.tx.hash
                     )
-                except RpcTimeoutError:
-                    self.log.error(
-                        "failed_tx_no_confirmation",
-                        chain=self.chain_id,
-                        tx_hash=entry.tx.hash,
-                    )
-                    still_pending.append(entry)
-                    continue
                 except RpcError:
+                    # Transient poll failure: keep polling until the
+                    # deadline.  ``failed_tx_no_confirmation`` is logged
+                    # only in the terminal sweep below, so reports count
+                    # each unconfirmed tx exactly once.
                     still_pending.append(entry)
                     continue
                 if lookup.found:

@@ -49,7 +49,7 @@ class Relayer:
         )
         self.node_a = node_a
         self.node_b = node_b
-        self.supervisor = Supervisor(env, self.log, self.heights, host)
+        self.supervisor = Supervisor(env, self.log, self.heights, host, config)
         self.workers: list[DirectionWorker] = []
         self.path: Optional[RelayPath] = None
 

@@ -10,13 +10,21 @@ experiment shows — no further events arrive for it.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro import calibration as cal
+from repro.errors import RpcError
+from repro.relayer.config import RelayerConfig
 from repro.relayer.events import WorkBatch, batches_from_notification
 from repro.relayer.logging import RelayerLog
 from repro.relayer.worker import DirectionWorker
 from repro.sim.core import Environment
 from repro.tendermint.node import ChainNode
-from repro.tendermint.websocket import BlockNotification, Subscription
+from repro.tendermint.websocket import (
+    BlockNotification,
+    Subscription,
+    SubscriptionClosed,
+)
 
 #: Event kinds the supervisor subscribes to per chain.  A frozenset: used
 #: for membership filtering only, never iterated (repro.lint D003).
@@ -41,11 +49,13 @@ class Supervisor:
         log: RelayerLog,
         heights: dict[str, int],
         client_host: str,
+        config: Optional[RelayerConfig] = None,
     ):
         self.env = env
         self.log = log
         self.heights = heights
         self.client_host = client_host
+        self.config = config or RelayerConfig()
         #: (chain_id, channel) -> worker whose recv stage consumes that
         #: chain's send_packet events for that channel.
         self._recv_routes: dict[tuple[str, str], DirectionWorker] = {}
@@ -53,6 +63,7 @@ class Supervisor:
         #: chain's write_acknowledgement events for that channel.
         self._ack_routes: dict[tuple[str, str], DirectionWorker] = {}
         self.subscriptions: dict[str, Subscription] = {}
+        self._nodes: dict[str, ChainNode] = {}
         self._started = False
 
     def route(self, worker: DirectionWorker) -> None:
@@ -69,6 +80,7 @@ class Supervisor:
             self.client_host, event_types=SUBSCRIBED_KINDS
         )
         self.subscriptions[node.chain.chain_id] = subscription
+        self._nodes[node.chain.chain_id] = node
 
     def start(self) -> None:
         if self._started:
@@ -83,11 +95,36 @@ class Supervisor:
     # ------------------------------------------------------------------
 
     def _listen(self, chain_id: str, subscription: Subscription):
+        #: Last height seen before a disconnect; set while a gap check is
+        #: pending after a successful resubscribe.
+        gap_from: Optional[int] = None
         while True:
-            notification: BlockNotification = yield subscription.queue.get()
+            item = yield subscription.queue.get()
+            if isinstance(item, SubscriptionClosed):
+                self.log.error(
+                    "websocket_disconnected", chain=chain_id, reason=item.reason
+                )
+                if not self.config.resubscribe_on_disconnect:
+                    return  # the stream is gone for good (Hermes 1.0.0-like)
+                gap_from = self.heights.get(chain_id, 0)
+                subscription = yield from self._resubscribe(chain_id)
+                continue
+            notification: BlockNotification = item
             self.heights[chain_id] = max(
                 self.heights.get(chain_id, 0), notification.height
             )
+            if gap_from is not None:
+                if notification.height > gap_from + 1:
+                    # Blocks committed during the outage: their events are
+                    # lost, so hand the missed range to the clear machinery.
+                    self.log.error(
+                        "height_gap_detected",
+                        chain=chain_id,
+                        gap_from=gap_from,
+                        resumed_at=notification.height,
+                    )
+                    self._recover_gap(chain_id)
+                gap_from = None
             if not notification.ok:
                 self.log.error(
                     "failed_to_collect_events",
@@ -105,6 +142,46 @@ class Supervisor:
             batches = batches_from_notification(notification, SUBSCRIBED_KINDS)
             for batch in batches:
                 self._dispatch(chain_id, batch)
+
+    def _resubscribe(self, chain_id: str):
+        """Re-open the WebSocket subscription with capped exponential
+        backoff; keeps trying while the node is down."""
+        node = self._nodes[chain_id]
+        backoff = self.config.resubscribe_backoff_seconds
+        attempt = 0
+        while True:
+            yield self.env.timeout(backoff)
+            attempt += 1
+            try:
+                subscription = node.websocket.subscribe(
+                    self.client_host, event_types=SUBSCRIBED_KINDS
+                )
+            except RpcError as exc:
+                self.log.error(
+                    "resubscribe_failed",
+                    chain=chain_id,
+                    attempt=attempt,
+                    reason=str(exc),
+                )
+                backoff = min(
+                    backoff * 2.0, self.config.resubscribe_max_backoff_seconds
+                )
+                continue
+            self.subscriptions[chain_id] = subscription
+            self.log.info("resubscribed", chain=chain_id, attempt=attempt)
+            return subscription
+
+    def _recover_gap(self, chain_id: str) -> None:
+        """Hand the missed heights to the clear machinery: every worker that
+        consumes this chain's events re-scans pending commitments now.
+        ``clear_once`` covers both the recv leg (missed send_packet events)
+        and the ack leg (missed write_acknowledgement events)."""
+        for key in sorted(self._recv_routes):
+            if key[0] == chain_id:
+                self._recv_routes[key].request_clear()
+        for key in sorted(self._ack_routes):
+            if key[0] == chain_id:
+                self._ack_routes[key].request_clear()
 
     def _dispatch(self, chain_id: str, batch: WorkBatch) -> None:
         step = _EXTRACTION_STEP.get(batch.kind)

@@ -92,6 +92,7 @@ class DirectionWorker:
         #: Sequences currently being relayed (avoid double work in clearing).
         self._in_flight: set[int] = set()
         self._started = False
+        self._clear_pending = False
 
     # ------------------------------------------------------------------
 
@@ -492,6 +493,27 @@ class DirectionWorker:
         while True:
             yield self.env.timeout(interval)
             yield from self.clear_once()
+
+    def request_clear(self) -> None:
+        """Run one out-of-band clear pass now (supervisor gap recovery).
+
+        Used when a resubscribed WebSocket stream reveals a height gap:
+        events committed during the outage never arrived, so the pending
+        commitments are re-scanned immediately instead of waiting for the
+        next ``clear_interval`` tick.  Concurrent requests coalesce.
+        """
+        if self._clear_pending:
+            return
+        self._clear_pending = True
+
+        def one_shot():
+            try:
+                yield from self.clear_once()
+            finally:
+                self._clear_pending = False
+
+        name = f"clear-gap/{self.src_end.chain_id}->{self.dst_end.chain_id}"
+        self.env.process(one_shot(), name=name)
 
     def clear_once(self):
         """Re-scan pending commitments on src and re-relay missing packets."""

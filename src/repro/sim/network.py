@@ -60,6 +60,11 @@ class Network:
     ):
         self.env = env
         self._rng = rng.stream("network")
+        # Loss decisions draw from their own derived stream: sampling them
+        # from the jitter stream would shift every later jitter draw the
+        # moment any link enables loss, making loss=0 vs loss>0 runs
+        # incomparable.
+        self._loss_rng = rng.stream("network/loss")
         self.default = LinkSpec(latency=default_rtt / 2.0, jitter=default_jitter)
         self.hosts: dict[str, Host] = {}
         self._links: dict[tuple[str, str], LinkSpec] = {}
@@ -92,6 +97,17 @@ class Network:
             return LinkSpec(latency=0.0)
         return self._links.get((src, dst), self.default)
 
+    def link_override(self, a: str, b: str) -> Optional[LinkSpec]:
+        """The explicit override for ``(a, b)``, or ``None`` if the pair
+        falls back to the default link (used by fault injection to save and
+        restore link state)."""
+        return self._links.get((a, b))
+
+    def clear_link(self, a: str, b: str) -> None:
+        """Remove any explicit override for ``a``/``b`` (both directions)."""
+        self._links.pop((a, b), None)
+        self._links.pop((b, a), None)
+
     # -- delivery -----------------------------------------------------------
 
     def delay(self, src: str, dst: str) -> float:
@@ -113,10 +129,12 @@ class Network:
         link delay.  ``on_delivery`` (if given) runs instead of the mailbox.
         """
         spec = self.link(src, dst)
-        if spec.loss and self._rng.random() < spec.loss:
+        # Sample the delay *before* the drop decision so the jitter stream
+        # advances identically whether or not the message is lost.
+        delay = self.delay(src, dst)
+        if spec.loss and self._loss_rng.random() < spec.loss:
             self.dropped += 1
             return
-        delay = self.delay(src, dst)
         dst_host = self.host(dst)
 
         def deliver() -> None:

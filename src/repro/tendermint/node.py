@@ -170,6 +170,18 @@ class ChainNode:
         self._register_handlers()
 
     # ------------------------------------------------------------------
+    # Fault injection
+    # ------------------------------------------------------------------
+
+    def set_crashed(self, crashed: bool) -> None:
+        """Take the full node down (up): RPC refuses new requests and every
+        WebSocket subscription is severed.  Consensus participation of any
+        co-hosted validator is handled separately by the fault injector via
+        :meth:`ConsensusEngine.set_silent`."""
+        self.rpc.set_crashed(crashed)
+        self.websocket.set_crashed(crashed)
+
+    # ------------------------------------------------------------------
     # RPC handlers: (params) -> (service_seconds, result_fn)
     # ------------------------------------------------------------------
 

@@ -25,6 +25,7 @@ from typing import Any, Callable, Generator, Optional
 
 from repro import calibration as cal
 from repro.errors import (
+    NodeUnavailableError,
     RpcError,
     RpcOverloadedError,
     RpcTimeoutError,
@@ -55,6 +56,10 @@ class RpcStats:
 
     served: int = 0
     shed: int = 0
+    #: Requests refused because the node was crashed (fault injection).
+    refused: int = 0
+    #: Requests silently dropped by an RPC brown-out (fault injection).
+    dropped: int = 0
     busy_seconds: float = 0.0
     by_method: dict[str, int] = field(default_factory=dict)
     busy_by_method: dict[str, float] = field(default_factory=dict)
@@ -99,6 +104,40 @@ class RpcServer:
         self._client_last_seen: dict[str, float] = {}
         seed = int.from_bytes(hashlib.sha256(host.encode()).digest()[:4], "big")
         self._shed_rng = random.Random(seed)
+        # Fault-injection state (driven by repro.faults.FaultInjector).
+        self.crashed = False
+        self._brownout_until = 0.0
+        self._brownout_probability = 0.0
+        self._brownout_rng: Optional[random.Random] = None
+
+    # -- fault injection ------------------------------------------------------
+
+    def set_crashed(self, crashed: bool) -> None:
+        """Mark the node down (up).  While down, every request is refused
+        with :class:`NodeUnavailableError` — the TCP connection-refused of
+        a crashed full node, not a slow one."""
+        self.crashed = crashed
+
+    def set_brownout(
+        self, probability: float, until: float, rng: random.Random
+    ) -> None:
+        """Until sim time ``until``, silently drop each incoming request
+        with ``probability``.  Dropped requests never get a response, so
+        the client's own deadline raises a genuine :class:`RpcTimeoutError`
+        with realistic timing.  ``rng`` must be a dedicated derived stream
+        so the drop decisions stay deterministic."""
+        self._brownout_probability = probability
+        self._brownout_until = until
+        self._brownout_rng = rng
+
+    def _brownout_drops(self) -> bool:
+        if (
+            self._brownout_rng is None
+            or self._brownout_probability <= 0.0
+            or self.env.now >= self._brownout_until
+        ):
+            return False
+        return self._brownout_rng.random() < self._brownout_probability
 
     # -- connection-pressure overload -----------------------------------------
 
@@ -132,6 +171,16 @@ class RpcServer:
 
     def submit(self, request: RpcRequest) -> None:
         """Accept (or shed) a request that just arrived over the network."""
+        if self.crashed:
+            self.stats.refused += 1
+            self._respond(request, error=NodeUnavailableError(
+                f"connection refused: node {self.host} is down"
+            ))
+            return
+        if self._brownout_drops():
+            # Brown-out: the request vanishes; the client times out.
+            self.stats.dropped += 1
+            return
         if request.client_id:
             self._client_last_seen[request.client_id] = self.env.now
         if self._outstanding >= self.cal.rpc_max_queue:

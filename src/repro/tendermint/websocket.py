@@ -16,7 +16,7 @@ from dataclasses import dataclass
 from typing import Any, Collection, Optional
 
 from repro import calibration as cal
-from repro.errors import WebSocketFrameTooLargeError
+from repro.errors import NodeUnavailableError, WebSocketFrameTooLargeError
 from repro.sim.core import Environment
 from repro.sim.network import Network
 from repro.sim.resources import Store
@@ -50,6 +50,21 @@ class BlockNotification:
 
 
 @dataclass
+class SubscriptionClosed:
+    """Pushed into a subscription's queue when the connection drops.
+
+    Distinct from the §V frame-limit latch: a closed subscription stops
+    receiving frames entirely (connection-level), whereas a latched one
+    stays connected but yields no events.  The subscriber must open a
+    *new* subscription to resume.
+    """
+
+    chain_id: str
+    time: float
+    reason: str = "connection reset"
+
+
+@dataclass
 class Subscription:
     """One client's subscription to a node's event stream."""
 
@@ -59,8 +74,12 @@ class Subscription:
     #: an order-sensitive path (repro.lint D003).
     event_types: Optional[frozenset[str]] = None
     failed: bool = False
+    #: Connection dropped (fault injection); no further frames arrive.
+    disconnected: bool = False
     delivered: int = 0
     failures: int = 0
+    #: Blocks committed while the subscription was disconnected.
+    missed: int = 0
 
 
 class WebSocketServer:
@@ -80,12 +99,18 @@ class WebSocketServer:
         self.chain_id = chain_id
         self.cal = calibration or cal.DEFAULT_CALIBRATION
         self.subscriptions: list[Subscription] = []
+        #: Fault-injection state: a crashed node accepts no subscriptions.
+        self.crashed = False
 
     def subscribe(
         self,
         subscriber_host: str,
         event_types: Optional[Collection[str]] = None,
     ) -> Subscription:
+        if self.crashed:
+            raise NodeUnavailableError(
+                f"connection refused: node {self.host} is down"
+            )
         subscription = Subscription(
             subscriber_host=subscriber_host,
             queue=Store(self.env),
@@ -101,6 +126,37 @@ class WebSocketServer:
     def resubscribe(self, subscription: Subscription) -> None:
         """Clear a failed subscription's error latch (client reconnect)."""
         subscription.failed = False
+
+    # -- fault injection ------------------------------------------------------
+
+    def disconnect(self, subscription: Subscription, reason: str) -> None:
+        """Drop one subscription's connection mid-stream.
+
+        The subscription stays registered (so ``missed`` counts the blocks
+        it never sees) but receives a :class:`SubscriptionClosed` sentinel
+        and no further frames; the client must call :meth:`subscribe` again.
+        """
+        if subscription.disconnected:
+            return
+        subscription.disconnected = True
+        closed = SubscriptionClosed(
+            chain_id=self.chain_id, time=self.env.now, reason=reason
+        )
+        delay = self.network.delay(self.host, subscription.subscriber_host)
+        self.env.schedule_callback(
+            delay, lambda: subscription.queue.put(closed)
+        )
+
+    def disconnect_all(self, reason: str) -> None:
+        """Drop every live subscription (node crash / restart)."""
+        for subscription in list(self.subscriptions):
+            self.disconnect(subscription, reason)
+
+    def set_crashed(self, crashed: bool) -> None:
+        """Mark the node down (up); going down severs every connection."""
+        self.crashed = crashed
+        if crashed:
+            self.disconnect_all("node down")
 
     # ------------------------------------------------------------------
 
@@ -131,6 +187,9 @@ class WebSocketServer:
         descriptors: list[EventDescriptor],
         frame_bytes: int,
     ) -> None:
+        if subscription.disconnected:
+            subscription.missed += 1
+            return
         if subscription.failed:
             # The paper's observation: after a frame failure the
             # subscription stops yielding events entirely.

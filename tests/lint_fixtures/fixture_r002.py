@@ -1,0 +1,34 @@
+"""Seeded R002 violations (silently swallowed RPC errors).
+Parsed by repro.lint tests, never imported or executed."""
+
+from repro.errors import RpcError, RpcTimeoutError
+
+
+def swallow_pass(client):
+    try:
+        client.call("status")
+    except RpcError:  # line 10: R002 swallowed, nothing happens
+        pass
+
+
+def swallow_return(client):
+    entry = None
+    try:
+        client.call("tx")
+    except (RpcTimeoutError, ValueError):  # line 18: R002 swallowed via return
+        return entry
+    return entry
+
+
+def logged_is_clean(client, log):
+    try:
+        client.call("status")
+    except RpcError as exc:
+        log.error("query_failed", reason=str(exc))
+
+
+def reraised_is_clean(client):
+    try:
+        client.call("status")
+    except RpcTimeoutError:
+        raise

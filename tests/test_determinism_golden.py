@@ -10,7 +10,45 @@ test fails.
 
 import pytest
 
+from repro.faults import (
+    FaultSchedule,
+    LinkDegradation,
+    NodeCrash,
+    RpcBrownout,
+    WsDisconnect,
+)
 from repro.framework import ExperimentConfig, ExperimentRunner
+
+#: Exercises every fault kind inside the measurement window, against both
+#: testbed machines; see :data:`run_fault_scenario`.
+FAULTS = FaultSchedule(
+    (
+        LinkDegradation(
+            "machine-0",
+            "machine-1",
+            at=2.0,
+            duration=15.0,
+            latency=0.3,
+            jitter=0.05,
+            loss=0.05,
+        ),
+        RpcBrownout("machine-0", at=4.0, duration=10.0, drop_probability=0.3),
+        NodeCrash("machine-1", at=6.0, duration=12.0),
+        WsDisconnect("machine-0", at=18.0),
+    )
+)
+
+
+def make_journal(runner):
+    logs = [relayer.log for relayer in runner.testbed.relayers]
+    if runner.driver is not None:
+        logs.append(runner.driver.log)
+    return "\n".join(
+        f"{record.time!r}|{record.relayer}|{record.level}|"
+        f"{record.event}|{record.fields!r}"
+        for log in logs
+        for record in log.records
+    )
 
 
 def run_scenario(seed):
@@ -23,16 +61,23 @@ def run_scenario(seed):
     )
     runner = ExperimentRunner(config)
     report = runner.run()
-    logs = [relayer.log for relayer in runner.testbed.relayers]
-    if runner.driver is not None:
-        logs.append(runner.driver.log)
-    journal = "\n".join(
-        f"{record.time!r}|{record.relayer}|{record.level}|"
-        f"{record.event}|{record.fields!r}"
-        for log in logs
-        for record in log.records
+    return report.to_json(), make_journal(runner)
+
+
+def run_fault_scenario(seed):
+    """The same scenario with a full fault schedule and recovery enabled."""
+    config = ExperimentConfig(
+        input_rate=10,
+        measurement_blocks=3,
+        seed=seed,
+        drain_seconds=30.0,
+        rpc_retry_attempts=3,
+        clear_interval=2,
+        faults=FAULTS,
     )
-    return report.to_json(), journal
+    runner = ExperimentRunner(config)
+    report = runner.run()
+    return report.to_json(), make_journal(runner)
 
 
 @pytest.fixture(scope="module")
@@ -64,3 +109,32 @@ def test_different_seed_diverges(golden_runs):
     (json1, journal1), _, (json3, journal3) = golden_runs
     assert journal1 != journal3
     assert json1 != json3
+
+
+# -- With an active fault schedule ------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def golden_fault_runs():
+    first = run_fault_scenario(seed=21)
+    second = run_fault_scenario(seed=21)
+    return first, second
+
+
+def test_fault_scenario_same_seed_identical(golden_fault_runs):
+    (json1, journal1), (json2, journal2) = golden_fault_runs
+    assert json1.encode() == json2.encode()
+    assert journal1.encode() == journal2.encode()
+
+
+def test_fault_scenario_really_faulted(golden_fault_runs):
+    """The schedule must actually bite (else the golden check is vacuous)."""
+    import json
+
+    (report_json, journal), _ = golden_fault_runs
+    faults = json.loads(report_json)["faults"]
+    assert faults is not None
+    assert len(faults["windows"]) == 4
+    assert faults["ws_disconnects"] >= 1
+    assert faults["resubscribes"] >= 1
+    assert any("websocket_disconnected" in line for line in journal.splitlines())

@@ -157,6 +157,32 @@ def test_confirmation_gives_up_after_window(harness):
     assert endpoint.log.count("failed_tx_no_confirmation") >= 1
 
 
+def test_unconfirmed_tx_logged_exactly_once(bootstrapped):
+    """Regression: when confirmation polls themselves fail with RPC errors,
+    ``failed_tx_no_confirmation`` must be recorded once per unconfirmed tx
+    in the terminal sweep — not once per failed poll attempt."""
+    h = bootstrapped
+    endpoint = make_endpoint(
+        h, "ep-once", max_msgs_per_tx=10, confirm_poll_seconds=1.0
+    )
+    endpoint.config.confirm_timeout_seconds = 5.0
+
+    def flow():
+        submitted = yield from endpoint.submit_msgs(
+            bank_msgs(endpoint, 20), label="recv"
+        )
+        assert len(submitted) == 2 and all(s.accepted for s in submitted)
+        # Every subsequent poll times out client-side, repeatedly, across
+        # the whole 5 s window (the old bug logged on each attempt).
+        endpoint.client.timeout = 0.0001
+        confirmed = yield from endpoint.confirm_txs(submitted, "recv")
+        return confirmed
+
+    confirmed = h.run_process(flow())
+    assert all(s.confirmed is None for s in confirmed)
+    assert endpoint.log.count("failed_tx_no_confirmation") == 2
+
+
 def test_supervisor_heights_track_notifications(bootstrapped):
     h = bootstrapped
 

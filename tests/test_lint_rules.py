@@ -34,6 +34,7 @@ def lint_fixture(name):
         ("fixture_d003.py", "D003", {7, 10, 11}),
         ("fixture_d004.py", "D004", {6, 8}),
         ("fixture_r001.py", "R001", {6, 12}),
+        ("fixture_r002.py", "R002", {10, 18}),
     ],
 )
 def test_fixture_findings(fixture, rule_id, expected_lines):
@@ -162,6 +163,44 @@ def test_r001_escaped_request_not_flagged():
     assert findings == []
 
 
+def test_r002_flags_swallowed_rpc_error():
+    findings = lint_source(
+        "from repro.errors import RpcError\n"
+        "def f(client):\n"
+        "    try:\n"
+        "        client.call('status')\n"
+        "    except RpcError:\n"
+        "        pass\n"
+    )
+    assert rules_hit(findings) == {"R002"}
+    assert {f.line for f in findings} == {5}
+
+
+def test_r002_logging_or_reraise_is_clean():
+    findings = lint_source(
+        "from repro.errors import RpcError, RpcTimeoutError\n"
+        "def f(client, log):\n"
+        "    try:\n"
+        "        client.call('status')\n"
+        "    except RpcTimeoutError:\n"
+        "        raise\n"
+        "    except RpcError as exc:\n"
+        "        log.error('query_failed', reason=str(exc))\n"
+    )
+    assert findings == []
+
+
+def test_r002_ignores_non_rpc_exceptions():
+    findings = lint_source(
+        "def f(x):\n"
+        "    try:\n"
+        "        return int(x)\n"
+        "    except ValueError:\n"
+        "        pass\n"
+    )
+    assert findings == []
+
+
 def test_parse_error_reported_as_finding():
     findings = lint_source("def broken(:\n")
     assert [f.rule_id for f in findings] == [PARSE_ERROR_RULE]
@@ -235,7 +274,7 @@ def test_cli_json_format(capsys):
 def test_cli_list_rules(capsys):
     assert lint_cli(["--list-rules"]) == 0
     out = capsys.readouterr().out
-    for rule_id in ("D001", "D002", "D003", "D004", "R001"):
+    for rule_id in ("D001", "D002", "D003", "D004", "R001", "R002"):
         assert rule_id in out
 
 

@@ -122,3 +122,12 @@ def test_format_table_alignment():
     # Columns aligned: every line equally indented at the second column.
     first_col_width = lines[0].index("tfps")
     assert all(len(line) >= first_col_width for line in lines)
+
+
+def test_format_table_rejects_ragged_rows():
+    """Regression: a row with the wrong arity used to be silently truncated
+    (or padded) instead of surfacing the caller's bug."""
+    with pytest.raises(ValueError, match="row 1 has 3 cells, expected 2"):
+        format_table(["rate", "tfps"], [(250, 200.5), (13000, 51.0, "extra")])
+    with pytest.raises(ValueError, match="row 0 has 1 cells, expected 2"):
+        format_table(["rate", "tfps"], [(250,)])

@@ -66,6 +66,53 @@ def test_lossy_link_drops(env):
     assert net.delivered == 0
 
 
+def test_partial_loss_accounts_every_message(env):
+    rng = RngRegistry(11)
+    net = Network(env, rng, default_rtt=0.0)
+    net.add_host("a")
+    net.add_host("b")
+    net.set_link("a", "b", LinkSpec(latency=0.0, loss=0.3))
+    for _ in range(200):
+        net.send("a", "b", "svc", "maybe")
+    env.run()
+    assert net.dropped > 0
+    assert net.delivered > 0
+    assert net.delivered + net.dropped == 200
+
+
+def test_loss_draws_do_not_shift_jitter_stream():
+    """Regression: loss decisions draw from ``network/loss``, not the
+    shared ``network`` jitter stream.  After the same number of sends, a
+    lossy and a loss-free network with the same seed must sample
+    identical next delays."""
+
+    def build(loss):
+        env = Environment()
+        net = Network(env, RngRegistry(77), default_rtt=0.2, default_jitter=0.05)
+        net.add_host("a")
+        net.add_host("b")
+        net.set_link("a", "b", LinkSpec(latency=0.1, jitter=0.05, loss=loss))
+        return net
+
+    clean, lossy = build(0.0), build(0.5)
+    for _ in range(20):
+        clean.send("a", "b", "svc", "x")
+        lossy.send("a", "b", "svc", "x")
+    assert lossy.dropped > 0  # the lossy link really dropped messages
+    assert clean.delay("a", "b") == lossy.delay("a", "b")
+
+
+def test_link_override_lookup_and_clear(quiet_network):
+    assert quiet_network.link_override("a", "b") is None
+    spec = LinkSpec(latency=0.5)
+    quiet_network.set_link("a", "b", spec)
+    assert quiet_network.link_override("a", "b") is spec
+    assert quiet_network.link_override("b", "a") is spec
+    quiet_network.clear_link("a", "b")
+    assert quiet_network.link_override("a", "b") is None
+    assert quiet_network.delay("a", "b") == pytest.approx(0.1)
+
+
 def test_duplicate_host_rejected(env, quiet_network):
     with pytest.raises(SimulationError):
         quiet_network.add_host("a")
