@@ -86,7 +86,7 @@ class GaiaApp:
         # tendermint.node.Chain); default-constructed apps derive a
         # deterministic per-chain stream instead of a hard-coded seed.
         if rng is None:
-            rng = RngRegistry(1).stream(f"gas/{chain_id}")
+            rng = RngRegistry(1).stream(f"gas/standalone/{chain_id}")
         self.gas_schedule = GasSchedule(self.cal, rng=rng)
         self.ante = AnteHandler(self.accounts)
         self.ibc = IbcModule(

@@ -7,9 +7,10 @@ opened in :attr:`FaultInjector.windows`, which the experiment framework
 folds into the report.
 
 Determinism: activation/restoration are pure sim-time waits; the only
-randomness — brown-out drop decisions — draws from a per-fault derived
+randomness — brown-out drop decisions — draws from a per-fault *keyed*
 stream (``faults/brownout/<host>/<index>``), so adding or removing one
-fault never shifts another's draws.
+fault never shifts another's draws, and same-instant requests cannot
+swap drop decisions under a different event-heap tie-break.
 """
 
 from __future__ import annotations
@@ -25,7 +26,7 @@ from repro.faults.schedule import (
     RpcBrownout,
     WsDisconnect,
 )
-from repro.sim.core import Environment
+from repro.sim.core import Environment, ProcessGroup
 from repro.sim.network import LinkSpec, Network
 from repro.sim.rng import RngRegistry
 from repro.tendermint.node import Chain
@@ -60,6 +61,9 @@ class FaultInjector:
         #: Every window this injector opened, in activation order.
         self.windows: list[FaultWindow] = []
         self._started = False
+        #: One armed process per scheduled fault, retained so a teardown
+        #: can cancel faults that have not fired yet.
+        self.processes = ProcessGroup(env)
 
     def start(self) -> None:
         """Arm the schedule; fault times count from the current sim time."""
@@ -68,7 +72,7 @@ class FaultInjector:
         self._started = True
         base = self.env.now
         for index, fault in enumerate(self.schedule.faults):
-            self.env.process(
+            self.processes.spawn(
                 self._run(fault, index, base), name=f"fault/{index}"
             )
 
@@ -115,7 +119,7 @@ class FaultInjector:
         window = FaultWindow("rpc_brownout", fault.host, start=self.env.now)
         self.windows.append(window)
         until = self.env.now + fault.duration
-        stream = self.rng.stream(f"faults/brownout/{fault.host}/{index}")
+        stream = self.rng.keyed(f"faults/brownout/{fault.host}/{index}")
         for node in self._nodes_on(fault.host):
             node.rpc.set_brownout(fault.drop_probability, until, stream)
         yield self.env.timeout(fault.duration)

@@ -86,6 +86,11 @@ class ExperimentConfig:
 
     # -- measurement/simulation mechanics ----------------------------------------
     seed: int = 1
+    #: Event-heap tie-break policy for same-time/same-priority events
+    #: ("fifo" or "lifo").  Results must NOT depend on this knob; the
+    #: scheduler-race sanitizer (repro.lint.schedcheck) runs a scenario
+    #: under both policies and treats any output divergence as a race.
+    tiebreak: str = "fifo"
     #: Extra simulated time after the window closes, letting in-flight
     #: packets settle (latency experiments run to completion instead).
     drain_seconds: float = 0.0
@@ -127,6 +132,8 @@ class ExperimentConfig:
             raise WorkloadError(
                 f"unknown channel ordering {self.channel_ordering!r}"
             )
+        if self.tiebreak not in ("fifo", "lifo"):
+            raise WorkloadError(f"unknown tie-break policy {self.tiebreak!r}")
 
     @property
     def resolved_calibration(self) -> cal.Calibration:

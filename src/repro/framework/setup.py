@@ -47,7 +47,7 @@ class Testbed:
     def __post_init__(self) -> None:
         config = self.config
         calibration = config.resolved_calibration
-        self.env = Environment()
+        self.env = Environment(tiebreak=config.tiebreak)
         self.rng = RngRegistry(config.seed)
         self.network = Network(
             self.env,

@@ -23,7 +23,7 @@ from repro.errors import WorkloadError
 from repro.framework.setup import Testbed
 from repro.relayer.cli import TransferSubmission, WorkloadCli
 from repro.relayer.logging import RelayerLog
-from repro.sim.core import Environment
+from repro.sim.core import Environment, ProcessGroup
 
 
 @dataclass
@@ -73,6 +73,8 @@ class WorkloadDriver:
         self.stop_requested = False
         self._active = 0
         self.finished = self.env.event()
+        #: Per-account submission processes, retained for interruption.
+        self.processes = ProcessGroup(self.env)
         paths = testbed.paths or [testbed.path]
         self._clis = [
             WorkloadCli(
@@ -97,7 +99,7 @@ class WorkloadDriver:
         schedules = self._schedules()
         self._active = len(self._clis)
         for cli, schedule in zip(self._clis, schedules):
-            self.env.process(
+            self.processes.spawn(
                 self._account_loop(cli, schedule),
                 name=f"workload/{cli.wallet.name}",
             )

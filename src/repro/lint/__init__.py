@@ -1,8 +1,10 @@
-"""repro.lint — AST-based determinism & simulation-correctness analyzer.
+"""repro.lint — determinism & simulation-correctness analysis, two tiers.
 
 The reproduction's numbers are only credible if the discrete-event
 simulation replays identically for a given seed.  This package enforces
-that property statically, forever, with a small rule set:
+that property with a per-module rule set, a whole-program analysis layer
+(symbol table + import graph + call graph over every linted module), and
+a dynamic scheduler-race sanitizer:
 
 =======  ==============================================================
 Rule     What it forbids
@@ -12,23 +14,48 @@ D002     RNG construction outside ``sim/rng.py``'s RngRegistry streams
 D003     iteration over sets / raw ``dict.keys()`` in ordered positions
 D004     float equality comparisons on simulated timestamps
 R001     sim resource ``request()`` without a matching ``release()``
+R002     swallowed RPC errors (bare/broad ``except`` around RPC calls)
+D005     one RNG stream name claimed by multiple modules; opaque
+         dynamically-built stream names (whole-program)
+D006     module-global entropy transitively reachable from a simulation
+         process generator (whole-program)
+R003     discarded ``env.process(...)`` / ``env.timeout(...)`` handles
+         (whole-program)
 =======  ==============================================================
 
-Run it with ``python -m repro.lint [paths]`` (or ``python -m repro lint``).
-Findings can be waived inline with ``# repro-lint: disable=<RULE>``.
+The whole-program phase also emits a machine-readable RNG stream-name
+inventory (``--stream-inventory FILE``).  The dynamic tier,
+:mod:`repro.lint.schedcheck`, reruns a scenario with the event-heap
+tie-break reversed and treats any artifact divergence as a scheduling
+race (``python -m repro lint --schedcheck <scenario>``).
+
+Run the static tiers with ``python -m repro.lint [paths]`` (or
+``python -m repro lint``).  Findings can be waived inline with
+``# repro-lint: disable=<RULE>`` or per-file with
+``# repro-lint: disable-file=<RULE>``.
 """
 
 from repro.lint.config import LintConfig
 from repro.lint.driver import lint_paths, lint_source
 from repro.lint.findings import Finding
+from repro.lint.program import (
+    PROGRAM_REGISTRY,
+    ProgramIndex,
+    all_program_rules,
+    build_stream_inventory,
+)
 from repro.lint.reporters import render_json, render_text
 from repro.lint.rules import REGISTRY, all_rules
 
 __all__ = [
     "Finding",
     "LintConfig",
+    "PROGRAM_REGISTRY",
+    "ProgramIndex",
     "REGISTRY",
+    "all_program_rules",
     "all_rules",
+    "build_stream_inventory",
     "lint_paths",
     "lint_source",
     "render_json",

@@ -12,6 +12,7 @@ from typing import Optional
 
 from repro.lint.config import LintConfig
 from repro.lint.driver import lint_paths
+from repro.lint.program import PROGRAM_REGISTRY
 from repro.lint.reporters import REPORTERS
 from repro.lint.rules import REGISTRY
 
@@ -46,6 +47,31 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the registered rules and exit",
     )
+    parser.add_argument(
+        "--schedcheck",
+        metavar="SCENARIO",
+        default=None,
+        help=(
+            "dynamic mode: run SCENARIO under both event-heap tie-break "
+            "policies and report any divergence (a scheduling race) "
+            "instead of running the static rules"
+        ),
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=7,
+        help="experiment seed for --schedcheck scenarios (default 7)",
+    )
+    parser.add_argument(
+        "--stream-inventory",
+        metavar="FILE",
+        default=None,
+        help=(
+            "write the RNG stream-name inventory (JSON) produced by the "
+            "whole-program phase to FILE"
+        ),
+    )
     return parser
 
 
@@ -56,15 +82,31 @@ def main(argv: Optional[list[str]] = None) -> int:
     if args.list_rules:
         for rule_id, rule in REGISTRY.items():
             print(f"{rule_id}  {rule.description}")
+        for rule_id, rule in PROGRAM_REGISTRY.items():
+            print(f"{rule_id}  [whole-program] {rule.description}")
         return 0
+
+    if args.schedcheck is not None:
+        from repro.lint.schedcheck import SCENARIOS, check_scenario
+
+        if args.schedcheck not in SCENARIOS:
+            parser.error(
+                f"unknown schedcheck scenario {args.schedcheck!r} "
+                f"(known: {', '.join(sorted(SCENARIOS))})"
+            )
+        result = check_scenario(args.schedcheck, seed=args.seed)
+        print(result.summary())
+        return 0 if result.clean else 1
 
     select = None
     if args.rules:
         select = frozenset(r.strip() for r in args.rules.split(",") if r.strip())
-        unknown = select - set(REGISTRY)
+        unknown = select - set(REGISTRY) - set(PROGRAM_REGISTRY)
         if unknown:
             parser.error(f"unknown rule id(s): {', '.join(sorted(unknown))}")
-    config = LintConfig.with_rules(select)
+    config = LintConfig(
+        select=select, stream_inventory_path=args.stream_inventory
+    )
 
     findings = lint_paths(args.paths, config)
     print(REPORTERS[args.format](findings))

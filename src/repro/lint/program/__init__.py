@@ -1,0 +1,50 @@
+"""Whole-program analysis layer (lint Tier A).
+
+The per-module rules (D001-D004, R001-R002) see one file at a time; this
+package builds a project-wide view — a symbol table, an import graph and
+a call graph — so rules can reason *across* modules:
+
+=======  ==============================================================
+Rule     What it catches
+=======  ==============================================================
+D005     the same RNG stream name claimed by distinct modules (silent
+         stream sharing), plus opaque dynamically-built stream names
+         that defeat the static stream inventory
+D006     module-global ``random.*`` / wall-clock calls in functions
+         *transitively* reachable from a simulation process generator
+R003     ``env.process(...)`` / ``env.timeout(...)`` results discarded,
+         so the event can never be awaited, interrupted or cancelled
+=======  ==============================================================
+
+As a side effect of D005's analysis the layer produces a machine-readable
+stream-name inventory (:func:`build_stream_inventory`) enumerating every
+statically visible RNG stream the program can create.
+"""
+
+from repro.lint.program.index import (
+    FunctionInfo,
+    ModuleInfo,
+    ProgramIndex,
+    StreamCall,
+    module_name_for,
+)
+from repro.lint.program.rules import (
+    PROGRAM_REGISTRY,
+    ProgramRule,
+    all_program_rules,
+    build_stream_inventory,
+    register_program,
+)
+
+__all__ = [
+    "FunctionInfo",
+    "ModuleInfo",
+    "PROGRAM_REGISTRY",
+    "ProgramIndex",
+    "ProgramRule",
+    "StreamCall",
+    "all_program_rules",
+    "build_stream_inventory",
+    "module_name_for",
+    "register_program",
+]

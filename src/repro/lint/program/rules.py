@@ -1,0 +1,250 @@
+"""Cross-module rules D005/D006/R003, built on the program index."""
+
+from __future__ import annotations
+
+import ast
+from typing import Any, Iterable, Optional, Type
+
+from repro.lint.findings import Finding
+from repro.lint.program.index import ProgramIndex, StreamCall
+from repro.lint.rules.determinism import _GLOBAL_RANDOM_FUNCS, _WALL_CLOCK_CALLS
+
+#: rule id -> rule instance, in registration (= documentation) order.
+PROGRAM_REGISTRY: "dict[str, ProgramRule]" = {}
+
+
+def register_program(rule_cls: "Type[ProgramRule]") -> "Type[ProgramRule]":
+    """Class decorator: instantiate and index a whole-program rule."""
+    rule = rule_cls()
+    if not rule.rule_id:
+        raise ValueError(f"rule {rule_cls.__name__} has no rule_id")
+    if rule.rule_id in PROGRAM_REGISTRY:
+        raise ValueError(f"duplicate rule id {rule.rule_id!r}")
+    PROGRAM_REGISTRY[rule.rule_id] = rule
+    return rule_cls
+
+
+def all_program_rules() -> "list[ProgramRule]":
+    return list(PROGRAM_REGISTRY.values())
+
+
+class ProgramRule:
+    """One cross-module check over the :class:`ProgramIndex`."""
+
+    rule_id: str = ""
+    description: str = ""
+
+    def check(self, index: ProgramIndex) -> Iterable[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self, call: "StreamCall | None", path: str, line: int, col: int, message: str
+    ) -> Finding:
+        return Finding(
+            path=path, line=line, col=col, rule_id=self.rule_id, message=message
+        )
+
+
+# ----------------------------------------------------------------------
+# D005 — RNG stream-name collisions and opaque stream names
+# ----------------------------------------------------------------------
+
+
+@register_program
+class StreamNameCollisionRule(ProgramRule):
+    """Each component must own its stream names; silent sharing couples
+    the components' draw sequences (and is how draw-assignment races
+    start).  Names the analyzer cannot read defeat the inventory."""
+
+    rule_id = "D005"
+    description = (
+        "RNG stream name claimed by more than one module (silent stream "
+        "sharing), or a dynamically-built name that defeats the static "
+        "stream inventory"
+    )
+
+    def check(self, index: ProgramIndex) -> Iterable[Finding]:
+        sites: dict[str, list[StreamCall]] = {}
+        for call in index.stream_calls:
+            if call.kind == "opaque":
+                yield self.finding(
+                    call,
+                    call.path,
+                    call.line,
+                    call.col,
+                    f"stream name passed to {call.method}() is not statically "
+                    "readable; use a literal or f-string with a literal "
+                    "prefix so the stream inventory stays complete",
+                )
+                continue
+            sites.setdefault(call.name or "", []).append(call)
+        for name in sorted(sites):
+            calls = sites[name]
+            modules = sorted({c.module for c in calls})
+            if len(modules) < 2:
+                continue
+            ordered = sorted(calls, key=lambda c: (c.path, c.line, c.col))
+            first = ordered[0]
+            for call in ordered[1:]:
+                if call.module == first.module:
+                    continue
+                yield self.finding(
+                    call,
+                    call.path,
+                    call.line,
+                    call.col,
+                    f"stream name {name!r} is also claimed by "
+                    f"{first.module} ({first.path}:{first.line}); two "
+                    "components sharing one stream couple their draw "
+                    "sequences — derive distinct names",
+                )
+
+
+def build_stream_inventory(index: ProgramIndex) -> dict[str, Any]:
+    """Machine-readable inventory of every statically visible stream.
+
+    Keys are normalized stream names (f-string placeholders collapsed to
+    ``{}``); opaque sites are listed under ``"<opaque>"`` so the artifact
+    records that the static inventory is incomplete.
+    """
+    streams: dict[str, list[dict[str, Any]]] = {}
+    for call in index.stream_calls:
+        key = call.name if call.name is not None else "<opaque>"
+        streams.setdefault(key, []).append(
+            {
+                "path": call.path,
+                "line": call.line,
+                "module": call.module,
+                "function": call.function,
+                "method": call.method,
+                "kind": call.kind,
+            }
+        )
+    for sites in streams.values():
+        sites.sort(key=lambda s: (s["path"], s["line"]))
+    return {
+        "stream_count": len(streams),
+        "site_count": len(index.stream_calls),
+        "streams": {k: streams[k] for k in sorted(streams)},
+    }
+
+
+# ----------------------------------------------------------------------
+# D006 — transitive rogue entropy in process-reachable code
+# ----------------------------------------------------------------------
+
+_ROGUE_CALLS = _GLOBAL_RANDOM_FUNCS | _WALL_CLOCK_CALLS
+
+
+@register_program
+class TransitiveEntropyRule(ProgramRule):
+    """D001/D002 flag direct offenders file-by-file; this rule walks the
+    call graph so entropy smuggled through helper layers is still pinned
+    to the simulation process that consumes it."""
+
+    rule_id = "D006"
+    description = (
+        "module-global random.* / wall-clock call in a function "
+        "transitively reachable from a simulation process generator"
+    )
+
+    def check(self, index: ProgramIndex) -> Iterable[Finding]:
+        chains = index.reachable_from_roots()
+        for fqn in sorted(chains):
+            fn = index.functions.get(fqn)
+            if fn is None:
+                continue
+            info = index.modules[fn.module]
+            for call in _direct_calls(fn.node):
+                resolved = info.ctx.resolve(call.func)
+                if resolved not in _ROGUE_CALLS:
+                    continue
+                chain = " -> ".join(chains[fqn])
+                yield self.finding(
+                    None,
+                    info.ctx.path,
+                    call.lineno,
+                    call.col_offset + 1,
+                    f"{resolved}() runs inside simulation processes "
+                    f"(reachable via {chain}) without a registry stream; "
+                    "draw from RngRegistry / the simulation clock instead",
+                )
+
+
+def _direct_calls(func: ast.AST) -> Iterable[ast.Call]:
+    stack: list[ast.AST] = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if isinstance(node, ast.Call):
+            yield node
+        stack.extend(reversed(list(ast.iter_child_nodes(node))))
+
+
+# ----------------------------------------------------------------------
+# R003 — discarded process / timeout handles
+# ----------------------------------------------------------------------
+
+
+@register_program
+class DroppedProcessRule(ProgramRule):
+    """A discarded ``env.process(...)`` handle can never be joined or
+    interrupted (fault injection and clean shutdown both need it), and a
+    discarded ``env.timeout(...)`` schedules an event nobody awaits."""
+
+    rule_id = "R003"
+    description = (
+        "env.process(...) / env.timeout(...) result discarded; keep the "
+        "handle (e.g. in a sim.ProcessGroup) so the event can be awaited "
+        "or interrupted"
+    )
+
+    def check(self, index: ProgramIndex) -> Iterable[Finding]:
+        for path in sorted(index.by_path):
+            info = index.by_path[path]
+            for stmt in ast.walk(info.ctx.tree):
+                if not isinstance(stmt, ast.Expr):
+                    continue
+                call = stmt.value
+                if not isinstance(call, ast.Call):
+                    continue
+                func = call.func
+                if not (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in ("process", "timeout")
+                ):
+                    continue
+                if not _receiver_is_env(func.value):
+                    continue
+                yield self.finding(
+                    None,
+                    info.ctx.path,
+                    call.lineno,
+                    call.col_offset + 1,
+                    f"result of {_receiver_text(func)}.{func.attr}(...) is "
+                    "discarded, so the event can never be awaited or "
+                    "interrupted; retain the handle (sim.ProcessGroup)",
+                )
+
+
+def _receiver_is_env(node: ast.AST) -> bool:
+    """The receiver chain's final identifier is ``env`` (``env``,
+    ``self.env``, ``chain.env``, ...)."""
+    if isinstance(node, ast.Name):
+        return node.id == "env"
+    if isinstance(node, ast.Attribute):
+        return node.attr == "env"
+    return False
+
+
+def _receiver_text(func: ast.Attribute) -> str:
+    parts: list[str] = []
+    node: ast.AST = func.value
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    parts.reverse()
+    return ".".join(parts) or "env"

@@ -18,7 +18,7 @@ from repro.relayer.config import RelayerConfig
 from repro.relayer.events import WorkBatch, batches_from_notification
 from repro.relayer.logging import RelayerLog
 from repro.relayer.worker import DirectionWorker
-from repro.sim.core import Environment
+from repro.sim.core import Environment, ProcessGroup
 from repro.tendermint.node import ChainNode
 from repro.tendermint.websocket import (
     BlockNotification,
@@ -65,6 +65,9 @@ class Supervisor:
         self.subscriptions: dict[str, Subscription] = {}
         self._nodes: dict[str, ChainNode] = {}
         self._started = False
+        #: Listener processes, one per attached chain, retained so faults
+        #: and teardown can interrupt them.
+        self.processes = ProcessGroup(env)
 
     def route(self, worker: DirectionWorker) -> None:
         """Register a direction worker's event routes (per channel)."""
@@ -87,7 +90,7 @@ class Supervisor:
             return
         self._started = True
         for chain_id, subscription in self.subscriptions.items():
-            self.env.process(
+            self.processes.spawn(
                 self._listen(chain_id, subscription),
                 name=f"supervisor/{chain_id}",
             )

@@ -38,7 +38,7 @@ from repro.relayer.config import RelayerConfig
 from repro.relayer.endpoint import ChainEndpoint, SubmittedTx
 from repro.relayer.events import WorkBatch
 from repro.relayer.logging import RelayerLog
-from repro.sim.core import Environment
+from repro.sim.core import Environment, ProcessGroup
 from repro.sim.resources import Store
 
 
@@ -93,6 +93,9 @@ class DirectionWorker:
         self._in_flight: set[int] = set()
         self._started = False
         self._clear_pending = False
+        #: Every process this worker spawns (stage loops, confirmations,
+        #: one-shot clears), so teardown/faults can interrupt them.
+        self.processes = ProcessGroup(env)
 
     # ------------------------------------------------------------------
 
@@ -101,11 +104,11 @@ class DirectionWorker:
             return
         self._started = True
         name = f"worker/{self.src_end.chain_id}->{self.dst_end.chain_id}"
-        self.env.process(self._recv_loop(), name=f"{name}/recv")
-        self.env.process(self._ack_loop(), name=f"{name}/ack")
-        self.env.process(self._timeout_loop(), name=f"{name}/timeout")
+        self.processes.spawn(self._recv_loop(), name=f"{name}/recv")
+        self.processes.spawn(self._ack_loop(), name=f"{name}/ack")
+        self.processes.spawn(self._timeout_loop(), name=f"{name}/timeout")
         if self.config.clear_interval > 0:
-            self.env.process(self._clear_loop(), name=f"{name}/clear")
+            self.processes.spawn(self._clear_loop(), name=f"{name}/clear")
 
     # ------------------------------------------------------------------
     # Stage 1: receive relaying (src events -> dst transactions)
@@ -240,7 +243,7 @@ class DirectionWorker:
             submitted = yield from self.dst.submit_msgs(
                 msgs, label="recv", prepend_msg=update
             )
-            self.env.process(
+            self.processes.spawn(
                 self._confirm(self.dst, submitted, "recv"), name="confirm/recv"
             )
 
@@ -410,7 +413,7 @@ class DirectionWorker:
             )
             for msg in msgs:
                 self.pending.pop(msg.packet.sequence, None)
-            self.env.process(
+            self.processes.spawn(
                 self._confirm(self.src, submitted, "ack"), name="confirm/ack"
             )
 
@@ -480,7 +483,7 @@ class DirectionWorker:
             )
             for msg in msgs:
                 self.pending.pop(msg.packet.sequence, None)
-            self.env.process(
+            self.processes.spawn(
                 self._confirm(self.src, submitted, "timeout"), name="confirm/timeout"
             )
 
@@ -513,7 +516,7 @@ class DirectionWorker:
                 self._clear_pending = False
 
         name = f"clear-gap/{self.src_end.chain_id}->{self.dst_end.chain_id}"
-        self.env.process(one_shot(), name=name)
+        self.processes.spawn(one_shot(), name=name)
 
     def clear_once(self):
         """Re-scan pending commitments on src and re-relay missing packets."""
@@ -584,7 +587,7 @@ class DirectionWorker:
                 build_seconds_per_msg=cal.RELAYER_BUILD_SECONDS_PER_MSG,
                 prepend_msg=update,
             )
-            self.env.process(
+            self.processes.spawn(
                 self._confirm(self.dst, submitted, "recv"), name="confirm/clear"
             )
         # Ack-side clearing: packets already received on dst whose acks were

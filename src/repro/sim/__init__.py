@@ -11,12 +11,15 @@ Public surface:
 """
 
 from repro.sim.core import (
+    TIEBREAKS,
     AllOf,
     AnyOf,
     Environment,
     Event,
     Interrupt,
     Process,
+    ProcessGroup,
+    TieBreak,
     Timeout,
 )
 from repro.sim.monitor import (
@@ -29,7 +32,7 @@ from repro.sim.monitor import (
 )
 from repro.sim.network import Host, LinkSpec, Network
 from repro.sim.resources import Request, Resource, Store
-from repro.sim.rng import RngRegistry, derive_seed
+from repro.sim.rng import KeyedStream, RngRegistry, derive_seed
 
 __all__ = [
     "AllOf",
@@ -40,12 +43,16 @@ __all__ = [
     "Event",
     "Host",
     "Interrupt",
+    "KeyedStream",
     "LinkSpec",
     "Network",
     "ProbeSet",
     "Process",
+    "ProcessGroup",
     "Request",
     "Resource",
+    "TIEBREAKS",
+    "TieBreak",
     "RngRegistry",
     "Store",
     "SummaryStats",

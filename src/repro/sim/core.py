@@ -33,6 +33,47 @@ URGENT = 0
 NORMAL = 1
 
 
+class TieBreak:
+    """Policy ordering events that share the same (time, priority) heap key.
+
+    The default ``fifo`` policy pops ties in scheduling order — the classic
+    deterministic DES choice.  The ``lifo`` policy pops them in *reverse*
+    scheduling order.  Nothing in the simulation is allowed to depend on
+    which policy runs: if a scenario's observable outputs differ between the
+    two, the code has a real scheduling race that the sequence-number
+    tie-break was silently masking (see ``repro.lint.schedcheck``).
+    """
+
+    __slots__ = ("name", "sign")
+
+    def __init__(self, name: str, sign: int):
+        self.name = name
+        self.sign = sign
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TieBreak({self.name!r})"
+
+
+#: The registered tie-break policies, by name.
+TIEBREAKS: dict[str, TieBreak] = {
+    "fifo": TieBreak("fifo", 1),
+    "lifo": TieBreak("lifo", -1),
+}
+
+
+def resolve_tiebreak(policy: "str | TieBreak") -> TieBreak:
+    """Look up a policy by name (or pass a :class:`TieBreak` through)."""
+    if isinstance(policy, TieBreak):
+        return policy
+    try:
+        return TIEBREAKS[policy]
+    except KeyError:
+        raise SimulationError(
+            f"unknown tie-break policy {policy!r}; "
+            f"expected one of {sorted(TIEBREAKS)}"
+        ) from None
+
+
 class Event:
     """A condition that will be *triggered* at some point in simulated time.
 
@@ -311,10 +352,14 @@ class AnyOf(Condition):
 class Environment:
     """The simulation clock and event loop."""
 
-    def __init__(self, initial_time: float = 0.0):
+    def __init__(
+        self, initial_time: float = 0.0, tiebreak: "str | TieBreak" = "fifo"
+    ):
         self._now = float(initial_time)
         self._queue: list[tuple[float, int, int, Event]] = []
         self._seq = 0
+        self.tiebreak = resolve_tiebreak(tiebreak)
+        self._seq_sign = self.tiebreak.sign
         #: (name, exception) for every process body that raised.  Waiters
         #: still receive the exception; this list exists so harnesses can
         #: detect crashes in fire-and-forget processes.
@@ -348,7 +393,8 @@ class Environment:
     def _schedule(self, event: Event, priority: int, delay: float) -> None:
         self._seq += 1
         heapq.heappush(
-            self._queue, (self._now + delay, priority, self._seq, event)
+            self._queue,
+            (self._now + delay, priority, self._seq_sign * self._seq, event),
         )
 
     def schedule_callback(
@@ -430,3 +476,44 @@ class Environment:
     def stop(self) -> None:
         """Stop the current :meth:`run` call from inside a callback/process."""
         raise StopSimulation
+
+
+class ProcessGroup:
+    """Owns the :class:`Process` handles a component spawns.
+
+    Fire-and-forget ``env.process(...)`` calls discard the returned handle,
+    so the process can never be awaited, interrupted or cancelled — and the
+    analyzer's R003 rule flags them.  A group keeps the handles (pruning
+    finished ones on each spawn) and offers bulk interruption for teardown.
+    """
+
+    def __init__(self, env: Environment):
+        self.env = env
+        self._procs: list[Process] = []
+
+    def spawn(self, generator: ProcessGenerator, name: str = "") -> Process:
+        """Start and retain a process; returns its handle."""
+        self._prune()
+        process = self.env.process(generator, name=name)
+        self._procs.append(process)
+        return process
+
+    def add(self, process: Process) -> Process:
+        """Retain an externally created process handle."""
+        self._prune()
+        self._procs.append(process)
+        return process
+
+    def _prune(self) -> None:
+        self._procs = [p for p in self._procs if p.is_alive]
+
+    @property
+    def live(self) -> list[Process]:
+        """The still-running processes, in spawn order."""
+        self._prune()
+        return list(self._procs)
+
+    def interrupt_all(self, cause: Any = None) -> None:
+        """Interrupt every live process (teardown / fault recovery)."""
+        for process in self.live:
+            process.interrupt(cause)

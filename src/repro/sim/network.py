@@ -16,7 +16,7 @@ from typing import Any, Callable, Optional
 from repro.errors import SimulationError
 from repro.sim.core import Environment
 from repro.sim.resources import Store
-from repro.sim.rng import RngRegistry
+from repro.sim.rng import KeyedStream, RngRegistry
 
 
 @dataclass(frozen=True)
@@ -59,12 +59,15 @@ class Network:
         default_jitter: float = 0.0,
     ):
         self.env = env
-        self._rng = rng.stream("network")
-        # Loss decisions draw from their own derived stream: sampling them
-        # from the jitter stream would shift every later jitter draw the
-        # moment any link enables loss, making loss=0 vs loss>0 runs
-        # incomparable.
-        self._loss_rng = rng.stream("network/loss")
+        # Jitter and loss are keyed (order-independent) draws: delivery is a
+        # shared facility sampled by whichever process happens to send, so a
+        # sequential stream would hand out draws in event-heap tie order — a
+        # scheduling race.  Keying by (link direction, send time) makes each
+        # sample a pure function of simulation state.  Loss keeps its own
+        # stream so a loss decision never correlates with the jitter value.
+        self._jitter_rng = rng.keyed("network/jitter")
+        self._loss_rng = rng.keyed("network/loss")
+        self._pair_rngs: dict[tuple[str, str], tuple[KeyedStream, KeyedStream]] = {}
         self.default = LinkSpec(latency=default_rtt / 2.0, jitter=default_jitter)
         self.hosts: dict[str, Host] = {}
         self._links: dict[tuple[str, str], LinkSpec] = {}
@@ -110,11 +113,30 @@ class Network:
 
     # -- delivery -----------------------------------------------------------
 
+    def _pair(self, src: str, dst: str) -> tuple[KeyedStream, KeyedStream]:
+        """(jitter, loss) keyed streams for the directed link src -> dst."""
+        entry = self._pair_rngs.get((src, dst))
+        if entry is None:
+            entry = (
+                self._jitter_rng.derive(f"{src}->{dst}"),
+                self._loss_rng.derive(f"{src}->{dst}"),
+            )
+            self._pair_rngs[(src, dst)] = entry
+        return entry
+
     def delay(self, src: str, dst: str) -> float:
-        """Sample the one-way delay for a message from ``src`` to ``dst``."""
+        """Sample the one-way delay for a message from ``src`` to ``dst``.
+
+        The sample is a pure function of (link direction, current time):
+        repeating the call at the same instant returns the same delay, and
+        concurrent senders on other links cannot perturb it.
+        """
         spec = self.link(src, dst)
         if spec.jitter:
-            return max(0.0, spec.latency + self._rng.uniform(-spec.jitter, spec.jitter))
+            jitter = self._pair(src, dst)[0].uniform(
+                self.env.now, -spec.jitter, spec.jitter
+            )
+            return max(0.0, spec.latency + jitter)
         return spec.latency
 
     def send(
@@ -129,10 +151,8 @@ class Network:
         link delay.  ``on_delivery`` (if given) runs instead of the mailbox.
         """
         spec = self.link(src, dst)
-        # Sample the delay *before* the drop decision so the jitter stream
-        # advances identically whether or not the message is lost.
         delay = self.delay(src, dst)
-        if spec.loss and self._loss_rng.random() < spec.loss:
+        if spec.loss and self._pair(src, dst)[1].u01(self.env.now) < spec.loss:
             self.dropped += 1
             return
         dst_host = self.host(dst)

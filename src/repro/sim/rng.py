@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import hashlib
 import random
+import struct
 
 
 def derive_seed(root_seed: int, name: str) -> int:
@@ -19,12 +20,71 @@ def derive_seed(root_seed: int, name: str) -> int:
     return int.from_bytes(digest[:8], "big")
 
 
+_MASK64 = (1 << 64) - 1
+_GAMMA = 0x9E3779B97F4A7C15
+
+
+def _mix64(z: int) -> int:
+    """SplitMix64 finalizer: a cheap, well-distributed 64-bit hash."""
+    z &= _MASK64
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return z ^ (z >> 31)
+
+
+class KeyedStream:
+    """Random values as a pure function of (stream identity, time key).
+
+    A sequential :class:`random.Random` stream has a mutable cursor, so
+    when several *concurrent* processes draw from one stream at the same
+    simulated instant, which process gets which draw depends on the event
+    heap's tie-break order — a scheduling race that
+    :mod:`repro.lint.schedcheck` flags.  A keyed stream has no cursor:
+    the value for a given key is fixed when the stream is created, so
+    same-instant consumers cannot perturb each other.  The trade-off is
+    that identical keys yield identical values (two messages on one link
+    at one instant share their jitter), which is accepted as modelling
+    instantaneously shared link conditions.
+
+    Use a :class:`random.Random` stream for draws made by a single
+    process in its own control flow (draw order is schedule-independent
+    there); use a keyed stream for draws made at shared facilities on
+    behalf of whichever process happens to arrive.
+    """
+
+    __slots__ = ("seed",)
+
+    def __init__(self, seed: int):
+        self.seed = seed
+
+    def _word(self, at: float, salt: int) -> int:
+        bits = struct.unpack("<Q", struct.pack("<d", at))[0]
+        return _mix64(self.seed ^ _mix64(bits + ((salt + 1) * _GAMMA & _MASK64)))
+
+    def u01(self, at: float, salt: int = 0) -> float:
+        """Uniform in [0, 1) for time key ``at`` (53-bit resolution)."""
+        return (self._word(at, salt) >> 11) * (2.0 ** -53)
+
+    def uniform(self, at: float, low: float, high: float, salt: int = 0) -> float:
+        """Uniform in [low, high) for time key ``at``."""
+        return low + (high - low) * self.u01(at, salt)
+
+    def index(self, at: float, n: int, salt: int = 0) -> int:
+        """Uniform index in [0, n) for time key ``at``."""
+        return min(n - 1, int(self.u01(at, salt) * n))
+
+    def derive(self, name: str) -> "KeyedStream":
+        """A child keyed stream (e.g. one per link direction)."""
+        return KeyedStream(derive_seed(self.seed, name))
+
+
 class RngRegistry:
     """Factory of independent named :class:`random.Random` streams."""
 
     def __init__(self, root_seed: int):
         self.root_seed = root_seed
         self._streams: dict[str, random.Random] = {}
+        self._keyed: dict[str, KeyedStream] = {}
 
     def stream(self, name: str) -> random.Random:
         """Return the stream for ``name``, creating it deterministically."""
@@ -32,6 +92,14 @@ class RngRegistry:
         if stream is None:
             stream = random.Random(derive_seed(self.root_seed, name))
             self._streams[name] = stream
+        return stream
+
+    def keyed(self, name: str) -> KeyedStream:
+        """Return the order-independent :class:`KeyedStream` for ``name``."""
+        stream = self._keyed.get(name)
+        if stream is None:
+            stream = KeyedStream(derive_seed(self.root_seed, f"keyed/{name}"))
+            self._keyed[name] = stream
         return stream
 
     def spawn(self, name: str) -> "RngRegistry":

@@ -144,6 +144,7 @@ class ConsensusEngine:
         self._last_commit = Commit.genesis()
         self._running = False
         self._stopped = False
+        self.process = None
 
     # -- public API -------------------------------------------------------------
 
@@ -154,7 +155,9 @@ class ConsensusEngine:
         if self._running:
             raise SimulationError("consensus engine already running")
         self._running = True
-        self.env.process(self._run(), name=f"consensus/{self.chain_id}")
+        self.process = self.env.process(
+            self._run(), name=f"consensus/{self.chain_id}"
+        )
 
     def stop(self) -> None:
         self._stopped = True

@@ -11,6 +11,7 @@ on the chain itself.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 from typing import Any, Optional
 
@@ -81,7 +82,10 @@ class Chain:
         self.chain_id = chain_id
         self.cal = calibration or cal.DEFAULT_CALIBRATION
         self.rng = rng
-        self._gossip_rng = rng.stream(f"gossip/{chain_id}")
+        # Keyed: gossip routing is sampled from whichever RPC serve process
+        # accepts the broadcast, so a sequential stream would assign draws
+        # in event-heap tie order when two txs land at the same instant.
+        self._gossip_rng = rng.keyed(f"gossip/{chain_id}")
 
         names = [f"{chain_id}-val{i}" for i in range(len(validator_hosts))]
         self.validators = ValidatorSet.with_names(names)
@@ -149,9 +153,12 @@ class Chain:
 
     def gossip_delay(self, from_host: str) -> float:
         """Delay until a tx submitted at ``from_host`` reaches proposers."""
-        validator_host = self._gossip_rng.choice(
-            list(self.validator_hosts.values())
-        )
+        hosts = list(self.validator_hosts.values())
+        validator_host = hosts[
+            self._gossip_rng.index(
+                self.env.now, len(hosts), salt=zlib.crc32(from_host.encode())
+            )
+        ]
         return self.network.delay(from_host, validator_host) + 0.05
 
 

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import hashlib
 import itertools
-import random
+import zlib
 from dataclasses import dataclass, field
 from typing import Any, Callable, Generator, Optional
 
@@ -31,11 +31,17 @@ from repro.errors import (
     RpcTimeoutError,
     SimulationError,
 )
-from repro.sim.core import Environment, Event
+from repro.sim.core import Environment, Event, ProcessGroup
 from repro.sim.network import Network
 from repro.sim.resources import Resource
+from repro.sim.rng import KeyedStream
 
 _REQUEST_IDS = itertools.count()
+
+
+def _client_salt(client_id: str) -> int:
+    """Stable per-client salt for keyed draws (hash() is randomized)."""
+    return zlib.crc32(client_id.encode()) if client_id else 0
 
 
 @dataclass
@@ -102,13 +108,20 @@ class RpcServer:
         # Connection-pressure tracking: distinct clients seen recently.
         # See calibration.RPC_OVERLOAD_* for the Table I derivation.
         self._client_last_seen: dict[str, float] = {}
+        # Shed decisions are keyed draws (pure function of time + client):
+        # submit() runs in callback context, so a sequential stream would
+        # hand out draws in event-heap tie order when two clients hit the
+        # server at the same instant — a scheduling race.
         seed = int.from_bytes(hashlib.sha256(host.encode()).digest()[:4], "big")
-        self._shed_rng = random.Random(seed)
+        self._shed_rng = KeyedStream(seed)
         # Fault-injection state (driven by repro.faults.FaultInjector).
         self.crashed = False
         self._brownout_until = 0.0
         self._brownout_probability = 0.0
-        self._brownout_rng: Optional[random.Random] = None
+        self._brownout_rng: Optional[KeyedStream] = None
+        #: In-flight serve processes; the group prunes finished ones so a
+        #: crash fault can interrupt exactly the live requests.
+        self.processes = ProcessGroup(env)
 
     # -- fault injection ------------------------------------------------------
 
@@ -119,25 +132,27 @@ class RpcServer:
         self.crashed = crashed
 
     def set_brownout(
-        self, probability: float, until: float, rng: random.Random
+        self, probability: float, until: float, rng: KeyedStream
     ) -> None:
         """Until sim time ``until``, silently drop each incoming request
         with ``probability``.  Dropped requests never get a response, so
         the client's own deadline raises a genuine :class:`RpcTimeoutError`
-        with realistic timing.  ``rng`` must be a dedicated derived stream
-        so the drop decisions stay deterministic."""
+        with realistic timing.  ``rng`` must be a dedicated keyed stream
+        so the drop decisions are a pure function of (arrival time,
+        client) rather than of request arrival *order*."""
         self._brownout_probability = probability
         self._brownout_until = until
         self._brownout_rng = rng
 
-    def _brownout_drops(self) -> bool:
+    def _brownout_drops(self, request: "RpcRequest") -> bool:
         if (
             self._brownout_rng is None
             or self._brownout_probability <= 0.0
             or self.env.now >= self._brownout_until
         ):
             return False
-        return self._brownout_rng.random() < self._brownout_probability
+        salt = _client_salt(request.client_id)
+        return self._brownout_rng.u01(self.env.now, salt) < self._brownout_probability
 
     # -- connection-pressure overload -----------------------------------------
 
@@ -177,7 +192,7 @@ class RpcServer:
                 f"connection refused: node {self.host} is down"
             ))
             return
-        if self._brownout_drops():
+        if self._brownout_drops(request):
             # Brown-out: the request vanishes; the client times out.
             self.stats.dropped += 1
             return
@@ -190,7 +205,9 @@ class RpcServer:
             ))
             return
         shed_p = self._shed_probability()
-        if shed_p > 0.0 and self._shed_rng.random() < shed_p:
+        if shed_p > 0.0 and self._shed_rng.u01(
+            self.env.now, _client_salt(request.client_id)
+        ) < shed_p:
             # Connection-table pressure: the node refuses the connection.
             self.stats.shed += 1
             self._respond(request, error=RpcOverloadedError(
@@ -198,7 +215,7 @@ class RpcServer:
             ))
             return
         self._outstanding += 1
-        self.env.process(self._serve(request), name=f"rpc/{self.host}")
+        self.processes.spawn(self._serve(request), name=f"rpc/{self.host}")
 
     def _serve(self, request: RpcRequest):
         handler = self.handlers.get(request.method)

@@ -1,0 +1,2 @@
+"""Clean counterpart to d005_pkg: every module derives its own stream
+names (literals or f-string templates).  Must produce zero findings."""

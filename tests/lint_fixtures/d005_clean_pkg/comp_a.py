@@ -1,0 +1,7 @@
+"""Component A owns the ``clean_a/`` stream namespace."""
+
+
+def setup(registry, chain_id):
+    jitter = registry.stream("clean_a/jitter")
+    gas = registry.stream(f"clean_a/gas/{chain_id}")
+    return jitter, gas

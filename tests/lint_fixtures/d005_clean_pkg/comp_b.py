@@ -1,0 +1,7 @@
+"""Component B owns the ``clean_b/`` stream namespace."""
+
+
+def setup(registry, chain_id):
+    jitter = registry.stream("clean_b/jitter")
+    gas = registry.stream(f"clean_b/gas/{chain_id}")
+    return jitter, gas

@@ -1,0 +1,2 @@
+"""Seeded D005 violations: two modules claiming one stream name, plus an
+opaque dynamically-built name.  Parsed by repro.lint tests, never executed."""

@@ -1,0 +1,7 @@
+"""First claimant of the shared stream name (the reference site)."""
+
+
+def setup(registry):
+    jitter = registry.stream("shared/jitter")  # line 5: D005 reference site
+    private = registry.stream("comp_a/gas")  # distinct name: not flagged
+    return jitter, private

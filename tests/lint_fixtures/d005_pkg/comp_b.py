@@ -1,0 +1,7 @@
+"""Second claimant (flagged) plus an opaque stream name (flagged)."""
+
+
+def setup(registry, suffix):
+    jitter = registry.stream("shared/jitter")  # line 5: D005 collision
+    hidden = registry.stream("comp_b/" + suffix)  # line 6: D005 opaque
+    return jitter, hidden

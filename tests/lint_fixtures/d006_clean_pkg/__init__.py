@@ -1,0 +1,3 @@
+"""Clean counterpart to d006_pkg: the helper draws from an injected
+registry stream, so process-reachable code holds no module-global
+entropy.  Must produce zero findings."""

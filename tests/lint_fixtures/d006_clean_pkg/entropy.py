@@ -1,0 +1,5 @@
+"""Helper module drawing from a named stream passed in by the caller."""
+
+
+def sample(rng):
+    return rng.random()

@@ -1,0 +1,11 @@
+"""Simulation process wired to registry streams only."""
+
+from d006_clean_pkg import entropy
+
+
+def run(env, rng):
+    yield env.timeout(entropy.sample(rng))
+
+
+def start(env, registry):
+    return env.process(run(env, registry.stream("d006_clean/delay")))

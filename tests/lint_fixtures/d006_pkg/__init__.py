@@ -1,0 +1,4 @@
+"""Seeded D006 violation: module-global entropy smuggled through a helper
+module into a simulation process generator.  The rogue line carries a
+D002 waiver so only the *transitive* rule fires — that is exactly the gap
+D006 exists to close.  Parsed by repro.lint tests, never executed."""

@@ -1,0 +1,12 @@
+"""Helper module that hides a module-global RNG draw behind a function."""
+
+import random
+
+
+def sample():
+    return random.random()  # repro-lint: disable=D002 -- line 7: D006
+
+
+def harmless():
+    # Never called from a process generator: D006 must not flag this.
+    return random.random()  # repro-lint: disable=D002

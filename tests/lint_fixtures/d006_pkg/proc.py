@@ -1,0 +1,11 @@
+"""Simulation process whose generator reaches the rogue helper."""
+
+from d006_pkg import entropy
+
+
+def run(env):
+    yield env.timeout(entropy.sample())
+
+
+def start(env):
+    return env.process(run(env))

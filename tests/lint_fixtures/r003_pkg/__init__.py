@@ -1,0 +1,3 @@
+"""Seeded R003 violations: discarded ``env.process`` / ``env.timeout``
+handles, next to a module that retains them correctly.  Parsed by
+repro.lint tests, never executed."""

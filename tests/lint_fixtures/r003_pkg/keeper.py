@@ -1,0 +1,19 @@
+"""Retained handles: assignments, yields and returns are all fine."""
+
+
+def loop(env):
+    yield env.timeout(1.0)
+
+
+def wait(env):
+    yield env.timeout(2.0)
+
+
+class Service:
+    def __init__(self, env):
+        self.env = env
+        self.proc = None
+
+    def start(self):
+        self.proc = self.env.process(loop(self.env))
+        return self.proc

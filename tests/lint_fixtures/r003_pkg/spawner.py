@@ -1,0 +1,14 @@
+"""Fire-and-forget spawns whose handles can never be joined."""
+
+
+def loop(env):
+    yield env.timeout(1.0)
+
+
+class Service:
+    def __init__(self, env):
+        self.env = env
+
+    def start(self):
+        self.env.process(loop(self.env))  # line 13: R003 discarded process
+        self.env.timeout(5.0)  # line 14: R003 discarded timeout

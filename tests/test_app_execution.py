@@ -162,4 +162,4 @@ def test_missing_proof_rejected():
 def test_direct_chain_time_advances(chain):
     t0 = chain.time
     chain.make_block([])
-    assert chain.time == t0 + BLOCK_INTERVAL
+    assert chain.time == t0 + BLOCK_INTERVAL  # repro-lint: disable=D004

@@ -94,7 +94,7 @@ def test_node_crash_refuses_rpc_then_recovers(bootstrapped, rng):
         try:
             yield from client.call("status")
             mid = "served"
-        except NodeUnavailableError:
+        except NodeUnavailableError:  # repro-lint: disable=R002
             mid = "refused"
         yield h.env.timeout(30.0)  # past the restart at t0+25
         after = yield from client.call("status")
@@ -137,7 +137,7 @@ def test_brownout_times_out_requests_then_clears(bootstrapped, rng):
         try:
             yield from client.call("status")
             mid = "served"
-        except RpcTimeoutError:
+        except RpcTimeoutError:  # repro-lint: disable=R002
             mid = "timed out"
         yield h.env.timeout(30.0)  # t=~37: brown-out over
         after = yield from client.call("status")
@@ -213,7 +213,7 @@ def test_retry_budget_exhaustion_is_logged_not_crashed(bootstrapped, rng):
         yield h.env.timeout(1.0)
         try:
             yield from endpoint.query("status")
-        except NodeUnavailableError:
+        except NodeUnavailableError:  # repro-lint: disable=R002
             return "raised"
         return "served"
 

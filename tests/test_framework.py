@@ -214,7 +214,7 @@ def test_clock_skew_applies_to_records():
     env = Environment()
     skewed = RelayerLog(env, "skewed", clock_skew=3.0)
     record = skewed.info("transfer_broadcast", count=1)
-    assert record.time == 3.0
+    assert record.time == 3.0  # repro-lint: disable=D004
 
 
 def test_merged_records_sorted():

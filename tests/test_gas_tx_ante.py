@@ -1,7 +1,5 @@
 """Tests for gas metering, transactions and the ante handler."""
 
-import random
-
 import pytest
 
 from repro import calibration as cal
@@ -9,6 +7,7 @@ from repro.cosmos.accounts import AccountKeeper, Wallet
 from repro.cosmos.ante import AnteHandler
 from repro.cosmos.gas import GasMeter, GasSchedule
 from repro.cosmos.tx import MsgSend, TxFactory, chunk_msgs
+from repro.sim.rng import RngRegistry
 from repro.errors import ChainError, OutOfGasError, SequenceMismatchError
 
 
@@ -25,7 +24,7 @@ def test_gas_meter_tracks_and_limits():
 
 def test_gas_schedule_means_match_paper():
     """100-message tx gas averages must track §IV-A's reported figures."""
-    schedule = GasSchedule(rng=random.Random(0))
+    schedule = GasSchedule(rng=RngRegistry(0).stream("test/gas-means"))
     n = 20_000
     for kind, target in (
         ("transfer", 36_692),
@@ -38,7 +37,7 @@ def test_gas_schedule_means_match_paper():
 
 def test_gas_jitter_bands_match_paper():
     """Per-message variance stays within 1% / 4.1% / 7.6% bands."""
-    schedule = GasSchedule(rng=random.Random(1))
+    schedule = GasSchedule(rng=RngRegistry(1).stream("test/gas-bands"))
     for kind, base, band in (
         ("transfer", 36_692, 0.01),
         ("recv_packet", 72_387, 0.041),

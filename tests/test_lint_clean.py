@@ -1,8 +1,10 @@
-"""Tier-1 gate: the analyzer must be clean over the whole source tree.
+"""Tier-1 gate: the analyzer must be clean over the whole repository.
 
 Running this inside the normal pytest run makes ``repro.lint`` a standing
 determinism gate with no extra CI plumbing: any future wall-clock read,
-rogue RNG, set-order dependence or leaked resource slot fails the suite.
+rogue RNG, set-order dependence, leaked resource slot, stream-name
+collision, transitive entropy path or dropped process handle — in the
+source tree, the test suite or the benchmarks — fails the suite.
 """
 
 from pathlib import Path
@@ -11,6 +13,13 @@ import repro
 from repro.lint import lint_paths
 
 SRC_ROOT = Path(repro.__file__).parent
+REPO_ROOT = Path(__file__).parent.parent
+
+
+def _assert_clean(paths):
+    findings = lint_paths([str(p) for p in paths])
+    rendered = "\n".join(f.format() for f in findings)
+    assert not findings, f"repro.lint found violations:\n{rendered}"
 
 
 def test_source_tree_exists():
@@ -18,6 +27,17 @@ def test_source_tree_exists():
 
 
 def test_lint_clean_over_src_repro():
-    findings = lint_paths([str(SRC_ROOT)])
-    rendered = "\n".join(f.format() for f in findings)
-    assert not findings, f"repro.lint found violations:\n{rendered}"
+    _assert_clean([SRC_ROOT])
+
+
+def test_lint_clean_over_whole_repo():
+    """src/, tests/ and benchmarks/ analyzed together, all rules.
+
+    One combined run (not three) so the whole-program rules see stream
+    names and call graphs across the tree boundaries too.  The deliberate
+    violations under ``tests/lint_fixtures/`` are pruned by the default
+    ``exclude_dirs``; the lint tests pass them explicitly.
+    """
+    for sub in ("tests", "benchmarks"):
+        assert (REPO_ROOT / sub).is_dir(), f"missing {sub}/ directory"
+    _assert_clean([SRC_ROOT, REPO_ROOT / "tests", REPO_ROOT / "benchmarks"])

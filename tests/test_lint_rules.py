@@ -5,8 +5,15 @@ from pathlib import Path
 
 import pytest
 
-from repro.lint import REGISTRY, LintConfig, lint_paths, lint_source
+from repro.lint import (
+    PROGRAM_REGISTRY,
+    REGISTRY,
+    LintConfig,
+    lint_paths,
+    lint_source,
+)
 from repro.lint.cli import main as lint_cli
+from repro.lint.driver import iter_python_files
 from repro.lint.findings import PARSE_ERROR_RULE
 from repro.lint.reporters import render_json, render_text
 
@@ -46,7 +53,145 @@ def test_fixture_findings(fixture, rule_id, expected_lines):
 
 def test_fixture_files_cover_every_rule():
     findings = lint_paths([str(FIXTURES)])
-    assert rules_hit(findings) == set(REGISTRY)
+    assert rules_hit(findings) == set(REGISTRY) | set(PROGRAM_REGISTRY)
+
+
+# ----------------------------------------------------------------------
+# Whole-program rules on the multi-file fixture packages
+# ----------------------------------------------------------------------
+
+
+def test_d005_package_collision_and_opaque_name():
+    findings = lint_paths([str(FIXTURES / "d005_pkg")])
+    assert rules_hit(findings) == {"D005"}
+    assert {(Path(f.path).name, f.line) for f in findings} == {
+        ("comp_b.py", 5),
+        ("comp_b.py", 6),
+    }
+    collision = next(f for f in findings if f.line == 5)
+    assert "d005_pkg.comp_a" in collision.message
+
+
+def test_d005_clean_package_has_no_findings():
+    assert lint_paths([str(FIXTURES / "d005_clean_pkg")]) == []
+
+
+def test_d006_flags_entropy_reached_through_a_helper_module():
+    findings = lint_paths([str(FIXTURES / "d006_pkg")])
+    assert rules_hit(findings) == {"D006"}
+    (finding,) = findings
+    assert finding.path.endswith("entropy.py")
+    assert finding.line == 7
+    assert "d006_pkg.proc.run -> d006_pkg.entropy.sample" in finding.message
+
+
+def test_d006_clean_package_has_no_findings():
+    assert lint_paths([str(FIXTURES / "d006_clean_pkg")]) == []
+
+
+def test_r003_package_flags_only_the_discarded_handles():
+    findings = lint_paths([str(FIXTURES / "r003_pkg")])
+    assert rules_hit(findings) == {"R003"}
+    assert {f.line for f in findings} == {13, 14}
+    assert all(f.path.endswith("spawner.py") for f in findings)
+
+
+def test_r003_ignores_non_env_receivers_and_retained_handles():
+    findings = lint_source(
+        "def start(env, pool):\n"
+        "    env.process(run(env))\n"
+        "    pool.process(run(env))\n"
+        "    handle = env.process(run(env))\n"
+        "    return handle\n"
+    )
+    assert [(f.rule_id, f.line) for f in findings] == [("R003", 2)]
+
+
+_D006_SINGLE_MODULE = (
+    "import random\n"
+    "def helper():\n"
+    "    return random.random()  # repro-lint: disable=D002\n"
+    "def run(env):\n"
+    "    yield env.timeout(helper())\n"
+    "def start(env):\n"
+    "    return env.process(run(env))\n"
+)
+
+
+def test_d005_fstring_templates_collide_across_modules(tmp_path):
+    (tmp_path / "m1.py").write_text("def f(r, c):\n    return r.stream(f'gas/{c}')\n")
+    (tmp_path / "m2.py").write_text("def g(r, c):\n    return r.stream(f'gas/{c}')\n")
+    findings = lint_paths([str(tmp_path)])
+    assert rules_hit(findings) == {"D005"}
+    assert "'gas/{}'" in findings[0].message
+
+
+# ----------------------------------------------------------------------
+# Stream-name inventory artifact
+# ----------------------------------------------------------------------
+
+
+def test_stream_inventory_artifact(tmp_path):
+    out = tmp_path / "inventory.json"
+    config = LintConfig(stream_inventory_path=str(out))
+    lint_paths([str(FIXTURES / "d005_pkg")], config)
+    payload = json.loads(out.read_text())
+    assert payload["site_count"] == 4
+    assert payload["stream_count"] == 3
+    assert {s["module"] for s in payload["streams"]["shared/jitter"]} == {
+        "d005_pkg.comp_a",
+        "d005_pkg.comp_b",
+    }
+    # The opaque site is recorded so the artifact admits it is incomplete.
+    assert payload["streams"]["<opaque>"][0]["kind"] == "opaque"
+
+
+def test_cli_stream_inventory(tmp_path, capsys):
+    out = tmp_path / "inv.json"
+    code = lint_cli(
+        [str(FIXTURES / "d005_clean_pkg"), "--stream-inventory", str(out)]
+    )
+    capsys.readouterr()
+    assert code == 0
+    payload = json.loads(out.read_text())
+    assert payload["stream_count"] == 4
+    assert "clean_a/gas/{}" in payload["streams"]
+
+
+# ----------------------------------------------------------------------
+# File discovery
+# ----------------------------------------------------------------------
+
+
+def test_iter_python_files_dedupes_and_sorts_globally(tmp_path):
+    (tmp_path / "b.py").write_text("x = 1\n")
+    sub = tmp_path / "sub"
+    sub.mkdir()
+    (sub / "a.py").write_text("y = 2\n")
+    files = list(
+        iter_python_files(
+            [str(tmp_path), str(sub / "a.py"), str(tmp_path / "b.py")]
+        )
+    )
+    assert files == sorted(files)
+    assert len(files) == len(set(files)) == 2
+
+
+def test_iter_python_files_excludes_dirs_but_not_explicit_files(tmp_path):
+    fixtures = tmp_path / "lint_fixtures"
+    fixtures.mkdir()
+    (fixtures / "bad.py").write_text("x = 1\n")
+    (tmp_path / "ok.py").write_text("y = 2\n")
+    expanded = list(
+        iter_python_files([str(tmp_path)], exclude_dirs=("lint_fixtures",))
+    )
+    assert [Path(f).name for f in expanded] == ["ok.py"]
+    explicit = list(
+        iter_python_files(
+            [str(fixtures / "bad.py")], exclude_dirs=("lint_fixtures",)
+        )
+    )
+    assert [Path(f).name for f in explicit] == ["bad.py"]
 
 
 # ----------------------------------------------------------------------
@@ -231,6 +376,29 @@ def test_disable_all_wildcard():
     assert findings == []
 
 
+def test_d006_fires_on_a_single_module_spawn_chain():
+    findings = lint_source(_D006_SINGLE_MODULE)
+    assert rules_hit(findings) == {"D006"}
+    assert {f.line for f in findings} == {3}
+
+
+def test_disable_file_waives_d006():
+    source = "# repro-lint: disable-file=D006\n" + _D006_SINGLE_MODULE
+    assert lint_source(source) == []
+
+
+def test_disable_file_waives_program_rules_not_others():
+    source = (
+        "# repro-lint: disable-file=R003\n"
+        "import random\n"
+        "def start(env):\n"
+        "    env.process(run(env))\n"
+        "    env.timeout(1.0)\n"
+        "    rng = random.Random(3)\n"
+    )
+    assert rules_hit(lint_source(source)) == {"D002"}
+
+
 def test_rule_selection_config():
     config = LintConfig.with_rules(frozenset({"D001"}))
     findings = lint_paths([str(FIXTURES)], config)
@@ -274,8 +442,25 @@ def test_cli_json_format(capsys):
 def test_cli_list_rules(capsys):
     assert lint_cli(["--list-rules"]) == 0
     out = capsys.readouterr().out
-    for rule_id in ("D001", "D002", "D003", "D004", "R001", "R002"):
+    for rule_id in (
+        "D001", "D002", "D003", "D004", "D005", "D006",
+        "R001", "R002", "R003",
+    ):
         assert rule_id in out
+    assert "[whole-program]" in out
+
+
+def test_cli_rejects_unknown_schedcheck_scenario(capsys):
+    with pytest.raises(SystemExit):
+        lint_cli(["--schedcheck", "no-such-scenario"])
+    capsys.readouterr()
+
+
+def test_cli_accepts_program_rule_selection(capsys):
+    code = lint_cli([str(FIXTURES / "r003_pkg"), "--rules", "R003"])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "R003" in out
 
 
 def test_cli_rule_selection(capsys):

@@ -1,4 +1,5 @@
 """RPC server/client tests (the serial bottleneck) and WebSocket limits."""
+# repro-lint: disable-file=R003 -- tests drive env.run() directly; handles unused
 
 import pytest
 
@@ -112,7 +113,7 @@ def test_server_still_burns_time_on_abandoned_requests(env, net):
     def impatient_caller():
         try:
             yield from impatient.call("echo", service=5.0)
-        except RpcTimeoutError:
+        except RpcTimeoutError:  # repro-lint: disable=R002
             outcome["timed_out_at"] = env.now
 
     def patient_caller():

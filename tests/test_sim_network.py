@@ -1,4 +1,5 @@
 """Tests for the network latency model and named RNG streams."""
+# repro-lint: disable-file=D005 -- exercises stream derivation with throwaway names
 
 import pytest
 
@@ -33,7 +34,7 @@ def test_send_delivers_into_mailbox(env, quiet_network):
     quiet_network.send("a", "b", "svc", payload={"x": 1})
     env.run()
     box = quiet_network.host("b").mailbox(env, "svc")
-    assert env.now == pytest.approx(0.1)
+    assert env.now == pytest.approx(0.1)  # repro-lint: disable=D004
     assert box.try_get() == {"x": 1}
 
 
@@ -49,9 +50,28 @@ def test_jitter_stays_within_bounds(env):
     net = Network(env, rng, default_rtt=0.2, default_jitter=0.02)
     net.add_host("a")
     net.add_host("b")
-    delays = [net.delay("a", "b") for _ in range(200)]
+    delays = []
+    for i in range(200):
+        env.schedule_callback(i * 0.01, lambda: delays.append(net.delay("a", "b")))
+    env.run()
     assert all(0.08 <= d <= 0.12 for d in delays)
     assert len(set(delays)) > 1  # actually jittered
+
+
+def test_jitter_is_keyed_not_sequential(env):
+    """Delay is a pure function of (link, time): re-sampling at the same
+    instant returns the same value (so concurrent senders cannot swap
+    draws), while different instants and directions sample independently."""
+    rng = RngRegistry(3)
+    net = Network(env, rng, default_rtt=0.2, default_jitter=0.02)
+    net.add_host("a")
+    net.add_host("b")
+    assert net.delay("a", "b") == net.delay("a", "b")
+    assert net.delay("a", "b") != net.delay("b", "a")
+    seen = {net.delay("a", "b")}
+    env.schedule_callback(0.5, lambda: seen.add(net.delay("a", "b")))
+    env.run()
+    assert len(seen) == 2
 
 
 def test_lossy_link_drops(env):
@@ -72,8 +92,10 @@ def test_partial_loss_accounts_every_message(env):
     net.add_host("a")
     net.add_host("b")
     net.set_link("a", "b", LinkSpec(latency=0.0, loss=0.3))
-    for _ in range(200):
-        net.send("a", "b", "svc", "maybe")
+    for i in range(200):
+        # Loss decisions are keyed by send time: spread the sends out so
+        # each one is an independent draw.
+        env.schedule_callback(i * 0.01, lambda: net.send("a", "b", "svc", "maybe"))
     env.run()
     assert net.dropped > 0
     assert net.delivered > 0
@@ -160,3 +182,43 @@ def test_spawned_registry_is_independent():
     child = root.spawn("sub")
     assert child.root_seed != root.root_seed
     assert child.stream("n").random() != root.stream("n").random()
+
+
+# -- keyed streams -----------------------------------------------------------
+
+
+def test_keyed_stream_is_a_pure_function_of_key():
+    a = RngRegistry(42).keyed("k")
+    b = RngRegistry(42).keyed("k")
+    assert a is not b
+    assert [a.u01(t * 0.1) for t in range(10)] == [b.u01(t * 0.1) for t in range(10)]
+
+
+def test_keyed_stream_values_in_range_and_distinct():
+    ks = RngRegistry(7).keyed("k")
+    values = [ks.u01(t * 0.01) for t in range(1000)]
+    assert all(0.0 <= v < 1.0 for v in values)
+    assert len(set(values)) == len(values)
+    lows = [ks.uniform(t * 0.01, -2.0, 3.0) for t in range(100)]
+    assert all(-2.0 <= v < 3.0 for v in lows)
+
+
+def test_keyed_stream_salt_and_name_decorrelate():
+    reg = RngRegistry(7)
+    ks = reg.keyed("k")
+    assert ks.u01(1.0, salt=0) != ks.u01(1.0, salt=1)
+    assert ks.u01(1.0) != reg.keyed("other").u01(1.0)
+    assert ks.derive("child").u01(1.0) != ks.u01(1.0)
+
+
+def test_keyed_stream_index_covers_range():
+    ks = RngRegistry(5).keyed("idx")
+    picks = {ks.index(t * 0.01, 4) for t in range(200)}
+    assert picks == {0, 1, 2, 3}
+
+
+def test_registry_keyed_is_cached_and_seed_domain_separated():
+    reg = RngRegistry(1)
+    assert reg.keyed("x") is reg.keyed("x")
+    # A keyed stream named like a sequential stream must not share seeds.
+    assert reg.keyed("x").seed != derive_seed(1, "x")

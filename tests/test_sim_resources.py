@@ -1,4 +1,5 @@
 """Tests for Resource (FIFO server) and Store (queues)."""
+# repro-lint: disable-file=R003 -- tests drive env.run() directly; handles unused
 
 import pytest
 
