@@ -7,7 +7,7 @@ is right, completion latency must drop substantially and the data-pull
 share of RPC busy time must stop dominating wall-clock.
 """
 
-from benchmarks.conftest import run_cached
+from benchmarks.conftest import run_batch, run_cached
 from repro import calibration as cal
 from repro.framework import ExperimentConfig
 
@@ -28,6 +28,7 @@ def ablation_config(workers: int) -> ExperimentConfig:
 
 
 def run_ablation():
+    run_batch([ablation_config(1), ablation_config(4)])
     serial = run_cached(ablation_config(1))
     parallel = run_cached(ablation_config(4))
     return serial, parallel

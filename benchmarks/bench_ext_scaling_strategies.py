@@ -14,7 +14,7 @@ multi-channel paths for the alternative) and measure all four deployments
 at a rate beyond the single-relayer saturation point.
 """
 
-from benchmarks.conftest import run_cached
+from benchmarks.conftest import run_batch, run_cached
 from repro.analysis import format_table
 from repro.cosmos.denom import DenomTrace
 from repro.framework import ExperimentConfig
@@ -30,6 +30,14 @@ def scaling_config(**kwargs) -> ExperimentConfig:
 
 
 def run_sweep():
+    run_batch(
+        [
+            scaling_config(num_relayers=1),
+            scaling_config(num_relayers=2),
+            scaling_config(num_relayers=2, coordinate_relayers=True),
+            scaling_config(num_relayers=2, num_channels=2),
+        ]
+    )
     return {
         "one": run_cached(scaling_config(num_relayers=1)),
         "uncoordinated": run_cached(scaling_config(num_relayers=2)),

@@ -16,7 +16,7 @@ the outage is lost with the WebSocket subscription:
   during or after the outage are never relayed.
 """
 
-from benchmarks.conftest import run_cached
+from benchmarks.conftest import run_batch, run_cached
 from repro.analysis import format_table
 from repro.faults import FaultSchedule, NodeCrash
 from repro.framework import ExperimentConfig
@@ -59,6 +59,7 @@ def fault_config(recovery: bool) -> ExperimentConfig:
 
 
 def run_pair():
+    run_batch([fault_config(recovery=True), fault_config(recovery=False)])
     return {
         "recovery": run_cached(fault_config(recovery=True)),
         "no recovery": run_cached(fault_config(recovery=False)),

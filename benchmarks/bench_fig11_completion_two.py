@@ -5,13 +5,20 @@ single-relayer runs a larger share of transfers is left incomplete at the
 window's end because redundancy errors lower throughput.
 """
 
-from benchmarks.conftest import RELAY_SEEDS, relayer_config, run_cached
+from benchmarks.conftest import RELAY_SEEDS, relayer_config, run_batch, run_cached
 from repro.analysis import format_table
 
 RATES = [100, 140, 160]
 
 
 def run_sweep():
+    run_batch(
+        [
+            relayer_config(rate, RELAY_SEEDS[0], relayers, 0.2)
+            for rate in RATES
+            for relayers in (1, 2)
+        ]
+    )
     out = {}
     for rate in RATES:
         one = run_cached(relayer_config(rate, RELAY_SEEDS[0], 1, 0.2))

@@ -7,7 +7,7 @@ a ~70 % reduction), after which further spreading *increases* latency again
 dominates.
 """
 
-from benchmarks.conftest import FULL, run_cached
+from benchmarks.conftest import FULL, run_batch, run_cached
 from repro.analysis import format_table
 from repro.framework import ExperimentConfig
 
@@ -26,6 +26,7 @@ def strategy_config(blocks: int) -> ExperimentConfig:
 
 
 def run_sweep():
+    run_batch([strategy_config(blocks) for blocks in STRATEGIES])
     return {
         blocks: run_cached(strategy_config(blocks)).completion_latency
         for blocks in STRATEGIES

@@ -5,7 +5,13 @@ a peak of ~961 near 3 000 RPS, declining to ~499 @ 9 000 RPS, with variance
 more than doubling past 3 000 RPS.
 """
 
-from benchmarks.conftest import CHAIN_RATES, CHAIN_SEEDS, chain_only_config, run_cached
+from benchmarks.conftest import (
+    CHAIN_RATES,
+    CHAIN_SEEDS,
+    chain_only_config,
+    run_batch,
+    run_cached,
+)
 from repro.analysis import format_table, summarize
 
 #: Paper anchors for the shape assertions (TFPS medians read from Fig. 6).
@@ -13,6 +19,14 @@ PAPER_POINTS = {250: 200, 1000: 800, 3000: 961, 4000: 830, 9000: 499}
 
 
 def run_sweep():
+    # One batched fan-out for the whole grid; the loop below hits the memo.
+    run_batch(
+        [
+            chain_only_config(rate, seed)
+            for rate in CHAIN_RATES
+            for seed in CHAIN_SEEDS
+        ]
+    )
     results = {}
     for rate in CHAIN_RATES:
         samples = []

@@ -5,13 +5,28 @@ Paper series (200 ms RTT): 20 RPS -> 14 TFPS, near-linear to ~120 RPS
 300 RPS.  0 ms runs sit slightly above the 200 ms runs.
 """
 
-from benchmarks.conftest import RELAY_RATES, RELAY_SEEDS, relayer_config, run_cached
+from benchmarks.conftest import (
+    RELAY_RATES,
+    RELAY_SEEDS,
+    relayer_config,
+    run_batch,
+    run_cached,
+)
 from repro.analysis import format_table, summarize
 
 PAPER_200MS = {20: 14, 60: 42, 100: 60, 120: 72, 140: 80, 300: 50}
 
 
 def run_sweep():
+    # One batched fan-out: the 200 ms grid plus the single 0 ms point.
+    run_batch(
+        [
+            relayer_config(rate, seed, num_relayers=1, rtt=0.2)
+            for rate in RELAY_RATES
+            for seed in RELAY_SEEDS
+        ]
+        + [relayer_config(140, RELAY_SEEDS[0], num_relayers=1, rtt=0.0)]
+    )
     out = {}
     for rate in RELAY_RATES:
         samples = []

@@ -8,13 +8,21 @@ redundant packet delivery: both relayers submit the same messages, the
 loser's transactions fail with ``packet messages are redundant``.
 """
 
-from benchmarks.conftest import RELAY_SEEDS, relayer_config, run_cached
+from benchmarks.conftest import RELAY_SEEDS, relayer_config, run_batch, run_cached
 from repro.analysis import format_table
 
 RATES = [140, 160]
 
 
 def run_sweep():
+    run_batch(
+        [
+            relayer_config(rate, RELAY_SEEDS[0], relayers, rtt)
+            for rtt in (0.0, 0.2)
+            for rate in RATES
+            for relayers in (1, 2)
+        ]
+    )
     out = {}
     for rtt in (0.0, 0.2):
         for rate in RATES:

@@ -11,7 +11,12 @@ of submitted that committed):
     14 000     :  8.5 %         / 29.2 %
 """
 
-from benchmarks.conftest import TABLE1_RATES, chain_only_config, run_cached
+from benchmarks.conftest import (
+    TABLE1_RATES,
+    chain_only_config,
+    run_batch,
+    run_cached,
+)
 from repro.analysis import format_table
 
 PAPER_SUBMITTED = {
@@ -21,6 +26,7 @@ PAPER_SUBMITTED = {
 
 
 def run_sweep():
+    run_batch([chain_only_config(rate, seed=1) for rate in TABLE1_RATES])
     rows = {}
     for rate in TABLE1_RATES:
         report = run_cached(chain_only_config(rate, seed=1))

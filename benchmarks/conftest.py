@@ -5,23 +5,38 @@ Experiment results are memoised per configuration so figures sharing a
 sweep (Fig. 6 + Fig. 7 + Table I; Fig. 8 + Fig. 10; Fig. 9 + Fig. 11) pay
 for it once.
 
-Set ``REPRO_BENCH_FULL=1`` to run the paper's full parameter grids (much
-slower); the default grids are thinned to keep ``pytest benchmarks/``
-practical while still exhibiting every reported shape.
+All experiment execution funnels through the parallel executor
+(:func:`repro.parallel.run_points`) — a bench module that needs many
+reports should hand the whole configuration list to :func:`run_batch`
+up front, so the executor can fan the misses across worker processes.
+
+Environment knobs:
+
+* ``REPRO_BENCH_FULL=1`` — run the paper's full parameter grids (much
+  slower); the default grids are thinned to keep ``pytest benchmarks/``
+  practical while still exhibiting every reported shape.
+* ``REPRO_BENCH_WORKERS=N`` — worker processes for experiment execution
+  (default 1: serial, in-process).  Results are byte-identical either
+  way; only wall-clock changes.
+* ``REPRO_BENCH_CACHE=DIR`` — on-disk point cache reused across pytest
+  invocations (default off).
 """
 
 from __future__ import annotations
 
 import os
-from typing import Optional
+from typing import Optional, Sequence
 
 import pytest
 
-from repro.framework import ExperimentConfig, ExperimentRunner
+from repro.framework import ExperimentConfig, ExperimentReport
+from repro.parallel import run_points
 
 FULL = os.environ.get("REPRO_BENCH_FULL", "") == "1"
+WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
+CACHE_DIR = os.environ.get("REPRO_BENCH_CACHE") or None
 
-_MEMO: dict[tuple, object] = {}
+_MEMO: dict[str, ExperimentReport] = {}
 
 
 def config_key(config: ExperimentConfig) -> str:
@@ -30,12 +45,29 @@ def config_key(config: ExperimentConfig) -> str:
     return repr(config)
 
 
-def run_cached(config: ExperimentConfig):
+def run_batch(configs: Sequence[ExperimentConfig]) -> list[ExperimentReport]:
+    """Run many configurations at once; returns reports in input order.
+
+    Unmemoised configurations go to the parallel executor as one batch
+    (``REPRO_BENCH_WORKERS`` processes, ``REPRO_BENCH_CACHE`` disk
+    cache), so a figure's whole sweep parallelises in one fan-out.
+    """
+    missing: dict[str, ExperimentConfig] = {}
+    for config in configs:
+        key = config_key(config)
+        if key not in _MEMO and key not in missing:
+            missing[key] = config
+    if missing:
+        batch = list(missing.values())
+        run = run_points(batch, workers=WORKERS, cache_dir=CACHE_DIR)
+        for config, report in zip(batch, run.reports()):
+            _MEMO[config_key(config)] = report
+    return [_MEMO[config_key(config)] for config in configs]
+
+
+def run_cached(config: ExperimentConfig) -> ExperimentReport:
     """Run an experiment once per unique configuration."""
-    key = config_key(config)
-    if key not in _MEMO:
-        _MEMO[key] = ExperimentRunner(config).run()
-    return _MEMO[key]
+    return run_batch([config])[0]
 
 
 # -- default grids --------------------------------------------------------------

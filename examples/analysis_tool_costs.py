@@ -12,8 +12,13 @@ analysis itself competes with the systems being measured.
 Run:  python examples/analysis_tool_costs.py
 """
 
-from repro.framework import ExperimentConfig, ExperimentRunner
+from repro.framework import ExperimentConfig
 from repro.framework.connectors import CrossChainDataConnector
+
+# The public entrypoint is repro.run_experiment(config); this example keeps
+# driving the simulation after the run, so it uses the internal engine,
+# which exposes the live testbed.
+from repro.framework.runner import _ExperimentEngine
 
 
 def main() -> None:
@@ -23,9 +28,9 @@ def main() -> None:
         seed=17,
         drain_seconds=60.0,
     )
-    runner = ExperimentRunner(config)
-    report = runner.run()
-    testbed = runner.testbed
+    engine = _ExperimentEngine(config)
+    report = engine.run()
+    testbed = engine.testbed
     env = testbed.env
 
     connector = CrossChainDataConnector(

@@ -14,7 +14,12 @@ and prints the redundancy errors and wasted fees.
 Run:  python examples/relayer_scalability.py
 """
 
-from repro.framework import ExperimentConfig, ExperimentRunner
+from repro.framework import ExperimentConfig
+
+# The public entrypoint is repro.run_experiment(config); this example digs
+# into post-run chain state (fee pools), so it drives the internal engine,
+# which keeps the testbed around after the run.
+from repro.framework.runner import _ExperimentEngine
 
 RATE = 140  # requests per second, near the single-relayer peak
 BLOCKS = 30
@@ -27,11 +32,11 @@ def run(num_relayers: int):
         num_relayers=num_relayers,
         seed=13,
     )
-    runner = ExperimentRunner(config)
-    report = runner.run()
+    engine = _ExperimentEngine(config)
+    report = engine.run()
     # Fees collected on the destination chain include those burned by the
     # losing relayer's failed (redundant) transactions.
-    fee_pool_b = runner.testbed.chain_b.app.fee_pool.collected
+    fee_pool_b = engine.testbed.chain_b.app.fee_pool.collected
     return report, fee_pool_b
 
 

@@ -6,17 +6,48 @@ Cosmos-SDK chains, the IBC protocol and a Hermes-style relayer — as a
 deterministic discrete-event simulation, and implements the paper's
 cross-chain performance evaluation framework on top of it.
 
+The stable top-level surface is ``__all__`` below: configure with
+:class:`ExperimentConfig`, execute with :func:`run_experiment`, sweep a
+parameter grid with :func:`sweep` (optionally in parallel: ``workers=N``
+fans points across worker processes, ``cache_dir`` caches completed
+points on disk).  Everything else is importable from the subpackages but
+carries no stability promise.
+
 Quickstart::
 
-    from repro.framework import ExperimentConfig, ExperimentRunner
+    import repro
 
-    config = ExperimentConfig(input_rate=100, measurement_blocks=20)
-    report = ExperimentRunner(config).run()
+    config = repro.ExperimentConfig(input_rate=100, measurement_blocks=20)
+    report = repro.run_experiment(config)
     print(report.summary())
+
+Or, from a shell (see ``python -m repro bench --help``)::
+
+    python -m repro bench --points 4 --workers 2
 """
 
+# calibration must load before framework: repro.framework.config imports
+# `repro.calibration` through the partially-initialised `repro` package.
 from repro.calibration import Calibration, DEFAULT_CALIBRATION
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-__all__ = ["Calibration", "DEFAULT_CALIBRATION", "__version__"]
+from repro.errors import ReproError, SchemaError
+from repro.framework import (
+    ExperimentConfig,
+    ExperimentReport,
+    run_experiment,
+    sweep,
+)
+
+__all__ = [
+    "Calibration",
+    "DEFAULT_CALIBRATION",
+    "ExperimentConfig",
+    "ExperimentReport",
+    "ReproError",
+    "SchemaError",
+    "__version__",
+    "run_experiment",
+    "sweep",
+]

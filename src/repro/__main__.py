@@ -22,6 +22,9 @@ Examples::
 
     # Static determinism analysis (see repro.lint)
     python -m repro lint src/repro --format json
+
+    # Parallel sweep execution (see repro.parallel)
+    python -m repro bench --points 8 --workers 4 --cache-dir .bench-cache
 """
 
 from __future__ import annotations
@@ -137,6 +140,11 @@ def main(argv: list[str] | None = None) -> int:
         from repro.lint.cli import main as lint_main
 
         return lint_main(argv[1:])
+    if argv and argv[0] == "bench":
+        # Subcommand: the parallel sweep executor.
+        from repro.parallel.cli import main as bench_main
+
+        return bench_main(argv[1:])
     args = build_parser().parse_args(argv)
     config = config_from_args(args)
     report = run_experiment(config)

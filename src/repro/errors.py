@@ -210,3 +210,20 @@ class RelayerError(ReproError):
 
 class WorkloadError(ReproError):
     """The benchmark workload was configured inconsistently."""
+
+
+# ---------------------------------------------------------------------------
+# Wire format (serialized experiment configs and reports)
+# ---------------------------------------------------------------------------
+
+
+class SchemaError(ReproError):
+    """A serialized experiment artifact violates its wire schema.
+
+    Raised by the ``from_dict``/``from_json`` loaders when a document
+    carries unknown keys, misses required ones, or declares a schema
+    version this library does not speak.  Distinct from
+    :class:`WorkloadError`, which covers *semantically* invalid
+    configurations (negative rates etc.) — a document can be
+    schema-clean and still semantically invalid.
+    """

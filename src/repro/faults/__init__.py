@@ -27,14 +27,18 @@ Fault kinds:
 
 from repro.faults.injector import FaultInjector, FaultWindow
 from repro.faults.schedule import (
+    FAULT_KINDS,
     FaultSchedule,
     LinkDegradation,
     NodeCrash,
     RpcBrownout,
     WsDisconnect,
+    fault_from_dict,
+    fault_to_dict,
 )
 
 __all__ = [
+    "FAULT_KINDS",
     "FaultInjector",
     "FaultSchedule",
     "FaultWindow",
@@ -42,4 +46,6 @@ __all__ = [
     "NodeCrash",
     "RpcBrownout",
     "WsDisconnect",
+    "fault_from_dict",
+    "fault_to_dict",
 ]

@@ -10,10 +10,11 @@ report serialization both rely on that.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
-from typing import Union
+from typing import Any, Union
 
-from repro.errors import SimulationError
+from repro.errors import SchemaError, SimulationError
 
 
 @dataclass(frozen=True)
@@ -73,6 +74,48 @@ class LinkDegradation:
 
 Fault = Union[NodeCrash, RpcBrownout, WsDisconnect, LinkDegradation]
 
+#: Wire-format discriminator tags, one per fault spec class.  The tag is
+#: the ``"kind"`` key of a serialized fault dict.
+FAULT_KINDS: dict[str, type] = {
+    "node_crash": NodeCrash,
+    "rpc_brownout": RpcBrownout,
+    "ws_disconnect": WsDisconnect,
+    "link_degradation": LinkDegradation,
+}
+_KIND_BY_CLASS = {cls: kind for kind, cls in FAULT_KINDS.items()}
+
+
+def fault_to_dict(fault: Fault) -> dict[str, Any]:
+    """Serialize one fault spec to its tagged wire dict."""
+    kind = _KIND_BY_CLASS.get(type(fault))
+    if kind is None:
+        raise SchemaError(f"cannot serialize fault of type {type(fault).__name__}")
+    out: dict[str, Any] = {"kind": kind}
+    for spec_field in dataclasses.fields(fault):
+        out[spec_field.name] = getattr(fault, spec_field.name)
+    return out
+
+
+def fault_from_dict(data: Any) -> Fault:
+    """Load one fault spec from its tagged wire dict, rejecting unknown
+    kinds and unknown keys."""
+    if not isinstance(data, dict):
+        raise SchemaError(f"fault spec must be a dict, got {type(data).__name__}")
+    payload = dict(data)
+    kind = payload.pop("kind", None)
+    cls = FAULT_KINDS.get(kind)
+    if cls is None:
+        known = ", ".join(sorted(FAULT_KINDS))
+        raise SchemaError(f"unknown fault kind {kind!r} (known kinds: {known})")
+    known_keys = {spec_field.name for spec_field in dataclasses.fields(cls)}
+    unknown = sorted(set(payload) - known_keys)
+    if unknown:
+        raise SchemaError(
+            f"unknown key(s) {', '.join(unknown)} in {kind} fault spec "
+            f"(known keys: {', '.join(sorted(known_keys))})"
+        )
+    return cls(**payload)
+
 
 @dataclass(frozen=True)
 class FaultSchedule:
@@ -110,6 +153,31 @@ class FaultSchedule:
 
     def __bool__(self) -> bool:
         return bool(self.faults)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Wire form: a dict with one ``"faults"`` list of tagged specs."""
+        return {"faults": [fault_to_dict(fault) for fault in self.faults]}
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "FaultSchedule":
+        """Exact inverse of :meth:`to_dict`; rejects unknown keys."""
+        if not isinstance(data, dict):
+            raise SchemaError(
+                f"fault schedule must be a dict, got {type(data).__name__}"
+            )
+        unknown = sorted(set(data) - {"faults"})
+        if unknown:
+            raise SchemaError(
+                f"unknown key(s) {', '.join(unknown)} in fault schedule "
+                "(known keys: faults)"
+            )
+        specs = data.get("faults", [])
+        if not isinstance(specs, list):
+            raise SchemaError(
+                f"fault schedule 'faults' must be a list, got "
+                f"{type(specs).__name__}"
+            )
+        return cls(tuple(fault_from_dict(spec) for spec in specs))
 
     @property
     def horizon(self) -> float:

@@ -3,7 +3,7 @@
 Modules: Setup (:class:`Testbed`), Benchmark (:class:`WorkloadDriver` — the
 Cross-chain Workload Connector), Analysis (:class:`CrossChainDataConnector`,
 :class:`CrossChainEventConnector`, :class:`CrossChainEventProcessor`,
-metrics and reports), orchestrated by :class:`ExperimentRunner`.
+metrics and reports), orchestrated end to end by :func:`run_experiment`.
 """
 
 from repro.framework.config import ExperimentConfig

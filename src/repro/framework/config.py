@@ -9,11 +9,11 @@ simulation mechanics.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import dataclass, field, fields
+from typing import Any, Optional
 
 from repro import calibration as cal
-from repro.errors import WorkloadError
+from repro.errors import SchemaError, WorkloadError
 from repro.faults import FaultSchedule
 
 
@@ -134,6 +134,54 @@ class ExperimentConfig:
             )
         if self.tiebreak not in ("fifo", "lifo"):
             raise WorkloadError(f"unknown tie-break policy {self.tiebreak!r}")
+
+    # -- wire format ---------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """Serialize every field to a JSON-compatible dict.
+
+        This is the wire format parallel workers receive: the exact
+        inverse of :meth:`from_dict`, nested fault schedules and
+        calibration overrides included.
+        """
+        out: dict[str, Any] = {}
+        for spec in fields(self):
+            value = getattr(self, spec.name)
+            if spec.name in ("faults", "calibration") and value is not None:
+                value = value.to_dict()
+            out[spec.name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "ExperimentConfig":
+        """Load a config from its wire dict, rejecting unknown keys.
+
+        Missing keys take the field defaults (documents from older
+        versions keep loading); unknown keys raise :class:`SchemaError`
+        so a typo'd parameter can never silently run the default
+        experiment instead.
+        """
+        if not isinstance(data, dict):
+            raise SchemaError(
+                f"experiment config must be a dict, got {type(data).__name__}"
+            )
+        known = {spec.name for spec in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise SchemaError(
+                f"unknown key(s) {', '.join(unknown)} in experiment config "
+                f"(known keys: {', '.join(sorted(known))})"
+            )
+        kwargs = dict(data)
+        if kwargs.get("faults") is not None:
+            kwargs["faults"] = FaultSchedule.from_dict(kwargs["faults"])
+        if kwargs.get("calibration") is not None:
+            kwargs["calibration"] = cal.Calibration.from_dict(
+                kwargs["calibration"]
+            )
+        return cls(**kwargs)
+
+    # ------------------------------------------------------------------
 
     @property
     def resolved_calibration(self) -> cal.Calibration:

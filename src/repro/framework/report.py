@@ -2,8 +2,16 @@
 
 One :class:`ExperimentReport` per run: the configuration echo, window
 metrics, completion status, the 13-step timeline, error counts and RPC
-accounting.  ``summary()`` renders a human-readable report;
-``to_dict()``/``to_json()`` feed the benchmark harness.
+accounting.  ``summary()`` renders a human-readable report.
+
+The JSON form (``to_dict``/``to_json``) is a **versioned wire format**:
+``schema_version`` names the schema, and :meth:`from_dict`/:meth:`from_json`
+load a document back into a report whose re-serialization is byte-identical
+to the original.  This is what lets the parallel executor cache completed
+sweep points on disk and ship results across process boundaries without
+any loss (`repro.parallel`).  Two in-memory structures are deliberately
+*not* part of the wire format: per-transfer submission records
+(``workload.submissions``) and the optional host-side ``journal`` text.
 """
 
 from __future__ import annotations
@@ -12,6 +20,7 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
+from repro.errors import SchemaError
 from repro.framework.config import ExperimentConfig
 from repro.framework.metrics import (
     FaultReport,
@@ -19,12 +28,92 @@ from repro.framework.metrics import (
     RpcBusyMetrics,
     WindowMetrics,
 )
-from repro.framework.processor import TransferTimelineReport
+from repro.framework.processor import StepTimeline, TransferTimelineReport
 from repro.framework.workload import WorkloadStats
+from repro.sim.monitor import SummaryStats
+
+def _timeline_from_dict(data: Optional[dict[str, Any]]) -> Optional[TransferTimelineReport]:
+    """Rebuild a :class:`TransferTimelineReport` from its wire section."""
+    if data is None:
+        return None
+    return TransferTimelineReport(
+        origin_time=data["origin_time"],
+        timelines={
+            entry["step"]: StepTimeline(
+                step=entry["step"],
+                name=entry["name"],
+                points=[(point[0], point[1]) for point in entry["points"]],
+            )
+            for entry in data["steps"]
+        },
+        phase_seconds=dict(data["phase_seconds"]),
+        total_seconds=data["total_seconds"],
+        data_pull_seconds=data["data_pull_seconds"],
+    )
+
+
+def _faults_from_dict(data: Optional[dict[str, Any]]) -> Optional[FaultReport]:
+    """Rebuild a :class:`FaultReport` from its wire section."""
+    if data is None:
+        return None
+    latency = data["recovery_latency"]
+    return FaultReport(
+        windows=[dict(window) for window in data["windows"]],
+        rpc_refused=data["rpc_refused"],
+        rpc_dropped=data["rpc_dropped"],
+        ws_disconnects=data["ws_disconnects"],
+        rpc_retries=data["rpc_retries"],
+        retry_exhausted=data["retry_exhausted"],
+        resubscribes=data["resubscribes"],
+        height_gaps=data["height_gaps"],
+        recovery_latency=(
+            None
+            if latency is None
+            else SummaryStats(
+                count=latency["count"],
+                mean=latency["mean"],
+                stdev=latency["stdev"],
+                minimum=latency["min"],
+                p25=latency["p25"],
+                median=latency["median"],
+                p75=latency["p75"],
+                maximum=latency["max"],
+            )
+        ),
+    )
+
+
+#: Top-level keys every schema-2 report document carries, in dump order.
+_DOCUMENT_KEYS = (
+    "schema_version",
+    "config",
+    "throughput",
+    "submission",
+    "completion",
+    "counts",
+    "window",
+    "block_interval_mean",
+    "completion_latency",
+    "completion_curve",
+    "errors",
+    "gas",
+    "rpc",
+    "timeline",
+    "faults",
+    "sim_end_time",
+)
 
 
 @dataclass
 class ExperimentReport:
+    """One experiment's full outcome (see module docstring)."""
+
+    #: Version of the JSON wire schema ``to_dict`` emits.  Bump whenever a
+    #: key is added, removed or changes meaning; ``from_dict`` refuses
+    #: documents with any other version.  Version 1 was the unversioned,
+    #: presentation-only dump of the pre-parallel era.
+    SCHEMA_VERSION = 2
+
     config: ExperimentConfig
     window: WindowMetrics
     workload: WorkloadStats
@@ -40,24 +129,18 @@ class ExperimentReport:
     #: key is always present in ``to_dict`` for schema stability).
     faults: Optional[FaultReport] = None
     sim_end_time: float = 0.0
+    #: Canonical journal text (``render_journal``), captured only when
+    #: ``run_experiment(..., capture_journal=True)`` asked for it.  A
+    #: host-side determinism artifact — never serialized.
+    journal: Optional[str] = None
 
     # ------------------------------------------------------------------
 
     def to_dict(self) -> dict[str, Any]:
         completion = self.window.completion
         return {
-            "config": {
-                "input_rate": self.config.input_rate,
-                "measurement_blocks": self.config.measurement_blocks,
-                "network_rtt": self.config.network_rtt,
-                "num_relayers": self.config.num_relayers,
-                "msgs_per_tx": self.config.msgs_per_tx,
-                "num_validators": self.config.num_validators,
-                "block_interval": self.config.block_interval,
-                "total_transfers": self.config.total_transfers,
-                "submission_blocks": self.config.submission_blocks,
-                "seed": self.config.seed,
-            },
+            "schema_version": self.SCHEMA_VERSION,
+            "config": self.config.to_dict(),
             "throughput": {
                 "chain_tfps": self.window.chain_throughput_tfps,
                 "transfer_tfps": self.window.transfer_throughput_tfps,
@@ -78,6 +161,26 @@ class ExperimentReport:
                 "acks": self.window.acks,
                 "timeouts": self.window.timeouts,
             },
+            # Raw window measurements — the reconstruction source for the
+            # derived sections above (they are recomputed, not stored, so
+            # a loaded report re-serializes byte-identically).
+            "window": {
+                "start_time": self.window.start_time,
+                "end_time": self.window.end_time,
+                "start_height_a": self.window.start_height_a,
+                "end_height_a": self.window.end_height_a,
+                "sends": self.window.sends,
+                "receives": self.window.receives,
+                "acks": self.window.acks,
+                "timeouts": self.window.timeouts,
+                "requested": self.window.requested,
+                "accepted": self.window.accepted,
+                "sends_total": self.window.sends_total,
+                "block_intervals_a": list(self.window.block_intervals_a),
+                "block_message_counts_a": list(
+                    self.window.block_message_counts_a
+                ),
+            },
             "block_interval_mean": (
                 sum(self.window.block_intervals_a)
                 / len(self.window.block_intervals_a)
@@ -85,19 +188,25 @@ class ExperimentReport:
                 else 0.0
             ),
             "completion_latency": self.completion_latency,
+            "completion_curve": [list(point) for point in self.completion_curve],
             "errors": dict(self.errors),
             "gas": {
                 "transfer_avg": self.gas.transfer_avg,
                 "recv_avg": self.gas.recv_avg,
                 "ack_avg": self.gas.ack_avg,
+                "transfer_samples": self.gas.transfer_samples,
+                "recv_samples": self.gas.recv_samples,
+                "ack_samples": self.gas.ack_samples,
             },
             "rpc": {
                 "total_busy_seconds": self.rpc.total_busy_seconds,
                 "pull_busy_seconds": self.rpc.pull_busy_seconds,
                 "pull_fraction": self.rpc.pull_fraction,
+                "by_method": dict(self.rpc.by_method),
             },
             "timeline": self._timeline_dict(),
             "faults": self._faults_dict(),
+            "sim_end_time": self.sim_end_time,
         }
 
     def _faults_dict(self) -> Optional[dict[str, Any]]:
@@ -119,6 +228,9 @@ class ExperimentReport:
                 else {
                     "count": latency.count,
                     "mean": latency.mean,
+                    "stdev": latency.stdev,
+                    "min": latency.minimum,
+                    "p25": latency.p25,
                     "median": latency.median,
                     "p75": latency.p75,
                     "max": latency.maximum,
@@ -134,10 +246,98 @@ class ExperimentReport:
             "phase_seconds": dict(self.timeline.phase_seconds),
             "data_pull_seconds": self.timeline.data_pull_seconds,
             "data_pull_fraction": self.timeline.data_pull_fraction,
+            "origin_time": self.timeline.origin_time,
+            "steps": [
+                {
+                    "step": timeline.step,
+                    "name": timeline.name,
+                    "points": [list(point) for point in timeline.points],
+                }
+                for _step, timeline in sorted(self.timeline.timelines.items())
+            ],
         }
 
     def to_json(self, indent: int = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent)
+
+    # -- wire-format loaders -------------------------------------------
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "ExperimentReport":
+        """Load a schema-2 report document.
+
+        The loaded report re-serializes byte-identically: the raw
+        sections (``config``, ``window``, ``timeline.steps``, ...) are
+        restored and every derived section is recomputed from them.
+        Unknown keys and foreign schema versions raise
+        :class:`SchemaError`.
+        """
+        if not isinstance(data, dict):
+            raise SchemaError(
+                f"report document must be a dict, got {type(data).__name__}"
+            )
+        version = data.get("schema_version")
+        if version != cls.SCHEMA_VERSION:
+            raise SchemaError(
+                f"unsupported report schema_version {version!r} "
+                f"(this library reads version {cls.SCHEMA_VERSION})"
+            )
+        unknown = sorted(set(data) - set(_DOCUMENT_KEYS))
+        if unknown:
+            raise SchemaError(
+                f"unknown key(s) {', '.join(unknown)} in report document "
+                f"(known keys: {', '.join(_DOCUMENT_KEYS)})"
+            )
+        missing = sorted(set(_DOCUMENT_KEYS) - set(data))
+        if missing:
+            raise SchemaError(
+                f"report document is missing key(s): {', '.join(missing)}"
+            )
+        submission = data["submission"]
+        workload = WorkloadStats(
+            requested_transfers=submission["requested"],
+            accepted_transfers=submission["accepted"],
+            committed_transfers=submission["committed"],
+            rejected_transfers=submission["rejected"],
+            lost_transfers=submission["lost"],
+        )
+        gas = data["gas"]
+        rpc = data["rpc"]
+        return cls(
+            config=ExperimentConfig.from_dict(data["config"]),
+            window=WindowMetrics(**data["window"]),
+            workload=workload,
+            timeline=_timeline_from_dict(data["timeline"]),
+            gas=GasMetrics(
+                transfer_avg=gas["transfer_avg"],
+                recv_avg=gas["recv_avg"],
+                ack_avg=gas["ack_avg"],
+                transfer_samples=gas["transfer_samples"],
+                recv_samples=gas["recv_samples"],
+                ack_samples=gas["ack_samples"],
+            ),
+            rpc=RpcBusyMetrics(
+                total_busy_seconds=rpc["total_busy_seconds"],
+                pull_busy_seconds=rpc["pull_busy_seconds"],
+                by_method=dict(rpc["by_method"]),
+            ),
+            errors=dict(data["errors"]),
+            completion_curve=[
+                (point[0], point[1]) for point in data["completion_curve"]
+            ],
+            completion_latency=data["completion_latency"],
+            faults=_faults_from_dict(data["faults"]),
+            sim_end_time=data["sim_end_time"],
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentReport":
+        """Load a report from :meth:`to_json` output (see :meth:`from_dict`)."""
+        try:
+            data = json.loads(text)
+        except ValueError as exc:
+            raise SchemaError(f"report document is not valid JSON: {exc}") from exc
+        return cls.from_dict(data)
 
     def write(self, directory: str, name: str = "experiment") -> "tuple[str, str]":
         """Write the execution report files the tool produces: a JSON data

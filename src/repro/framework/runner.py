@@ -1,7 +1,17 @@
-"""The experiment runner: Setup → Benchmark → Analysis, end to end."""
+"""The experiment runner: Setup → Benchmark → Analysis, end to end.
+
+:func:`run_experiment` is the one public entrypoint — everything in the
+repo (sweeps, benchmarks, the parallel executor, the CLI) runs
+experiments through it.  The orchestration itself lives in the private
+:class:`_ExperimentEngine`; tests that need testbed introspection may
+instantiate the engine directly, but its surface is not part of the
+public API.  :class:`ExperimentRunner` survives only as a deprecation
+shim for the old two-step ``ExperimentRunner(config).run()`` spelling.
+"""
 
 from __future__ import annotations
 
+import warnings
 from typing import Any, Generator, Optional
 
 from repro.faults import FaultInjector
@@ -17,13 +27,14 @@ from repro.framework.processor import CrossChainEventProcessor
 from repro.framework.report import ExperimentReport
 from repro.framework.setup import Testbed
 from repro.framework.workload import WorkloadDriver
+from repro.relayer.logging import render_journal
 from repro.sim.core import Event
 
 #: Polling cadence for orchestration waits (simulation seconds).
 _POLL = 0.5
 
 
-class ExperimentRunner:
+class _ExperimentEngine:
     """Runs one experiment configuration and produces a report."""
 
     def __init__(self, config: ExperimentConfig):
@@ -201,6 +212,51 @@ class ExperimentRunner:
         )
 
 
-def run_experiment(config: ExperimentConfig) -> ExperimentReport:
-    """Convenience one-shot API: configure, run, report."""
-    return ExperimentRunner(config).run()
+def run_experiment(
+    config: ExperimentConfig, *, capture_journal: bool = False
+) -> ExperimentReport:
+    """Run one experiment end to end: configure, run, report.
+
+    This is the single public entrypoint for executing an experiment.
+    With ``capture_journal=True`` the report's :attr:`ExperimentReport.journal`
+    carries the canonical journal text
+    (:func:`repro.relayer.logging.render_journal` over every relayer log
+    plus the workload driver's) — the byte-comparison artifact the
+    determinism tests and the scheduler-race sanitizer diff.  The journal
+    is host-side only; it never enters the report's JSON wire format.
+    """
+    engine = _ExperimentEngine(config)
+    report = engine.run()
+    if capture_journal:
+        logs = [relayer.log for relayer in engine.testbed.relayers]
+        if engine.driver is not None:
+            logs.append(engine.driver.log)
+        report.journal = render_journal(logs)
+    return report
+
+
+class ExperimentRunner:
+    """Deprecated two-step spelling of :func:`run_experiment`.
+
+    ``ExperimentRunner(config).run()`` and ``run_experiment(config)``
+    used to coexist as equal entrypoints; the latter won.  This shim
+    keeps old call sites working (including ``.testbed``/``.driver``
+    introspection after ``run()``) while warning once per call site.
+    """
+
+    def __init__(self, config: ExperimentConfig):
+        warnings.warn(
+            "ExperimentRunner is deprecated; call "
+            "repro.run_experiment(config) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self._engine = _ExperimentEngine(config)
+
+    def run(self) -> ExperimentReport:
+        return self._engine.run()
+
+    def __getattr__(self, name: str) -> Any:
+        # Delegate legacy attribute access (testbed, driver, injector, ...)
+        # to the engine; _engine itself is found in __dict__ as usual.
+        return getattr(self._engine, name)

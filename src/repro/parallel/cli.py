@@ -1,0 +1,118 @@
+"""``python -m repro bench`` — the parallel sweep front-end.
+
+Runs a standard input-rate grid (:mod:`repro.parallel.scenarios`)
+through the parallel executor and prints per-point progress plus an
+execution summary.  The merged report document can be written to a file
+or stdout; its bytes depend only on the grid, never on ``--workers`` or
+cache state.
+
+Examples::
+
+    # 8 points, 4 worker processes, resumable on-disk cache
+    python -m repro bench --workers 4 --cache-dir .bench-cache
+
+    # quick smoke: 2 points across 2 workers
+    python -m repro bench --points 2 --workers 2
+
+    # write the merged report document
+    python -m repro bench --points 4 --out sweep.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.parallel.executor import PointResult, SweepRun, run_points
+from repro.parallel.scenarios import bench_configs
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro bench",
+        description=(
+            "Run a standard input-rate sweep through the parallel "
+            "experiment executor."
+        ),
+    )
+    parser.add_argument(
+        "--points", type=int, default=8,
+        help="number of grid points to run (default 8)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes; 1 runs serially in-process (default 1)",
+    )
+    parser.add_argument(
+        "--cache-dir", type=str, default=None,
+        help="directory caching completed points across runs (default off)",
+    )
+    parser.add_argument(
+        "--blocks", type=int, default=4,
+        help="measurement window per point, in blocks (default 4)",
+    )
+    parser.add_argument("--seed", type=int, default=1, help="random seed")
+    parser.add_argument(
+        "--out", type=str, default=None,
+        help="write the merged report document (JSON) to this file",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="print the merged report document to stdout",
+    )
+    return parser
+
+
+def _print_progress(finished: int, total: int, result: PointResult) -> None:
+    status = (
+        "cache hit"
+        if result.cached
+        else f"{result.wall_seconds:.2f}s"
+    )
+    print(
+        f"point {finished}/{total}: "
+        f"rate={result.config.input_rate:g} ({status})",
+        file=sys.stderr,
+    )
+
+
+def _print_summary(run: SweepRun) -> None:
+    print(
+        f"{len(run.results)} point(s) merged in {run.wall_seconds:.2f}s "
+        f"with {run.workers} worker(s): "
+        f"{run.points_run.value} computed, {run.cache_hits.value} from cache",
+        file=sys.stderr,
+    )
+    if run.point_seconds.durations:
+        stats = run.point_summary()
+        print(
+            f"per-point host seconds: median {stats.median:.2f}, "
+            f"max {stats.maximum:.2f}",
+            file=sys.stderr,
+        )
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    args = build_parser().parse_args(argv)
+    configs = bench_configs(
+        args.points, measurement_blocks=args.blocks, seed=args.seed
+    )
+    run = run_points(
+        configs,
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        progress=_print_progress,
+    )
+    _print_summary(run)
+    merged = run.merged_json()
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(merged)
+        print(f"merged document written to {args.out}", file=sys.stderr)
+    if args.json:
+        print(merged)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

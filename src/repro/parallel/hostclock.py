@@ -1,0 +1,29 @@
+"""Host wall-clock reads — the parallel executor's one blessed source.
+
+The simulator never reads the host clock: simulated behaviour runs on
+``env.now`` and lint rule D001 rejects ``time.*`` everywhere else.  The
+parallel executor, however, measures *host-side* cost — how many real
+seconds a sweep point took to compute — and that measurement never feeds
+back into simulation state (reports are byte-identical whatever the
+timings say).  This module is the single lint-exempt chokepoint for
+those reads (see ``DEFAULT_EXEMPT_PATHS`` in :mod:`repro.lint.config`),
+so auditing "who touches the wall clock" stays a one-file job.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+def now() -> float:
+    """A monotonic host timestamp in seconds, for interval measurement.
+
+    Only differences between two ``now()`` readings are meaningful; the
+    absolute value has no epoch.
+    """
+    return time.perf_counter()
+
+
+def elapsed_since(start: float) -> float:
+    """Host seconds elapsed since a previous :func:`now` reading."""
+    return time.perf_counter() - start

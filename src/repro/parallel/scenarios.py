@@ -1,0 +1,36 @@
+"""Standard point grids for the ``python -m repro bench`` CLI.
+
+The default grid walks the input-rate axis of the paper's throughput
+figures (Figs. 6/8): one experiment per rate, everything else held at
+the defaults.  Grids are plain ``list[ExperimentConfig]`` so the CLI,
+the benchmarks and the tests all share one definition of "an N-point
+sweep".
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+from repro.framework.config import ExperimentConfig
+
+#: Rate step between consecutive grid points (transfers/second).
+RATE_STEP = 20.0
+
+
+def bench_configs(
+    points: int = 8,
+    *,
+    measurement_blocks: int = 4,
+    seed: int = 1,
+) -> list[ExperimentConfig]:
+    """The bench CLI's input-rate grid: ``RATE_STEP * (1..points)``."""
+    if points < 1:
+        raise ReproError(f"points must be >= 1, got {points}")
+    return [
+        ExperimentConfig(
+            input_rate=RATE_STEP * (index + 1),
+            measurement_blocks=measurement_blocks,
+            drain_seconds=10.0,
+            seed=seed,
+        )
+        for index in range(points)
+    ]

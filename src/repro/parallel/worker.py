@@ -1,0 +1,46 @@
+"""The worker-side unit of parallel execution: one sweep point.
+
+:func:`execute_payload` is the function every execution path funnels
+through — the serial fallback, every pool worker and (indirectly, via
+the cache) warm restarts all produce their report JSON here.  One code
+path means the parallel/serial byte-equivalence the executor promises
+is structural, not incidental.
+
+The payload is plain picklable data (an index plus the config's wire
+JSON), so the function works identically in-process and across a
+``spawn`` process boundary.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.framework.config import ExperimentConfig
+from repro.framework.report import ExperimentReport
+from repro.framework.runner import run_experiment
+from repro.parallel import hostclock
+
+#: (point index, config wire JSON) — what crosses into a worker.
+Payload = "tuple[int, str]"
+
+
+def execute_payload(payload: "tuple[int, str]") -> "tuple[int, str, float]":
+    """Run one sweep point; returns (index, report JSON, host seconds).
+
+    The config round-trips through its wire format before running and
+    the report round-trips after — exactly what a process boundary or a
+    cache hit would do — so schema drift surfaces here as a hard error
+    instead of as a serial-vs-parallel byte mismatch later.
+    """
+    index, config_json = payload
+    start = hostclock.now()
+    config = ExperimentConfig.from_dict(json.loads(config_json))
+    report = run_experiment(config)
+    report_json = report.to_json()
+    reloaded = ExperimentReport.from_json(report_json).to_json()
+    if reloaded != report_json:
+        raise AssertionError(
+            f"report wire format is not byte-stable for point {index}; "
+            "schema and loader are out of sync (see framework/report.py)"
+        )
+    return index, report_json, hostclock.elapsed_since(start)

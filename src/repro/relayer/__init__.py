@@ -5,7 +5,7 @@ from repro.relayer.config import RelayerConfig
 from repro.relayer.endpoint import ChainEndpoint, SubmittedTx
 from repro.relayer.events import PacketEvent, WorkBatch
 from repro.relayer.handshake import HandshakeDriver
-from repro.relayer.logging import LogRecord, RelayerLog
+from repro.relayer.logging import LogRecord, RelayerLog, render_journal
 from repro.relayer.relayer import Relayer
 from repro.relayer.supervisor import Supervisor
 from repro.relayer.worker import DirectionWorker, PathEnd, RelayPath
@@ -26,4 +26,5 @@ __all__ = [
     "TransferSubmission",
     "WorkBatch",
     "WorkloadCli",
+    "render_journal",
 ]

@@ -21,6 +21,24 @@ from typing import Any, Iterable
 from repro.sim.core import Environment
 
 
+def render_journal(logs: "Iterable[RelayerLog]") -> str:
+    """Render structured logs into the canonical journal text.
+
+    One ``time|relayer|level|event|fields`` line per record (times via
+    ``repr`` so floats round-trip exactly), concatenated over the given
+    logs in order.  This is THE byte-comparison format for determinism
+    checks: the golden tests and the scheduler-race sanitizer both diff
+    journals rendered here, and ``run_experiment(capture_journal=True)``
+    attaches one to the report.
+    """
+    return "\n".join(
+        f"{record.time!r}|{record.relayer}|{record.level}|"
+        f"{record.event}|{record.fields!r}"
+        for log in logs
+        for record in log.records
+    )
+
+
 @dataclass(frozen=True)
 class LogRecord:
     time: float

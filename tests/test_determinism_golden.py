@@ -17,7 +17,7 @@ from repro.faults import (
     RpcBrownout,
     WsDisconnect,
 )
-from repro.framework import ExperimentConfig, ExperimentRunner
+from repro.framework import ExperimentConfig, ExperimentReport, run_experiment
 
 #: Exercises every fault kind inside the measurement window, against both
 #: testbed machines; see :data:`run_fault_scenario`.
@@ -39,18 +39,6 @@ FAULTS = FaultSchedule(
 )
 
 
-def make_journal(runner):
-    logs = [relayer.log for relayer in runner.testbed.relayers]
-    if runner.driver is not None:
-        logs.append(runner.driver.log)
-    return "\n".join(
-        f"{record.time!r}|{record.relayer}|{record.level}|"
-        f"{record.event}|{record.fields!r}"
-        for log in logs
-        for record in log.records
-    )
-
-
 def run_scenario(seed):
     """One small two-chain transfer experiment; returns (report_json, journal)."""
     config = ExperimentConfig(
@@ -59,9 +47,8 @@ def run_scenario(seed):
         seed=seed,
         drain_seconds=20.0,
     )
-    runner = ExperimentRunner(config)
-    report = runner.run()
-    return report.to_json(), make_journal(runner)
+    report = run_experiment(config, capture_journal=True)
+    return report.to_json(), report.journal
 
 
 def run_fault_scenario(seed):
@@ -75,9 +62,8 @@ def run_fault_scenario(seed):
         clear_interval=2,
         faults=FAULTS,
     )
-    runner = ExperimentRunner(config)
-    report = runner.run()
-    return report.to_json(), make_journal(runner)
+    report = run_experiment(config, capture_journal=True)
+    return report.to_json(), report.journal
 
 
 @pytest.fixture(scope="module")
@@ -109,6 +95,17 @@ def test_different_seed_diverges(golden_runs):
     (json1, journal1), _, (json3, journal3) = golden_runs
     assert journal1 != journal3
     assert json1 != json3
+
+
+def test_golden_report_wire_round_trip(golden_runs):
+    """Golden schema stability: the report document declares schema
+    version 2 and survives a load/dump cycle byte-for-byte — so cached
+    sweep points replay exactly what the simulation produced."""
+    import json
+
+    (report_json, _), _, _ = golden_runs
+    assert json.loads(report_json)["schema_version"] == 2
+    assert ExperimentReport.from_json(report_json).to_json() == report_json
 
 
 # -- With an active fault schedule ------------------------------------------

@@ -3,7 +3,10 @@
 import pytest
 
 from repro.errors import WorkloadError
-from repro.framework import ExperimentConfig, ExperimentRunner
+from repro.framework import ExperimentConfig
+# These tests introspect post-run testbed state, so they drive the
+# engine directly; the public entrypoint is repro.run_experiment.
+from repro.framework.runner import _ExperimentEngine
 from repro.relayer.events import WorkBatch, batches_from_notification
 from repro.relayer.worker import DirectionWorker
 
@@ -30,7 +33,7 @@ def test_ordered_channel_experiment_end_to_end():
         channel_ordering="ordered",
         drain_seconds=40.0,
     )
-    runner = ExperimentRunner(config)
+    runner = _ExperimentEngine(config)
     report = runner.run()
     assert report.window.acks > 0
     path = runner.testbed.path
@@ -53,7 +56,7 @@ def test_two_channels_open_and_relay():
         seed=15,
         drain_seconds=60.0,
     )
-    runner = ExperimentRunner(config)
+    runner = _ExperimentEngine(config)
     report = runner.run()
     testbed = runner.testbed
     assert len(testbed.paths) == 2
@@ -80,7 +83,7 @@ def test_coordinated_relayers_do_not_duplicate():
         seed=15,
         drain_seconds=90.0,
     )
-    runner = ExperimentRunner(config)
+    runner = _ExperimentEngine(config)
     report = runner.run()
     # No redundant deliveries at all with static partitioning.
     assert report.errors.get("packet_messages_redundant", 0) == 0

@@ -41,3 +41,18 @@ def test_lint_clean_over_whole_repo():
     for sub in ("tests", "benchmarks"):
         assert (REPO_ROOT / sub).is_dir(), f"missing {sub}/ directory"
     _assert_clean([SRC_ROOT, REPO_ROOT / "tests", REPO_ROOT / "benchmarks"])
+
+
+def test_parallel_package_is_gated():
+    """repro.parallel sits under all nine rules like the rest of src."""
+    parallel = SRC_ROOT / "parallel"
+    assert parallel.is_dir()
+    _assert_clean([parallel])
+
+
+def test_hostclock_is_the_only_wall_clock_exemption():
+    """Host wall-clock reads are allowed in exactly one module: the
+    executor's hostclock chokepoint.  Widening this list needs a reason."""
+    from repro.lint.config import DEFAULT_EXEMPT_PATHS
+
+    assert DEFAULT_EXEMPT_PATHS["D001"] == ("parallel/hostclock.py",)

@@ -13,6 +13,7 @@ PACKAGES = [
     "repro.relayer",
     "repro.framework",
     "repro.analysis",
+    "repro.parallel",
 ]
 
 
@@ -55,14 +56,52 @@ def test_public_classes_have_docstrings():
 def test_version_exposed():
     import repro
 
-    assert repro.__version__ == "1.0.0"
+    assert repro.__version__ == "1.1.0"
+
+
+def test_top_level_stable_surface():
+    """The documented top-level entrypoints live in repro.__all__."""
+    import repro
+
+    for name in ("ExperimentConfig", "ExperimentReport", "run_experiment", "sweep"):
+        assert name in repro.__all__, name
+        assert hasattr(repro, name), name
+    # The wire-format error type is part of the surface too.
+    assert issubclass(repro.SchemaError, repro.ReproError)
+
+
+def test_experiment_runner_is_a_deprecation_shim():
+    """The two-step spelling still works but warns, and delegates
+    introspection attributes to the engine."""
+    from repro.framework import ExperimentConfig, ExperimentRunner
+
+    config = ExperimentConfig(input_rate=20, measurement_blocks=2, seed=3)
+    with pytest.warns(DeprecationWarning, match="run_experiment"):
+        runner = ExperimentRunner(config)
+    report = runner.run()
+    assert report.window.sends >= 0
+    assert runner.testbed is not None  # legacy attribute access
+    assert runner.config is config
+
+
+def test_shim_and_entrypoint_agree_byte_for_byte():
+    import warnings
+
+    import repro
+    from repro.framework import ExperimentRunner
+
+    config = repro.ExperimentConfig(input_rate=20, measurement_blocks=2, seed=3)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        legacy = ExperimentRunner(config).run()
+    assert repro.run_experiment(config).to_json() == legacy.to_json()
 
 
 def test_quickstart_snippet_from_readme_runs():
     """The README's quickstart snippet must stay executable (tiny config)."""
-    from repro.framework import ExperimentConfig, run_experiment
+    import repro
 
-    report = run_experiment(
-        ExperimentConfig(input_rate=20, measurement_blocks=3, seed=47)
+    report = repro.run_experiment(
+        repro.ExperimentConfig(input_rate=20, measurement_blocks=3, seed=47)
     )
     assert "Cross-chain experiment report" in report.summary()

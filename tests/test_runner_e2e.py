@@ -1,10 +1,10 @@
-"""End-to-end ExperimentRunner tests (small configurations)."""
+"""End-to-end run_experiment tests (small configurations)."""
 
 import json
 
 import pytest
 
-from repro.framework import ExperimentConfig, ExperimentRunner, run_experiment
+from repro.framework import ExperimentConfig, run_experiment
 
 
 @pytest.fixture(scope="module")
@@ -116,4 +116,4 @@ def test_timeout_error_when_experiment_cannot_finish():
         max_sim_seconds=30.0,  # far too short for 50 blocks
     )
     with pytest.raises(TimeoutError):
-        ExperimentRunner(config).run()
+        run_experiment(config)

@@ -36,3 +36,25 @@ def test_completion_latency_metric_nan_without_completion_mode():
     config = ExperimentConfig(input_rate=20, measurement_blocks=3)
     point = run_seeded(config, "completion_latency", seeds=[41])
     assert math.isnan(point.values[0])
+
+
+def test_sweep_results_independent_of_cache(tmp_path):
+    """cache_dir changes wall-clock only: a cold and a warm sweep of the
+    same grid return identical values."""
+    base = ExperimentConfig(input_rate=20, measurement_blocks=2)
+    kwargs = dict(metric="chain_tfps", seeds=[41, 42], cache_dir=str(tmp_path))
+    cold = sweep(base, "input_rate", [20, 40], **kwargs)
+    warm = sweep(base, "input_rate", [20, 40], **kwargs)
+    assert {v: p.values for v, p in cold.items()} == {
+        v: p.values for v, p in warm.items()
+    }
+    # The cache really holds one document per (value, seed) point.
+    assert len(list(tmp_path.iterdir())) == 4
+
+
+def test_run_seeded_accepts_workers_kwarg():
+    """workers is plumbed through; values match the serial path."""
+    config = ExperimentConfig(input_rate=20, measurement_blocks=2)
+    serial = run_seeded(config, "chain_tfps", seeds=[41])
+    threaded = run_seeded(config, "chain_tfps", seeds=[41], workers=1)
+    assert serial.values == threaded.values

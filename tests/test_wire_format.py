@@ -1,0 +1,197 @@
+"""The serializable experiment API: exact round trips, strict loading.
+
+Configs and reports are the parallel executor's wire format; these tests
+pin the two guarantees everything else builds on:
+
+* ``to_dict``/``from_dict`` (and ``to_json``/``from_json``) are exact
+  inverses — nested fault schedules and calibration overrides included —
+  and re-serialization is *byte*-stable.
+* Loaders are strict: unknown keys and foreign schema versions raise
+  :class:`repro.SchemaError` with an error message naming the offender,
+  so a typo'd parameter can never silently run a default experiment.
+"""
+
+import json
+
+import pytest
+
+from repro import Calibration, DEFAULT_CALIBRATION, SchemaError
+from repro.faults import (
+    FaultSchedule,
+    LinkDegradation,
+    NodeCrash,
+    RpcBrownout,
+    WsDisconnect,
+    fault_from_dict,
+    fault_to_dict,
+)
+from repro.framework import ExperimentConfig, ExperimentReport, run_experiment
+
+FAULTS = FaultSchedule(
+    (
+        NodeCrash("machine-1", at=6.0, duration=12.0),
+        RpcBrownout("machine-0", at=4.0, duration=10.0, drop_probability=0.3),
+        WsDisconnect("machine-0", at=18.0),
+        LinkDegradation(
+            "machine-0", "machine-1",
+            at=2.0, duration=15.0, latency=0.3, jitter=0.05, loss=0.05,
+        ),
+    )
+)
+
+
+def full_config() -> ExperimentConfig:
+    """A config exercising every nested structure the wire format carries."""
+    return ExperimentConfig(
+        input_rate=10,
+        measurement_blocks=3,
+        seed=23,
+        drain_seconds=30.0,
+        rpc_retry_attempts=3,
+        clear_interval=2,
+        faults=FAULTS,
+        calibration=DEFAULT_CALIBRATION.with_overrides(rpc_workers=2),
+    )
+
+
+# -- ExperimentConfig -------------------------------------------------------
+
+
+def test_config_round_trip_exact():
+    config = full_config()
+    clone = ExperimentConfig.from_dict(config.to_dict())
+    assert clone == config
+    assert clone.faults == FAULTS
+    assert clone.calibration.rpc_workers == 2
+
+
+def test_config_dict_survives_json():
+    config = full_config()
+    wire = json.dumps(config.to_dict())
+    assert ExperimentConfig.from_dict(json.loads(wire)) == config
+
+
+def test_config_missing_keys_take_defaults():
+    config = ExperimentConfig.from_dict({"input_rate": 42.0})
+    assert config.input_rate == 42.0
+    assert config.measurement_blocks == ExperimentConfig().measurement_blocks
+
+
+def test_config_rejects_unknown_keys():
+    with pytest.raises(SchemaError, match="input_rtae"):
+        ExperimentConfig.from_dict({"input_rtae": 42.0})
+
+
+def test_config_rejects_non_dict():
+    with pytest.raises(SchemaError, match="must be a dict"):
+        ExperimentConfig.from_dict([1, 2, 3])
+
+
+# -- fault schedules --------------------------------------------------------
+
+
+@pytest.mark.parametrize("fault", FAULTS.faults)
+def test_fault_specs_round_trip(fault):
+    assert fault_from_dict(fault_to_dict(fault)) == fault
+
+
+def test_fault_schedule_round_trip():
+    assert FaultSchedule.from_dict(FAULTS.to_dict()) == FAULTS
+
+
+def test_fault_unknown_kind_rejected():
+    with pytest.raises(SchemaError, match="disk_full"):
+        fault_from_dict({"kind": "disk_full", "host": "machine-0", "at": 1.0})
+
+
+def test_fault_unknown_key_rejected():
+    spec = fault_to_dict(NodeCrash("machine-0", at=1.0, duration=2.0))
+    spec["durration"] = 3.0
+    with pytest.raises(SchemaError, match="durration"):
+        fault_from_dict(spec)
+
+
+# -- calibration ------------------------------------------------------------
+
+
+def test_calibration_round_trip():
+    calibration = DEFAULT_CALIBRATION.with_overrides(rpc_workers=4)
+    assert Calibration.from_dict(calibration.to_dict()) == calibration
+
+
+def test_calibration_rejects_unknown_keys():
+    wire = DEFAULT_CALIBRATION.to_dict()
+    wire["rcp_workers"] = 4
+    with pytest.raises(SchemaError, match="rcp_workers"):
+        Calibration.from_dict(wire)
+
+
+# -- ExperimentReport -------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def fault_report() -> ExperimentReport:
+    """One real run covering timelines, faults and completion curves."""
+    return run_experiment(full_config())
+
+
+def test_report_schema_version_in_document(fault_report):
+    document = fault_report.to_dict()
+    assert document["schema_version"] == ExperimentReport.SCHEMA_VERSION == 2
+    # schema_version leads the dump so humans see it first.
+    assert next(iter(document)) == "schema_version"
+
+
+def test_report_round_trip_byte_stable(fault_report):
+    """The golden stability property: load then dump reproduces the exact
+    bytes, including every derived section."""
+    wire = fault_report.to_json()
+    assert ExperimentReport.from_json(wire).to_json() == wire
+
+
+def test_report_round_trip_byte_stable_chain_only():
+    """Chain-only run: the optional sections (faults, completion latency)
+    serialize as null and still round-trip byte-for-byte."""
+    report = run_experiment(
+        ExperimentConfig(input_rate=20, measurement_blocks=2, chain_only=True)
+    )
+    wire = report.to_json()
+    assert report.faults is None
+    assert ExperimentReport.from_json(wire).to_json() == wire
+
+
+def test_report_reconstructs_structures(fault_report):
+    clone = ExperimentReport.from_json(fault_report.to_json())
+    assert clone.config == fault_report.config
+    assert clone.window == fault_report.window
+    assert clone.completion_curve == fault_report.completion_curve
+    assert clone.timeline.phase_seconds == fault_report.timeline.phase_seconds
+    assert clone.faults.windows == fault_report.faults.windows
+    # The journal is host-side only: never serialized, absent after load.
+    assert clone.journal is None
+
+
+def test_report_rejects_foreign_schema_version(fault_report):
+    document = fault_report.to_dict()
+    document["schema_version"] = 1
+    with pytest.raises(SchemaError, match="schema_version 1"):
+        ExperimentReport.from_dict(document)
+
+
+def test_report_rejects_unknown_keys(fault_report):
+    document = fault_report.to_dict()
+    document["extra_section"] = {}
+    with pytest.raises(SchemaError, match="extra_section"):
+        ExperimentReport.from_dict(document)
+
+
+def test_report_rejects_missing_keys(fault_report):
+    document = fault_report.to_dict()
+    del document["window"]
+    with pytest.raises(SchemaError, match="missing key.*window"):
+        ExperimentReport.from_dict(document)
+
+
+def test_report_rejects_invalid_json():
+    with pytest.raises(SchemaError, match="not valid JSON"):
+        ExperimentReport.from_json("{truncated")
