@@ -25,6 +25,9 @@ Examples::
 
     # Parallel sweep execution (see repro.parallel)
     python -m repro bench --points 8 --workers 4 --cache-dir .bench-cache
+
+    # Per-packet lifecycle tracing (see repro.trace)
+    python -m repro trace --total 200 --perfetto trace.json
 """
 
 from __future__ import annotations
@@ -101,6 +104,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--channels", type=int, default=1,
         help="EXTENSION: one channel per relayer when > 1",
     )
+    parser.add_argument(
+        "--tracing", action="store_true",
+        help="record per-packet lifecycle traces (adds a 'trace' report section)",
+    )
     parser.add_argument("--seed", type=int, default=1, help="random seed")
     parser.add_argument(
         "--out", type=str, default=None,
@@ -128,6 +135,7 @@ def config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         clear_interval=args.clear_interval,
         coordinate_relayers=args.coordinate,
         num_channels=args.channels,
+        tracing=args.tracing,
         seed=args.seed,
     )
 
@@ -145,6 +153,11 @@ def main(argv: list[str] | None = None) -> int:
         from repro.parallel.cli import main as bench_main
 
         return bench_main(argv[1:])
+    if argv and argv[0] == "trace":
+        # Subcommand: per-packet lifecycle tracing (see repro.trace).
+        from repro.trace.cli import main as trace_main
+
+        return trace_main(argv[1:])
     args = build_parser().parse_args(argv)
     config = config_from_args(args)
     report = run_experiment(config)

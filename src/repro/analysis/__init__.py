@@ -6,12 +6,18 @@ from repro.analysis.stats import (
     relative_error,
     summarize,
 )
-from repro.analysis.timeline import render_step_table
+from repro.analysis.timeline import (
+    render_packet_waterfall,
+    render_step_table,
+    render_trace_table,
+)
 
 __all__ = [
     "DistributionSummary",
     "format_table",
     "relative_error",
+    "render_packet_waterfall",
     "render_step_table",
+    "render_trace_table",
     "summarize",
 ]

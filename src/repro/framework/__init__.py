@@ -15,11 +15,14 @@ from repro.framework.metrics import (
     CompletionStatus,
     FaultReport,
     GasMetrics,
+    PacketTrace,
     RpcBusyMetrics,
+    TraceReport,
     WindowMetrics,
     collect_fault_metrics,
     collect_gas_metrics,
     collect_rpc_metrics,
+    collect_trace_metrics,
     collect_window_metrics,
 )
 from repro.framework.processor import (
@@ -44,12 +47,14 @@ __all__ = [
     "FaultReport",
     "GasMetrics",
     "METRICS",
+    "PacketTrace",
     "SweepPoint",
     "run_seeded",
     "sweep",
     "RpcBusyMetrics",
     "StepTimeline",
     "Testbed",
+    "TraceReport",
     "TransferTimelineReport",
     "WindowMetrics",
     "WorkloadDriver",
@@ -57,6 +62,7 @@ __all__ = [
     "collect_fault_metrics",
     "collect_gas_metrics",
     "collect_rpc_metrics",
+    "collect_trace_metrics",
     "collect_window_metrics",
     "run_experiment",
 ]

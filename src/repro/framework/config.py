@@ -85,6 +85,11 @@ class ExperimentConfig:
     resubscribe_on_disconnect: bool = True
 
     # -- measurement/simulation mechanics ----------------------------------------
+    #: Record per-packet lifecycle spans/events (see :mod:`repro.trace`).
+    #: Tracing is pure observation on the simulated clock: enabling it
+    #: leaves every non-trace report section byte-identical, and adds a
+    #: versioned ``"trace"`` latency-decomposition section to the report.
+    tracing: bool = False
     seed: int = 1
     #: Event-heap tie-break policy for same-time/same-priority events
     #: ("fifo" or "lifo").  Results must NOT depend on this knob; the

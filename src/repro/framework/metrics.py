@@ -10,6 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
+from repro.errors import SchemaError
 from repro.faults import FaultWindow
 from repro.sim.monitor import SummaryStats
 from repro.tendermint.node import Chain
@@ -274,12 +275,17 @@ def collect_fault_metrics(
     logs: list,
     completion_curve: list[tuple[float, int]],
     first_fault_offset: Optional[float] = None,
+    ack_offsets: Optional[list[float]] = None,
 ) -> FaultReport:
     """Assemble the fault report after a run.
 
     ``completion_curve`` and ``first_fault_offset`` share the same origin
     (the workload start); the offset is the first fault window's opening
-    relative to it.
+    relative to it.  When the run was traced, pass the per-packet ack
+    confirmation offsets from :func:`trace_ack_offsets` — the recovery
+    latencies then come from the trace spans directly instead of being
+    scraped back out of the journal's cumulative curve (the two agree
+    exactly; a regression test pins that).
     """
     refused = 0
     dropped = 0
@@ -293,11 +299,20 @@ def collect_fault_metrics(
 
     latencies: list[float] = []
     if first_fault_offset is not None:
-        previous = 0
-        for time, cumulative in completion_curve:
-            if time >= first_fault_offset:
-                latencies.extend([time - first_fault_offset] * (cumulative - previous))
-            previous = cumulative
+        if ack_offsets is not None:
+            latencies = [
+                offset - first_fault_offset
+                for offset in ack_offsets
+                if offset >= first_fault_offset
+            ]
+        else:
+            previous = 0
+            for time, cumulative in completion_curve:
+                if time >= first_fault_offset:
+                    latencies.extend(
+                        [time - first_fault_offset] * (cumulative - previous)
+                    )
+                previous = cumulative
 
     return FaultReport(
         windows=[
@@ -330,6 +345,284 @@ class RpcBusyMetrics:
         if self.total_busy_seconds <= 0:
             return 0.0
         return self.pull_busy_seconds / self.total_busy_seconds
+
+
+# ----------------------------------------------------------------------
+# Trace aggregation: per-packet lifecycles and the latency decomposition
+# ----------------------------------------------------------------------
+
+#: Life-cycle boundary names, in causal order.  Boundary ``i`` opens stage
+#: ``TRACE_STAGES[i]``, which runs until boundary ``i + 1`` — the stages
+#: therefore *partition* a packet's end-to-end latency exactly (no gaps, no
+#: overlaps), which the conservation property tests assert.
+TRACE_BOUNDARIES = (
+    "submit_at",  # workload began submitting the transfer tx
+    "proposed_at",  # source block carrying the send was proposed
+    "src_commit_at",  # that block committed (send_packet on chain)
+    "pull_done_at",  # relayer finished this packet's transfer data pull
+    "recv_commit_at",  # recv_packet committed on the destination
+    "ack_commit_at",  # acknowledge_packet committed back on the source
+)
+
+#: Stage names; stage ``i`` spans boundaries ``i`` → ``i + 1``.
+TRACE_STAGES = ("submit", "commit", "pull", "recv", "ack")
+
+
+@dataclass
+class PacketTrace:
+    """One packet's life-cycle boundaries, joined from the trace records.
+
+    Boundaries are absolute simulated times; ``None`` marks a leg the trace
+    never observed (lost packet, cleared out of band, or cut off by the
+    window).  Multi-relayer duplicates are merged by taking the *earliest*
+    observation of each boundary, so redundant relaying cannot inflate a
+    stage.
+    """
+
+    key: tuple[str, int]
+    submit_at: Optional[float] = None
+    proposed_at: Optional[float] = None
+    src_commit_at: Optional[float] = None
+    pull_done_at: Optional[float] = None
+    recv_commit_at: Optional[float] = None
+    ack_commit_at: Optional[float] = None
+    timed_out: bool = False
+
+    def boundaries(self) -> list[Optional[float]]:
+        return [getattr(self, name) for name in TRACE_BOUNDARIES]
+
+    @property
+    def complete(self) -> bool:
+        return all(value is not None for value in self.boundaries())
+
+    @property
+    def total_seconds(self) -> float:
+        if self.submit_at is None or self.ack_commit_at is None:
+            raise ValueError(f"packet {self.key} has no end-to-end interval")
+        return self.ack_commit_at - self.submit_at
+
+    def stage_seconds(self) -> dict[str, float]:
+        """Per-stage durations; defined only for complete lifecycles."""
+        bounds = self.boundaries()
+        if not self.complete:
+            raise ValueError(f"packet {self.key} lifecycle is incomplete")
+        return {
+            stage: bounds[i + 1] - bounds[i]
+            for i, stage in enumerate(TRACE_STAGES)
+        }
+
+
+#: Wire keys of the report's ``trace`` section, in dump order.
+_TRACE_KEYS = (
+    "traced",
+    "completed",
+    "partial",
+    "timed_out",
+    "origin_time",
+    "wall_seconds",
+    "stage_seconds",
+    "transfer_pull_seconds",
+    "recv_pull_seconds",
+    "data_pull_share",
+)
+
+
+@dataclass
+class TraceReport:
+    """The latency decomposition distilled from one run's trace.
+
+    ``stage_seconds`` sums each stage over every *complete* packet
+    lifecycle; because the stages partition each packet's latency, the
+    per-stage sums partition the summed end-to-end latency the same way.
+    ``data_pull_share`` is the paper's headline ratio: seconds spent in
+    serial data-pull queries (both legs) over the batch's wall time —
+    317 s / 455 s ≈ 69 % for the 5 000-transfer megabatch.
+
+    The per-packet lifecycles ride along in ``packets`` for rendering
+    (waterfalls) but are host-side only — like the journal, they never
+    enter the JSON wire format.
+    """
+
+    traced: int
+    completed: int
+    partial: int
+    timed_out: int
+    origin_time: float
+    wall_seconds: float
+    stage_seconds: dict[str, float]
+    transfer_pull_seconds: float
+    recv_pull_seconds: float
+    data_pull_share: float
+    packets: list[PacketTrace] = field(default_factory=list, compare=False)
+
+    @property
+    def pull_seconds(self) -> float:
+        return self.transfer_pull_seconds + self.recv_pull_seconds
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "traced": self.traced,
+            "completed": self.completed,
+            "partial": self.partial,
+            "timed_out": self.timed_out,
+            "origin_time": self.origin_time,
+            "wall_seconds": self.wall_seconds,
+            "stage_seconds": {
+                stage: self.stage_seconds[stage] for stage in TRACE_STAGES
+            },
+            "transfer_pull_seconds": self.transfer_pull_seconds,
+            "recv_pull_seconds": self.recv_pull_seconds,
+            "data_pull_share": self.data_pull_share,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "TraceReport":
+        if not isinstance(data, dict):
+            raise SchemaError(
+                f"trace section must be a dict, got {type(data).__name__}"
+            )
+        unknown = sorted(set(data) - set(_TRACE_KEYS))
+        if unknown:
+            raise SchemaError(
+                f"unknown key(s) {', '.join(unknown)} in trace section "
+                f"(known keys: {', '.join(_TRACE_KEYS)})"
+            )
+        missing = sorted(set(_TRACE_KEYS) - set(data))
+        if missing:
+            raise SchemaError(
+                f"trace section is missing key(s): {', '.join(missing)}"
+            )
+        return cls(
+            traced=data["traced"],
+            completed=data["completed"],
+            partial=data["partial"],
+            timed_out=data["timed_out"],
+            origin_time=data["origin_time"],
+            wall_seconds=data["wall_seconds"],
+            stage_seconds=dict(data["stage_seconds"]),
+            transfer_pull_seconds=data["transfer_pull_seconds"],
+            recv_pull_seconds=data["recv_pull_seconds"],
+            data_pull_share=data["data_pull_share"],
+        )
+
+
+def _min_by_key(events, value=lambda e: e.time) -> dict[tuple[str, int], float]:
+    """Earliest observation per packet key (multi-relayer duplicate merge)."""
+    merged: dict[tuple[str, int], float] = {}
+    for event in events:
+        candidate = value(event)
+        if candidate is None:
+            continue
+        current = merged.get(event.key)
+        if current is None or candidate < current:
+            merged[event.key] = candidate
+    return merged
+
+
+def assemble_packet_traces(tracer) -> list[PacketTrace]:
+    """Join trace records into per-packet lifecycles, sorted by key.
+
+    The submit leg has no packet key at recording time (the sequence is
+    assigned on chain), so submit spans are joined through the tx hash the
+    ``commit/send_packet`` mark carries.
+    """
+    submit_starts: dict[Any, float] = {}
+    for span in tracer.spans_named("submit"):
+        tx_hash = span.attrs.get("tx_hash")
+        if tx_hash is None:
+            continue
+        current = submit_starts.get(tx_hash)
+        if current is None or span.start < current:
+            submit_starts[tx_hash] = span.start
+
+    send_events = tracer.packet_events("commit/send_packet")
+    src_commits = _min_by_key(send_events)
+    proposed = _min_by_key(send_events, value=lambda e: e.attr("proposed"))
+    submits = _min_by_key(
+        send_events, value=lambda e: submit_starts.get(e.attr("tx_hash"))
+    )
+    pulls = _min_by_key(tracer.packet_events("transfer_data_pull_done"))
+    recv_commits = _min_by_key(tracer.packet_events("commit/recv_packet"))
+    ack_commits = _min_by_key(tracer.packet_events("commit/acknowledge_packet"))
+    timeouts = _min_by_key(tracer.packet_events("commit/timeout_packet"))
+
+    keys = set(src_commits) | set(pulls) | set(recv_commits)
+    keys |= set(ack_commits) | set(timeouts)
+    return [
+        PacketTrace(
+            key=key,
+            submit_at=submits.get(key),
+            proposed_at=proposed.get(key),
+            src_commit_at=src_commits.get(key),
+            pull_done_at=pulls.get(key),
+            recv_commit_at=recv_commits.get(key),
+            ack_commit_at=ack_commits.get(key),
+            timed_out=key in timeouts,
+        )
+        for key in sorted(keys)
+    ]
+
+
+def trace_ack_offsets(tracer, start_time: float) -> list[float]:
+    """Ack-confirmation times relative to the window start, from the trace.
+
+    One entry per packet whose ``ack_confirmed`` mark carries code 0 —
+    the exact population :meth:`CrossChainEventProcessor.completion_curve`
+    counts from ``ack_confirmation`` journal records, stamped at the same
+    simulated instants, so journal- and trace-derived recovery metrics
+    agree (see :func:`collect_fault_metrics`).
+    """
+    offsets = [
+        event.time - start_time
+        for event in tracer.packet_events("ack_confirmed")
+        if event.attr("code", 0) == 0
+    ]
+    return sorted(offsets)
+
+
+def collect_trace_metrics(tracer, window_start: float = 0.0) -> Optional[TraceReport]:
+    """Distill the tracer's records into a :class:`TraceReport`.
+
+    Returns ``None`` for an untraced run (the null tracer).  All float
+    accumulation runs over sorted orderings, so the result is byte-stable
+    across scheduler tie-break variations and worker counts.
+    """
+    if not tracer.enabled:
+        return None
+    packets = assemble_packet_traces(tracer)
+    complete = [p for p in packets if p.complete]
+    partial = [p for p in packets if not p.complete and not p.timed_out]
+    stage_seconds = {stage: 0.0 for stage in TRACE_STAGES}
+    for packet in complete:  # already key-sorted: stable float sums
+        for stage, seconds in packet.stage_seconds().items():
+            stage_seconds[stage] += seconds
+
+    def span_seconds(name: str) -> float:
+        durations = [s.duration for s in tracer.spans_named(name) if s.closed]
+        return sum(sorted(durations))
+
+    transfer_pull = span_seconds("transfer_data_pull")
+    recv_pull = span_seconds("recv_data_pull")
+    if complete:
+        origin = min(p.submit_at for p in complete)
+        wall = max(p.ack_commit_at for p in complete) - origin
+    else:
+        origin = window_start
+        wall = 0.0
+    share = (transfer_pull + recv_pull) / wall if wall > 0 else 0.0
+    return TraceReport(
+        traced=len(packets),
+        completed=len(complete),
+        partial=len(partial),
+        timed_out=sum(1 for p in packets if p.timed_out),
+        origin_time=origin,
+        wall_seconds=wall,
+        stage_seconds=stage_seconds,
+        transfer_pull_seconds=transfer_pull,
+        recv_pull_seconds=recv_pull,
+        data_pull_share=share,
+        packets=packets,
+    )
 
 
 def collect_rpc_metrics(chains: list[Chain]) -> RpcBusyMetrics:

@@ -26,6 +26,7 @@ from repro.framework.metrics import (
     FaultReport,
     GasMetrics,
     RpcBusyMetrics,
+    TraceReport,
     WindowMetrics,
 )
 from repro.framework.processor import StepTimeline, TransferTimelineReport
@@ -83,7 +84,7 @@ def _faults_from_dict(data: Optional[dict[str, Any]]) -> Optional[FaultReport]:
     )
 
 
-#: Top-level keys every schema-2 report document carries, in dump order.
+#: Top-level keys every schema-3 report document carries, in dump order.
 _DOCUMENT_KEYS = (
     "schema_version",
     "config",
@@ -100,8 +101,13 @@ _DOCUMENT_KEYS = (
     "rpc",
     "timeline",
     "faults",
+    "trace",
     "sim_end_time",
 )
+
+#: Schema-2 documents predate per-packet tracing: identical except that
+#: the ``trace`` key does not exist.  They still load (tracing absent).
+_V2_DOCUMENT_KEYS = tuple(k for k in _DOCUMENT_KEYS if k != "trace")
 
 
 @dataclass
@@ -110,9 +116,11 @@ class ExperimentReport:
 
     #: Version of the JSON wire schema ``to_dict`` emits.  Bump whenever a
     #: key is added, removed or changes meaning; ``from_dict`` refuses
-    #: documents with any other version.  Version 1 was the unversioned,
-    #: presentation-only dump of the pre-parallel era.
-    SCHEMA_VERSION = 2
+    #: documents with any other version except the immediately preceding
+    #: one where a lossless upgrade exists (schema 2 → 3 added the
+    #: ``trace`` section, absent on old documents).  Version 1 was the
+    #: unversioned, presentation-only dump of the pre-parallel era.
+    SCHEMA_VERSION = 3
 
     config: ExperimentConfig
     window: WindowMetrics
@@ -128,11 +136,17 @@ class ExperimentReport:
     #: Fault-injection accounting (None when no schedule was active; the
     #: key is always present in ``to_dict`` for schema stability).
     faults: Optional[FaultReport] = None
+    #: Per-packet latency decomposition (None unless ``config.tracing``;
+    #: the key is always present in ``to_dict`` for schema stability).
+    trace: Optional[TraceReport] = None
     sim_end_time: float = 0.0
     #: Canonical journal text (``render_journal``), captured only when
     #: ``run_experiment(..., capture_journal=True)`` asked for it.  A
     #: host-side determinism artifact — never serialized.
     journal: Optional[str] = None
+    #: The live tracer with the raw span/event records (set when the run
+    #: was traced) — host-side only, never serialized, like the journal.
+    tracer: Optional[Any] = None
 
     # ------------------------------------------------------------------
 
@@ -206,6 +220,7 @@ class ExperimentReport:
             },
             "timeline": self._timeline_dict(),
             "faults": self._faults_dict(),
+            "trace": None if self.trace is None else self.trace.to_dict(),
             "sim_end_time": self.sim_end_time,
         }
 
@@ -264,35 +279,38 @@ class ExperimentReport:
 
     @classmethod
     def from_dict(cls, data: Any) -> "ExperimentReport":
-        """Load a schema-2 report document.
+        """Load a schema-3 (or legacy schema-2) report document.
 
-        The loaded report re-serializes byte-identically: the raw
-        sections (``config``, ``window``, ``timeline.steps``, ...) are
-        restored and every derived section is recomputed from them.
-        Unknown keys and foreign schema versions raise
-        :class:`SchemaError`.
+        A loaded current-schema report re-serializes byte-identically:
+        the raw sections (``config``, ``window``, ``timeline.steps``, ...)
+        are restored and every derived section is recomputed from them.
+        Schema-2 documents (pre-tracing) load with ``trace`` absent and
+        re-serialize as schema 3.  Unknown keys and foreign schema
+        versions raise :class:`SchemaError`.
         """
         if not isinstance(data, dict):
             raise SchemaError(
                 f"report document must be a dict, got {type(data).__name__}"
             )
         version = data.get("schema_version")
-        if version != cls.SCHEMA_VERSION:
+        if version not in (2, cls.SCHEMA_VERSION):
             raise SchemaError(
                 f"unsupported report schema_version {version!r} "
-                f"(this library reads version {cls.SCHEMA_VERSION})"
+                f"(this library reads versions 2 and {cls.SCHEMA_VERSION})"
             )
-        unknown = sorted(set(data) - set(_DOCUMENT_KEYS))
+        expected = _DOCUMENT_KEYS if version == cls.SCHEMA_VERSION else _V2_DOCUMENT_KEYS
+        unknown = sorted(set(data) - set(expected))
         if unknown:
             raise SchemaError(
                 f"unknown key(s) {', '.join(unknown)} in report document "
-                f"(known keys: {', '.join(_DOCUMENT_KEYS)})"
+                f"(known keys: {', '.join(expected)})"
             )
-        missing = sorted(set(_DOCUMENT_KEYS) - set(data))
+        missing = sorted(set(expected) - set(data))
         if missing:
             raise SchemaError(
                 f"report document is missing key(s): {', '.join(missing)}"
             )
+        trace_data = data.get("trace")
         submission = data["submission"]
         workload = WorkloadStats(
             requested_transfers=submission["requested"],
@@ -327,6 +345,7 @@ class ExperimentReport:
             ],
             completion_latency=data["completion_latency"],
             faults=_faults_from_dict(data["faults"]),
+            trace=None if trace_data is None else TraceReport.from_dict(trace_data),
             sim_end_time=data["sim_end_time"],
         )
 
@@ -391,6 +410,19 @@ class ExperimentReport:
                 f"ack {t.phase_fraction('acknowledge') * 100:.1f}% "
                 f"(pulls {t.data_pull_fraction * 100:.1f}%)"
             )
+        if self.trace is not None and self.trace.completed:
+            t = self.trace
+            stages = " / ".join(
+                f"{stage} {seconds:.1f}s"
+                for stage, seconds in t.stage_seconds.items()
+            )
+            lines.append(
+                f"trace             : {t.completed}/{t.traced} lifecycles "
+                f"complete; pulls {t.pull_seconds:.1f}s of "
+                f"{t.wall_seconds:.1f}s wall "
+                f"({t.data_pull_share * 100:.1f}%)"
+            )
+            lines.append(f"trace stages      : {stages}")
         if self.faults is not None:
             f = self.faults
             lines.append(

@@ -21,7 +21,9 @@ from repro.framework.metrics import (
     collect_fault_metrics,
     collect_gas_metrics,
     collect_rpc_metrics,
+    collect_trace_metrics,
     collect_window_metrics,
+    trace_ack_offsets,
 )
 from repro.framework.processor import CrossChainEventProcessor
 from repro.framework.report import ExperimentReport
@@ -184,6 +186,10 @@ class _ExperimentEngine:
         processor = self._processor()
         timeline = processor.transfer_timeline(self._window_start_time)
         completion_curve = processor.completion_curve(self._window_start_time)
+        tracer = self.testbed.tracer
+        trace = collect_trace_metrics(
+            tracer, window_start=self._window_start_time
+        )
         faults = None
         if self.injector is not None:
             windows = self.injector.windows
@@ -196,6 +202,13 @@ class _ExperimentEngine:
                 [relayer.log for relayer in self.testbed.relayers],
                 completion_curve,
                 first_fault_offset=first_offset,
+                # Traced runs derive recovery latency from the trace spans
+                # rather than re-scraping the journal's cumulative curve.
+                ack_offsets=(
+                    trace_ack_offsets(tracer, self._window_start_time)
+                    if tracer.enabled
+                    else None
+                ),
             )
         return ExperimentReport(
             config=self.config,
@@ -208,7 +221,9 @@ class _ExperimentEngine:
             completion_curve=completion_curve,
             completion_latency=self._completion_latency,
             faults=faults,
+            trace=trace,
             sim_end_time=self.testbed.env.now,
+            tracer=tracer if tracer.enabled else None,
         )
 
 

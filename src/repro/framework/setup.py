@@ -21,6 +21,7 @@ from repro.sim.core import Environment, Event
 from repro.sim.network import Network
 from repro.sim.rng import RngRegistry
 from repro.tendermint.node import Chain, ChainNode
+from repro.trace import NULL_TRACER, NullTracer, Tracer
 
 #: Generous genesis balances: fees never bound the experiments.
 GENESIS_FEE = 10**16
@@ -33,6 +34,8 @@ class Testbed:
 
     config: ExperimentConfig
     env: Environment = field(init=False)
+    #: Lifecycle tracer (a no-op NULL_TRACER unless ``config.tracing``).
+    tracer: Tracer | NullTracer = field(init=False)
     network: Network = field(init=False)
     rng: RngRegistry = field(init=False)
     chain_a: Chain = field(init=False)
@@ -48,6 +51,9 @@ class Testbed:
         config = self.config
         calibration = config.resolved_calibration
         self.env = Environment(tiebreak=config.tiebreak)
+        # Pure observation: the tracer only records (never schedules, never
+        # draws), so traced and untraced runs evolve identically.
+        self.tracer = Tracer(self.env) if config.tracing else NULL_TRACER
         self.rng = RngRegistry(config.seed)
         self.network = Network(
             self.env,
@@ -65,10 +71,12 @@ class Testbed:
         self.chain_a = Chain(
             self.env, self.network, "ibc-0", val_hosts, self.rng,
             calibration=calibration, proof_mode=proof_mode,
+            tracer=self.tracer,
         )
         self.chain_b = Chain(
             self.env, self.network, "ibc-1", val_hosts, self.rng,
             calibration=calibration, proof_mode=proof_mode,
+            tracer=self.tracer,
         )
         self.chain_a.app.register_counterparty(self.chain_b.counterparty_info())
         self.chain_b.app.register_counterparty(self.chain_a.counterparty_info())
@@ -106,6 +114,7 @@ class Testbed:
                     rpc_retry_attempts=config.rpc_retry_attempts,
                     resubscribe_on_disconnect=config.resubscribe_on_disconnect,
                 ),
+                tracer=self.tracer,
             )
             self.relayers.append(relayer)
 

@@ -167,6 +167,12 @@ class WorkloadDriver:
                     self.finished.succeed()
 
     def _one_submission(self, cli: WorkloadCli, count: int):
+        # The packet sequence is assigned on chain, so the span carries the
+        # tx hash instead of a packet key; the trace aggregator joins it to
+        # packets via the commit/send_packet marks for the same hash.
+        span = self.testbed.tracer.open_span(
+            "submit", f"workload/{cli.wallet.name}", count=count
+        )
         submission = yield from cli.ft_transfer(
             count=count,
             amount=self.config.transfer_amount,
@@ -176,7 +182,16 @@ class WorkloadDriver:
         self.stats.record(submission)
         if submission.accepted:
             yield from cli.wait_confirmation(submission)
+            self.testbed.tracer.close_span(
+                span,
+                tx_hash=submission.tx.hash,
+                accepted=True,
+                committed=submission.committed_ok,
+            )
         else:
+            self.testbed.tracer.close_span(
+                span, tx_hash=submission.tx.hash, accepted=False, committed=False
+            )
             # Back off one poll interval before retrying from this account.
             yield self.env.timeout(cli.confirm_poll_seconds)
 

@@ -1,9 +1,16 @@
-"""Simulation-correctness rule R001: leaked resource slots.
+"""Simulation-correctness rules R001/R004: leaked paired acquisitions.
 
-A :class:`repro.sim.resources.Resource` slot obtained with ``request()``
-must be returned with ``release()`` (or withdrawn with ``cancel()``) in the
-same function, or the simulated server loses capacity forever — a leak that
-silently turns a throughput experiment into a starvation experiment.
+R001: a :class:`repro.sim.resources.Resource` slot obtained with
+``request()`` must be returned with ``release()`` (or withdrawn with
+``cancel()``) in the same function, or the simulated server loses capacity
+forever — a leak that silently turns a throughput experiment into a
+starvation experiment.
+
+R004: a trace span opened with ``open_span()`` must reach ``close_span()``
+in the same function (or escape the scope deliberately), or it never
+closes — the lifecycle aggregator then silently drops the packet and the
+Perfetto export loses the interval.  The classic offender is a spawned
+generator that opens a span and gets interrupted before the close.
 """
 
 from __future__ import annotations
@@ -105,4 +112,79 @@ class ResourceLeakRule(Rule):
                 call,
                 f"slot {name!r} from request() is never released or "
                 "cancelled in this function",
+            )
+
+
+def _is_open_span_call(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == "open_span"
+    )
+
+
+@register
+class SpanLeakRule(Rule):
+    """``open_span()`` without a matching ``close_span()`` in scope."""
+
+    rule_id = "R004"
+    description = (
+        "tracer open_span() without a matching close_span() in the same "
+        "function; the span never closes and the packet lifecycle is lost"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_function(ctx, node)
+
+    def _check_function(
+        self, ctx: ModuleContext, func: ast.AST
+    ) -> Iterator[Finding]:
+        opened: dict[str, ast.AST] = {}
+        closed: set[str] = set()
+        escaped: set[str] = set()
+        for node in _own_nodes(func):
+            if isinstance(node, ast.Assign) and _is_open_span_call(node.value):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        opened[target.id] = node.value
+                    else:
+                        # Stored on an object: lifetime exceeds this scope.
+                        pass
+            elif isinstance(node, ast.Expr) and _is_open_span_call(node.value):
+                yield self.finding(
+                    ctx,
+                    node.value,
+                    "open_span() result discarded; the span can never be "
+                    "closed (use record_span() for a completed interval)",
+                )
+            elif isinstance(node, ast.Call) and isinstance(
+                node.func, ast.Attribute
+            ):
+                if node.func.attr == "close_span":
+                    for arg in node.args:
+                        if isinstance(arg, ast.Name):
+                            closed.add(arg.id)
+                else:
+                    # Passed to another call: treat as handed off.
+                    for arg in node.args:
+                        if isinstance(arg, ast.Name):
+                            escaped.add(arg.id)
+            elif isinstance(node, ast.Return) and isinstance(
+                node.value, ast.Name
+            ):
+                escaped.add(node.value.id)
+            elif isinstance(node, ast.Assign) and isinstance(
+                node.value, ast.Name
+            ):
+                escaped.add(node.value.id)
+        for name, call in opened.items():
+            if name in closed or name in escaped:
+                continue
+            yield self.finding(
+                ctx,
+                call,
+                f"span {name!r} from open_span() is never passed to "
+                "close_span() in this function",
             )

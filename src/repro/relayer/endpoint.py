@@ -31,6 +31,7 @@ from repro.relayer.logging import RelayerLog
 from repro.sim.core import Environment, Event
 from repro.tendermint.node import BroadcastResult, ChainNode, TxLookupResult
 from repro.tendermint.rpc import RpcClient
+from repro.trace import NULL_TRACER, packet_key
 
 #: ABCI code for account sequence mismatch (see errors.SequenceMismatchError).
 SEQUENCE_MISMATCH_CODE = 32
@@ -51,6 +52,9 @@ class SubmittedTx:
     confirm_time: Optional[float] = None
     #: Packet messages in the tx (excludes the prepended client update).
     payload_msgs: int = 0
+    #: (source_channel, sequence) per packet message, in chunk order, so
+    #: confirmations can be traced back to packet identities.
+    packet_keys: tuple[tuple[str, int], ...] = ()
 
     @property
     def accepted(self) -> bool:
@@ -76,12 +80,15 @@ class ChainEndpoint:
         client_host: str,
         config: RelayerConfig,
         log: RelayerLog,
+        tracer=NULL_TRACER,
     ):
         self.env = env
         self.node = node
         self.chain = node.chain
         self.config = config
         self.log = log
+        self.tracer = tracer
+        self._track = f"{log.relayer}/endpoint/{node.chain.chain_id}"
         self.client = RpcClient(
             env,
             node.chain.network,
@@ -180,6 +187,7 @@ class ChainEndpoint:
         """
         submitted: list[SubmittedTx] = []
         for chunk in chunk_msgs(msgs, self.config.max_msgs_per_tx):
+            started = self.env.now
             if build_seconds_per_msg > 0:
                 yield self.env.timeout(build_seconds_per_msg * len(chunk))
             yield self.env.timeout(cal.RELAYER_SIGN_SECONDS_PER_TX)
@@ -187,7 +195,23 @@ class ChainEndpoint:
             entry = yield from self._sign_and_broadcast(
                 payload, label, payload_msgs=len(chunk)
             )
+            entry.packet_keys = tuple(
+                packet_key(m.packet.source_channel, m.packet.sequence)
+                for m in chunk
+                if hasattr(m, "packet")
+            )
             submitted.append(entry)
+            if self.tracer.enabled:
+                # Sign + broadcast for one chunk (Fig. 12's submit leg).
+                self.tracer.record_span(
+                    f"{label}_submit",
+                    self._track,
+                    start=started,
+                    chain=self.chain_id,
+                    tx_hash=entry.tx.hash,
+                    count=entry.payload_msgs,
+                    accepted=entry.accepted,
+                )
         return submitted
 
     def _sign_and_broadcast(
@@ -284,6 +308,20 @@ class ChainEndpoint:
                         height=lookup.height,
                         count=entry.payload_msgs,
                     )
+                    if self.tracer.enabled:
+                        # Stamped at the same instant as the confirmation
+                        # log record so trace- and journal-derived metrics
+                        # agree exactly (see metrics.collect_fault_metrics).
+                        for key in entry.packet_keys:
+                            self.tracer.event(
+                                f"{label}_confirmed",
+                                self._track,
+                                key=key,
+                                chain=self.chain_id,
+                                tx_hash=entry.tx.hash,
+                                height=lookup.height,
+                                code=lookup.code,
+                            )
                 else:
                     still_pending.append(entry)
             pending = still_pending

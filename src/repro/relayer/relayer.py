@@ -13,6 +13,7 @@ from repro.relayer.supervisor import Supervisor
 from repro.relayer.worker import DirectionWorker, RelayPath
 from repro.sim.core import Environment, Event
 from repro.tendermint.node import ChainNode
+from repro.trace import NULL_TRACER
 
 
 class Relayer:
@@ -34,22 +35,26 @@ class Relayer:
         wallet_a: Wallet,
         wallet_b: Wallet,
         config: Optional[RelayerConfig] = None,
+        tracer=NULL_TRACER,
     ):
         self.env = env
         self.name = name
         self.host = host
         self.config = config or RelayerConfig(name=name)
         self.log = RelayerLog(env, name)
+        self.tracer = tracer
         self.heights: dict[str, int] = {}
         self.endpoint_a = ChainEndpoint(
-            env, node_a, wallet_a, host, self.config, self.log
+            env, node_a, wallet_a, host, self.config, self.log, tracer=tracer
         )
         self.endpoint_b = ChainEndpoint(
-            env, node_b, wallet_b, host, self.config, self.log
+            env, node_b, wallet_b, host, self.config, self.log, tracer=tracer
         )
         self.node_a = node_a
         self.node_b = node_b
-        self.supervisor = Supervisor(env, self.log, self.heights, host, config)
+        self.supervisor = Supervisor(
+            env, self.log, self.heights, host, config, tracer=tracer
+        )
         self.workers: list[DirectionWorker] = []
         self.path: Optional[RelayPath] = None
 
@@ -87,6 +92,7 @@ class Relayer:
             config=self.config,
             log=self.log,
             heights=self.heights,
+            tracer=self.tracer,
         )
         worker_ba = DirectionWorker(
             env=self.env,
@@ -97,6 +103,7 @@ class Relayer:
             config=self.config,
             log=self.log,
             heights=self.heights,
+            tracer=self.tracer,
         )
         self.workers.extend([worker_ab, worker_ba])
         self.supervisor.route(worker_ab)

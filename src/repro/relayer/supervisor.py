@@ -25,6 +25,7 @@ from repro.tendermint.websocket import (
     Subscription,
     SubscriptionClosed,
 )
+from repro.trace import NULL_TRACER, packet_key
 
 #: Event kinds the supervisor subscribes to per chain.  A frozenset: used
 #: for membership filtering only, never iterated (repro.lint D003).
@@ -50,12 +51,14 @@ class Supervisor:
         heights: dict[str, int],
         client_host: str,
         config: Optional[RelayerConfig] = None,
+        tracer=NULL_TRACER,
     ):
         self.env = env
         self.log = log
         self.heights = heights
         self.client_host = client_host
         self.config = config or RelayerConfig()
+        self.tracer = tracer
         #: (chain_id, channel) -> worker whose recv stage consumes that
         #: chain's send_packet events for that channel.
         self._recv_routes: dict[tuple[str, str], DirectionWorker] = {}
@@ -192,6 +195,22 @@ class Supervisor:
             self.log.info(
                 step, chain=chain_id, height=batch.height, count=len(batch)
             )
+            if self.tracer.enabled:
+                # One detect mark per packet: the relayer first learned of
+                # this lifecycle step (extraction time, post frame parse).
+                track = f"{self.log.relayer}/supervisor"
+                for event in batch.events:
+                    self.tracer.event(
+                        "detect",
+                        track,
+                        key=packet_key(
+                            event.packet.source_channel, event.packet.sequence
+                        ),
+                        kind=batch.kind,
+                        chain=chain_id,
+                        height=batch.height,
+                        tx_hash=event.tx_hash,
+                    )
         if batch.kind == "send_packet":
             worker = self._recv_routes.get((chain_id, batch.routing_channel))
             if worker is not None:

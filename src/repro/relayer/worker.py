@@ -40,6 +40,7 @@ from repro.relayer.events import WorkBatch
 from repro.relayer.logging import RelayerLog
 from repro.sim.core import Environment, ProcessGroup
 from repro.sim.resources import Store
+from repro.trace import NULL_TRACER, packet_key
 
 
 @dataclass
@@ -74,6 +75,7 @@ class DirectionWorker:
         config: RelayerConfig,
         log: RelayerLog,
         heights: dict[str, int],
+        tracer=NULL_TRACER,
     ):
         self.env = env
         self.src = src
@@ -82,6 +84,10 @@ class DirectionWorker:
         self.dst_end = dst_end
         self.config = config
         self.log = log
+        self.tracer = tracer
+        self._track = (
+            f"{log.relayer}/worker/{src_end.chain_id}->{dst_end.chain_id}"
+        )
         #: Latest known height per chain (maintained by the supervisor).
         self.heights = heights
 
@@ -203,8 +209,12 @@ class DirectionWorker:
         the transactions back to back, which is why the paper's 5 000
         receives land in a single destination block.
         """
+        build_started = self.env.now
         self.log.info("recv_build", count=len(packets))
         yield self.env.timeout(cal.RELAYER_BUILD_SECONDS_PER_MSG * len(packets))
+        self.tracer.record_span(
+            "recv_build", self._track, start=build_started, count=len(packets)
+        )
         size = self.config.max_msgs_per_tx
         for start in range(0, len(packets), size):
             chunk = packets[start : start + size]
@@ -270,6 +280,30 @@ class DirectionWorker:
             except RpcError as exc:
                 self.log.error("query_failed", stage=step, reason=str(exc))
                 return None, started
+            if self.tracer.enabled:
+                # Stamped here (not after the concurrency barrier) so the
+                # span covers exactly this pull's wall time.
+                self.tracer.record_span(
+                    step,
+                    self._track,
+                    start=started,
+                    chain=endpoint.chain_id,
+                    height=batch.height,
+                    tx_hash=tx_hash,
+                )
+                for entry in response["entries"]:
+                    attrs = entry["attrs"]
+                    channel = attrs.get("packet_src_channel")
+                    sequence = attrs.get("packet_sequence")
+                    if channel is None or sequence is None:
+                        continue
+                    self.tracer.event(
+                        f"{step}_done",
+                        self._track,
+                        key=packet_key(channel, sequence),
+                        height=batch.height,
+                        tx_hash=tx_hash,
+                    )
             return response, started
 
         for start in range(0, len(tx_hashes), concurrency):
@@ -370,8 +404,12 @@ class DirectionWorker:
         As with receives, the build stage covers the whole batch before the
         back-to-back broadcasts.
         """
+        build_started = self.env.now
         self.log.info("ack_build", count=len(packets))
         yield self.env.timeout(cal.RELAYER_BUILD_SECONDS_PER_MSG * len(packets))
+        self.tracer.record_span(
+            "ack_build", self._track, start=build_started, count=len(packets)
+        )
         size = self.config.max_msgs_per_tx
         for start in range(0, len(packets), size):
             chunk = packets[start : start + size]

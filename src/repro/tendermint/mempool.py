@@ -21,6 +21,7 @@ from repro import calibration as cal
 from repro.errors import MempoolFullError, TxInMempoolError
 from repro.tendermint.abci import Application, ResponseCheckTx
 from repro.tendermint.types import TxLike
+from repro.trace import NULL_TRACER
 
 
 @dataclass
@@ -37,9 +38,13 @@ class Mempool:
         self,
         app: Application,
         max_txs: int = cal.MEMPOOL_MAX_TXS,
+        tracer=NULL_TRACER,
+        chain_id: str = "",
     ):
         self.app = app
         self.max_txs = max_txs
+        self.tracer = tracer
+        self._track = f"{chain_id}/mempool"
         self._txs: "OrderedDict[bytes, MempoolTx]" = OrderedDict()
         self._check_sequences: dict[str, int] = {}
         # Gossip is per-peer FIFO in Tendermint: a sender's transactions
@@ -92,6 +97,12 @@ class Mempool:
             if sender is not None and sequence is not None:
                 self._check_sequences[sender] = sequence + 1
             self.admitted += 1
+            self.tracer.event(
+                "mempool_admit",
+                self._track,
+                tx_hash=tx.hash,
+                available_at=available_at,
+            )
         else:
             self.rejected += 1
         return response

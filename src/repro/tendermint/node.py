@@ -32,6 +32,7 @@ from repro.tendermint.rpc import RpcServer
 from repro.tendermint.store import BlockStore, TxIndexer
 from repro.tendermint.validator import ValidatorSet
 from repro.tendermint.websocket import WebSocketServer
+from repro.trace import NULL_TRACER, packet_key
 
 #: Event kinds whose indexed entries a packet-data pull must scan, and the
 #: calibration attribute holding the per-event scan cost.
@@ -40,6 +41,15 @@ _SCAN_COST_ATTR = {
     "write_acknowledgement": "rpc_scan_seconds_per_recv_event",
     "acknowledge_packet": "rpc_scan_seconds_per_ack_event",
 }
+
+#: Committed events that mark a packet lifecycle boundary on-chain.
+_PACKET_COMMIT_EVENTS = (
+    "send_packet",
+    "recv_packet",
+    "write_acknowledgement",
+    "acknowledge_packet",
+    "timeout_packet",
+)
 
 
 @dataclass
@@ -74,6 +84,7 @@ class Chain:
         rng: RngRegistry,
         calibration: Optional[cal.Calibration] = None,
         proof_mode: str = "merkle",
+        tracer=NULL_TRACER,
     ):
         if not validator_hosts:
             raise SimulationError("a chain needs at least one validator host")
@@ -82,6 +93,7 @@ class Chain:
         self.chain_id = chain_id
         self.cal = calibration or cal.DEFAULT_CALIBRATION
         self.rng = rng
+        self.tracer = tracer
         # Keyed: gossip routing is sampled from whichever RPC serve process
         # accepts the broadcast, so a sequential stream would assign draws
         # in event-heap tie order when two txs land at the same instant.
@@ -97,7 +109,12 @@ class Chain:
             proof_mode=proof_mode,
             rng=rng.stream(f"gas/{chain_id}"),
         )
-        self.mempool = Mempool(self.app, max_txs=self.cal.mempool_max_txs)
+        self.mempool = Mempool(
+            self.app,
+            max_txs=self.cal.mempool_max_txs,
+            tracer=tracer,
+            chain_id=chain_id,
+        )
         self.block_store = BlockStore()
         self.indexer = TxIndexer()
         self.engine = ConsensusEngine(
@@ -115,6 +132,7 @@ class Chain:
             primary_host=validator_hosts[0],
         )
         self.nodes: dict[str, ChainNode] = {}
+        self.engine.subscribe(self._trace_block)
         self.engine.subscribe(self._fanout_block)
 
     # ------------------------------------------------------------------
@@ -147,6 +165,49 @@ class Chain:
     def height(self) -> int:
         return self.engine.height
 
+    def _trace_block(self, info: CommittedBlockInfo) -> None:
+        """Record the block-inclusion span and per-packet commit marks.
+
+        The block span runs from proposal (``header.time``, when reaped
+        txs are *included*) to commit completion; each committed packet
+        event becomes a ``commit/<kind>`` mark carrying the proposal time,
+        so the aggregator can split submit-to-commit latency exactly.
+        """
+        if not self.tracer.enabled:
+            return
+        executed = info.executed
+        track = f"{self.chain_id}/consensus"
+        proposed = info.block.header.time
+        self.tracer.record_span(
+            "block",
+            track,
+            start=proposed,
+            end=info.commit_time,
+            height=executed.height,
+            txs=len(executed.txs),
+            msgs=executed.message_count,
+            execution_seconds=executed.execution_seconds,
+        )
+        for item in executed.txs:
+            if not item.ok:
+                continue
+            for event in item.result.events:
+                if event.type not in _PACKET_COMMIT_EVENTS:
+                    continue
+                sequence = event.attr("packet_sequence")
+                channel = event.attr("packet_src_channel")
+                if sequence is None or channel is None:
+                    continue
+                self.tracer.event(
+                    f"commit/{event.type}",
+                    track,
+                    key=packet_key(channel, sequence),
+                    chain=self.chain_id,
+                    height=executed.height,
+                    tx_hash=item.hash,
+                    proposed=proposed,
+                )
+
     def _fanout_block(self, info: CommittedBlockInfo) -> None:
         for node in self.nodes.values():
             node.websocket.publish_block(info.executed)
@@ -169,10 +230,13 @@ class ChainNode:
         self.chain = chain
         self.host = host
         self.rpc = RpcServer(
-            chain.env, chain.network, host, calibration=chain.cal
+            chain.env, chain.network, host, calibration=chain.cal,
+            tracer=chain.tracer,
         )
+        self.rpc.trace_track = f"{chain.chain_id}/{host}/rpc"
         self.websocket = WebSocketServer(
-            chain.env, chain.network, host, chain.chain_id, calibration=chain.cal
+            chain.env, chain.network, host, chain.chain_id, calibration=chain.cal,
+            tracer=chain.tracer,
         )
         self._register_handlers()
 

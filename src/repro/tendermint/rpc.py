@@ -35,6 +35,7 @@ from repro.sim.core import Environment, Event, ProcessGroup
 from repro.sim.network import Network
 from repro.sim.resources import Resource
 from repro.sim.rng import KeyedStream
+from repro.trace import NULL_TRACER
 
 _REQUEST_IDS = itertools.count()
 
@@ -94,11 +95,15 @@ class RpcServer:
         network: Network,
         host: str,
         calibration: Optional[cal.Calibration] = None,
+        tracer=NULL_TRACER,
     ):
         self.env = env
         self.network = network
         self.host = host
         self.cal = calibration or cal.DEFAULT_CALIBRATION
+        self.tracer = tracer
+        #: Trace track label; the owning node prefixes its chain id.
+        self.trace_track = f"{host}/rpc"
         self.resource = Resource(env, capacity=self.cal.rpc_workers)
         self.handlers: dict[
             str, Callable[[dict[str, Any]], tuple[float, Callable[[], Any]]]
@@ -219,8 +224,10 @@ class RpcServer:
 
     def _serve(self, request: RpcRequest):
         handler = self.handlers.get(request.method)
+        arrived = self.env.now
         slot = self.resource.request()
         yield slot
+        granted = self.env.now
         try:
             if handler is None:
                 self._respond(
@@ -234,6 +241,14 @@ class RpcServer:
                 return
             yield self.env.timeout(service)
             self.stats.record(request.method, service)
+            self.tracer.record_span(
+                f"rpc/{request.method}",
+                self.trace_track,
+                start=arrived,
+                wait=granted - arrived,
+                service=service,
+                client=request.client_id,
+            )
             try:
                 result = result_fn()
             except RpcError as exc:

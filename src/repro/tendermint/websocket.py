@@ -21,6 +21,7 @@ from repro.sim.core import Environment
 from repro.sim.network import Network
 from repro.sim.resources import Store
 from repro.tendermint.abci import ExecutedBlock
+from repro.trace import NULL_TRACER
 
 
 @dataclass
@@ -92,12 +93,14 @@ class WebSocketServer:
         host: str,
         chain_id: str,
         calibration: Optional[cal.Calibration] = None,
+        tracer=NULL_TRACER,
     ):
         self.env = env
         self.network = network
         self.host = host
         self.chain_id = chain_id
         self.cal = calibration or cal.DEFAULT_CALIBRATION
+        self.tracer = tracer
         self.subscriptions: list[Subscription] = []
         #: Fault-injection state: a crashed node accepts no subscriptions.
         self.crashed = False
@@ -227,6 +230,15 @@ class WebSocketServer:
 
         def push() -> None:
             subscription.delivered += 1
+            self.tracer.event(
+                "ws_frame",
+                f"{self.chain_id}/{self.host}/ws",
+                subscriber=subscription.subscriber_host,
+                height=executed.height,
+                events=len(notification.events),
+                frame_bytes=frame_bytes,
+                ok=notification.ok,
+            )
             subscription.queue.put(notification)
 
         self.env.schedule_callback(delay, push)

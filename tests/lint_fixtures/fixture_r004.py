@@ -1,0 +1,25 @@
+"""Seeded R004 violations (trace spans opened but never closed).
+Parsed by repro.lint tests, never imported or executed."""
+
+
+def leaky_generator(env, tracer):
+    span = tracer.open_span("submit", "workload")  # line 6: R004 never closed
+    yield env.timeout(1.0)
+    assert span is not None
+
+
+def discarded(tracer):
+    tracer.open_span("submit", "workload")  # line 12: R004 result discarded
+
+
+def correct(env, tracer):
+    span = tracer.open_span("submit", "workload")
+    try:
+        yield env.timeout(1.0)
+    finally:
+        tracer.close_span(span, ok=True)
+
+
+def handed_off(tracer, registry):
+    span = tracer.open_span("submit", "workload")
+    registry.adopt(span)  # escapes this scope: closed elsewhere

@@ -99,12 +99,12 @@ def test_different_seed_diverges(golden_runs):
 
 def test_golden_report_wire_round_trip(golden_runs):
     """Golden schema stability: the report document declares schema
-    version 2 and survives a load/dump cycle byte-for-byte — so cached
+    version 3 and survives a load/dump cycle byte-for-byte — so cached
     sweep points replay exactly what the simulation produced."""
     import json
 
     (report_json, _), _, _ = golden_runs
-    assert json.loads(report_json)["schema_version"] == 2
+    assert json.loads(report_json)["schema_version"] == 3
     assert ExperimentReport.from_json(report_json).to_json() == report_json
 
 
@@ -135,3 +135,112 @@ def test_fault_scenario_really_faulted(golden_fault_runs):
     assert faults["ws_disconnects"] >= 1
     assert faults["resubscribes"] >= 1
     assert any("websocket_disconnected" in line for line in journal.splitlines())
+
+
+# -- With lifecycle tracing enabled -----------------------------------------
+
+
+def run_traced_scenario(seed, *, tiebreak="fifo", faults=None):
+    """The golden scenario with the tracer threaded through the stack."""
+    config = ExperimentConfig(
+        input_rate=20 if faults is None else 10,
+        measurement_blocks=4 if faults is None else 3,
+        seed=seed,
+        drain_seconds=20.0 if faults is None else 30.0,
+        rpc_retry_attempts=0 if faults is None else 3,
+        clear_interval=0 if faults is None else 2,
+        faults=faults,
+        tracing=True,
+        tiebreak=tiebreak,
+    )
+    return run_experiment(config).to_json()
+
+
+def _masked(report_json, *config_keys, drop_trace=False):
+    """The report document with config echoes (and optionally the trace
+    section) neutralized, re-dumped canonically for byte comparison."""
+    import json
+
+    document = json.loads(report_json)
+    for key in config_keys:
+        document["config"].pop(key, None)
+    if drop_trace:
+        document.pop("trace", None)
+    return json.dumps(document, sort_keys=True)
+
+
+@pytest.fixture(scope="module")
+def golden_traced_runs():
+    return run_traced_scenario(seed=11), run_traced_scenario(seed=11)
+
+
+def test_traced_run_same_seed_identical(golden_traced_runs):
+    """The tracer is part of the determinism envelope: a traced report
+    (span timings, stage sums, pull share — all floats accumulated over
+    thousands of events) is byte-identical across repeated runs."""
+    json1, json2 = golden_traced_runs
+    assert json1.encode() == json2.encode()
+
+
+def test_traced_run_has_nontrivial_trace(golden_traced_runs):
+    import json
+
+    trace = json.loads(golden_traced_runs[0])["trace"]
+    assert trace is not None
+    assert trace["completed"] > 0
+    assert trace["data_pull_share"] > 0.0
+
+
+def test_traced_fault_scenario_same_seed_identical():
+    """Tracing and the full fault schedule together stay byte-stable:
+    crash/brownout/disconnect recovery paths emit their spans in the
+    same order every run."""
+    json1 = run_traced_scenario(seed=21, faults=FAULTS)
+    json2 = run_traced_scenario(seed=21, faults=FAULTS)
+    assert json1.encode() == json2.encode()
+    import json
+
+    assert json.loads(json1)["trace"]["completed"] > 0
+
+
+def test_trace_invariant_under_tiebreak_reversal(golden_traced_runs):
+    """Reversing the scheduler's same-time tie-break may not move a
+    single boundary timestamp or float sum in the trace section (the
+    aggregator's min-merges and sorted accumulation guarantee this).
+    Only the config's tiebreak echo may differ."""
+    fifo = golden_traced_runs[0]
+    lifo = run_traced_scenario(seed=11, tiebreak="lifo")
+    assert _masked(fifo, "tiebreak") == _masked(lifo, "tiebreak")
+
+
+def test_tracing_off_leaves_report_byte_identical(golden_traced_runs):
+    """Observer effect check: turning the tracer on changes only the
+    trace section and the config echo — every other byte of the report
+    is identical to an untraced run."""
+    traced = golden_traced_runs[0]
+    untraced, _ = run_scenario(seed=11)
+    assert _masked(traced, "tracing", drop_trace=True) == _masked(
+        untraced, "tracing", drop_trace=True
+    )
+
+
+def test_traced_run_identical_across_worker_counts():
+    """The parallel executor reproduces a traced point byte-for-byte
+    whether it runs in-process or in a spawned worker pool."""
+    from repro.parallel import run_points
+
+    configs = [
+        ExperimentConfig(
+            input_rate=20,
+            measurement_blocks=3,
+            seed=seed,
+            drain_seconds=20.0,
+            tracing=True,
+        )
+        for seed in (31, 32)
+    ]
+    serial = run_points(configs, workers=1)
+    parallel = run_points(configs, workers=4)
+    assert serial.merged_json() == parallel.merged_json()
+    for point in serial.merged_document():
+        assert point["trace"]["completed"] > 0

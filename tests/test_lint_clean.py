@@ -44,10 +44,17 @@ def test_lint_clean_over_whole_repo():
 
 
 def test_parallel_package_is_gated():
-    """repro.parallel sits under all nine rules like the rest of src."""
+    """repro.parallel sits under all ten rules like the rest of src."""
     parallel = SRC_ROOT / "parallel"
     assert parallel.is_dir()
     _assert_clean([parallel])
+
+
+def test_trace_package_is_gated():
+    """repro.trace sits under all ten rules like the rest of src."""
+    trace = SRC_ROOT / "trace"
+    assert trace.is_dir()
+    _assert_clean([trace])
 
 
 def test_hostclock_is_the_only_wall_clock_exemption():

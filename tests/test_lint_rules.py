@@ -42,6 +42,7 @@ def lint_fixture(name):
         ("fixture_d004.py", "D004", {6, 8}),
         ("fixture_r001.py", "R001", {6, 12}),
         ("fixture_r002.py", "R002", {10, 18}),
+        ("fixture_r004.py", "R004", {6, 12}),
     ],
 )
 def test_fixture_findings(fixture, rule_id, expected_lines):
@@ -308,6 +309,37 @@ def test_r001_escaped_request_not_flagged():
     assert findings == []
 
 
+def test_r004_close_in_finally_is_clean():
+    findings = lint_source(
+        "def submit(self, tracer):\n"
+        "    span = tracer.open_span('submit', 'workload')\n"
+        "    try:\n"
+        "        yield self.env.timeout(1.0)\n"
+        "    finally:\n"
+        "        tracer.close_span(span, ok=True)\n"
+    )
+    assert findings == []
+
+
+def test_r004_escaped_span_not_flagged():
+    findings = lint_source(
+        "def begin(tracer):\n"
+        "    span = tracer.open_span('block', 'consensus')\n"
+        "    return span\n"
+    )
+    assert findings == []
+
+
+def test_r004_flags_span_leaked_in_spawned_generator():
+    findings = lint_source(
+        "def run(env, tracer):\n"
+        "    span = tracer.open_span('submit', 'workload')\n"
+        "    yield env.timeout(1.0)\n"
+    )
+    assert rules_hit(findings) == {"R004"}
+    assert {f.line for f in findings} == {2}
+
+
 def test_r002_flags_swallowed_rpc_error():
     findings = lint_source(
         "from repro.errors import RpcError\n"
@@ -444,7 +476,7 @@ def test_cli_list_rules(capsys):
     out = capsys.readouterr().out
     for rule_id in (
         "D001", "D002", "D003", "D004", "D005", "D006",
-        "R001", "R002", "R003",
+        "R001", "R002", "R003", "R004",
     ):
         assert rule_id in out
     assert "[whole-program]" in out

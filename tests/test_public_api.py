@@ -14,6 +14,7 @@ PACKAGES = [
     "repro.framework",
     "repro.analysis",
     "repro.parallel",
+    "repro.trace",
 ]
 
 

@@ -137,7 +137,7 @@ def fault_report() -> ExperimentReport:
 
 def test_report_schema_version_in_document(fault_report):
     document = fault_report.to_dict()
-    assert document["schema_version"] == ExperimentReport.SCHEMA_VERSION == 2
+    assert document["schema_version"] == ExperimentReport.SCHEMA_VERSION == 3
     # schema_version leads the dump so humans see it first.
     assert next(iter(document)) == "schema_version"
 
@@ -195,3 +195,72 @@ def test_report_rejects_missing_keys(fault_report):
 def test_report_rejects_invalid_json():
     with pytest.raises(SchemaError, match="not valid JSON"):
         ExperimentReport.from_json("{truncated")
+
+
+# -- the trace section -------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def traced_report() -> ExperimentReport:
+    """A small run with lifecycle tracing enabled."""
+    config = ExperimentConfig(
+        input_rate=20, measurement_blocks=3, seed=7, tracing=True,
+        drain_seconds=20.0,
+    )
+    return run_experiment(config)
+
+
+def test_traced_report_round_trips_byte_stable(traced_report):
+    assert traced_report.trace is not None
+    assert traced_report.trace.completed > 0
+    wire = traced_report.to_json()
+    assert ExperimentReport.from_json(wire).to_json() == wire
+
+
+def test_trace_section_reconstructs_exactly(traced_report):
+    clone = ExperimentReport.from_json(traced_report.to_json())
+    assert clone.trace == traced_report.trace
+    assert clone.trace.stage_seconds == traced_report.trace.stage_seconds
+    # The tracer itself is host-side only, like the journal.
+    assert clone.tracer is None
+
+
+def test_trace_section_rejects_unknown_keys(traced_report):
+    document = traced_report.to_dict()
+    document["trace"]["pull_shrae"] = 0.5
+    with pytest.raises(SchemaError, match="pull_shrae"):
+        ExperimentReport.from_dict(document)
+
+
+def test_trace_section_rejects_missing_keys(traced_report):
+    document = traced_report.to_dict()
+    del document["trace"]["wall_seconds"]
+    with pytest.raises(SchemaError, match="wall_seconds"):
+        ExperimentReport.from_dict(document)
+
+
+def test_untraced_report_serializes_null_trace(fault_report):
+    """Tracing off: the section is null on the wire, None after load."""
+    document = fault_report.to_dict()
+    assert document["trace"] is None
+    assert ExperimentReport.from_dict(document).trace is None
+
+
+def test_v2_document_still_loads(fault_report):
+    """Reports written before the trace section (schema 2) load with
+    tracing absent and re-serialize as the current schema."""
+    document = fault_report.to_dict()
+    document["schema_version"] = 2
+    del document["trace"]
+    clone = ExperimentReport.from_dict(document)
+    assert clone.trace is None
+    assert clone.window == fault_report.window
+    assert clone.to_dict()["schema_version"] == 3
+
+
+def test_v2_document_rejects_trace_key(fault_report):
+    """A document claiming schema 2 must not smuggle in a trace section."""
+    document = fault_report.to_dict()
+    document["schema_version"] = 2
+    with pytest.raises(SchemaError, match="trace"):
+        ExperimentReport.from_dict(document)
