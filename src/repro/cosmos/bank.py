@@ -38,10 +38,12 @@ class BankKeeper(Journaled):
         self._store = store
 
     def _set_balance(self, address: str, denom: str, value: int) -> None:
-        previous = self.balance(address, denom)
-        self._journal_undo(
-            lambda a=address, d=denom, v=previous: self._balances[a].__setitem__(d, v)
-        )
+        if self.journal is not None:
+            # Balances default to 0, so the undo value is never None and
+            # the closure-free journal entry restores it exactly.
+            self.journal.record_kv(
+                self._balances[address], denom, self.balance(address, denom)
+            )
         self._balances[address][denom] = value
         if self._store is not None:
             # The store keeps its own journal; no double bookkeeping here.
@@ -50,10 +52,8 @@ class BankKeeper(Journaled):
             )
 
     def _set_supply(self, denom: str, value: int) -> None:
-        previous = self._supply[denom]
-        self._journal_undo(
-            lambda d=denom, v=previous: self._supply.__setitem__(d, v)
-        )
+        if self.journal is not None:
+            self.journal.record_kv(self._supply, denom, self._supply[denom])
         self._supply[denom] = value
 
     # -- queries --------------------------------------------------------------

@@ -18,7 +18,7 @@ from repro.errors import OutOfGasError
 from repro.sim.rng import RngRegistry
 
 
-@dataclass
+@dataclass(slots=True)
 class GasMeter:
     """Tracks gas consumption for one transaction execution."""
 
@@ -37,6 +37,8 @@ class GasMeter:
 
 class GasSchedule:
     """Per-message gas costs with calibrated jitter."""
+
+    __slots__ = ("cal", "_rng")
 
     def __init__(
         self,

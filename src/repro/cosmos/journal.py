@@ -19,16 +19,34 @@ from typing import Callable, Optional
 class Journal:
     """Collects undo operations for one transaction execution."""
 
+    __slots__ = ("_undo",)
+
     def __init__(self) -> None:
-        self._undo: list[Callable[[], None]] = []
+        self._undo: list = []
 
     def record(self, undo: Callable[[], None]) -> None:
         self._undo.append(undo)
 
+    def record_kv(self, mapping: dict, key, previous) -> None:
+        """Closure-free undo for a plain dict write.
+
+        ``previous is None`` means the key was absent.  Hot stores record
+        thousands of writes per block; a tuple here replaces the lambda
+        allocation that :meth:`record` would need.
+        """
+        self._undo.append((mapping, key, previous))
+
     def rollback(self) -> None:
         """Revert all recorded mutations, most recent first."""
         for undo in reversed(self._undo):
-            undo()
+            if type(undo) is tuple:
+                mapping, key, previous = undo
+                if previous is None:
+                    mapping.pop(key, None)
+                else:
+                    mapping[key] = previous
+            else:
+                undo()
         self._undo.clear()
 
     def commit(self) -> None:

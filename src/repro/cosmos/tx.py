@@ -103,6 +103,14 @@ class TxFactory:
     ``account sequence mismatch`` errors.
     """
 
+    __slots__ = (
+        "wallet",
+        "max_msgs_per_tx",
+        "gas_price",
+        "local_sequence",
+        "_nonces",
+    )
+
     def __init__(
         self,
         wallet: Wallet,

@@ -32,7 +32,7 @@ from repro.sim.rng import RngRegistry
 from repro.tendermint.node import Chain
 
 
-@dataclass
+@dataclass(slots=True)
 class FaultWindow:
     """One applied fault occurrence, for reporting."""
 

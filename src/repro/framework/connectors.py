@@ -88,6 +88,8 @@ class CrossChainDataConnector:
 class CrossChainEventConnector:
     """Merges event logs from every cross-chain communicator instance."""
 
+    __slots__ = ("_logs",)
+
     def __init__(self) -> None:
         self._logs: list[RelayerLog] = []
 

@@ -115,6 +115,8 @@ class TransferTimelineReport:
 class CrossChainEventProcessor:
     """Aggregates and interprets cross-chain communication events."""
 
+    __slots__ = ("connector",)
+
     def __init__(self, connector: CrossChainEventConnector):
         self.connector = connector
 

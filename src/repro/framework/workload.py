@@ -26,7 +26,7 @@ from repro.relayer.logging import RelayerLog
 from repro.sim.core import Environment, ProcessGroup
 
 
-@dataclass
+@dataclass(slots=True)
 class WorkloadStats:
     """Submission-side accounting (Table I's first three columns)."""
 
@@ -61,6 +61,19 @@ class WorkloadStats:
 
 class WorkloadDriver:
     """Runs the configured workload against a deployed testbed."""
+
+    __slots__ = (
+        "testbed",
+        "config",
+        "env",
+        "log",
+        "stats",
+        "stop_requested",
+        "_active",
+        "finished",
+        "processes",
+        "_clis",
+    )
 
     def __init__(self, testbed: Testbed, log: Optional[RelayerLog] = None):
         if testbed.path is None:

@@ -18,7 +18,7 @@ from repro.tendermint.types import BlockIDFlag, Commit
 from repro.tendermint.validator import ValidatorSet
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ConsensusState:
     """Verified snapshot of the counterparty at one height."""
 
@@ -28,7 +28,7 @@ class ConsensusState:
     next_validators_hash: bytes
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SignedHeader:
     """What a relayer submits in MsgUpdateClient.
 
@@ -54,7 +54,7 @@ class SignedHeader:
         )
 
 
-@dataclass
+@dataclass(slots=True)
 class ClientState:
     """Mutable client metadata (ICS-02 ClientState)."""
 

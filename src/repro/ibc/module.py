@@ -888,7 +888,7 @@ class IbcModule(Journaled):
     def _packet_event(
         self, event_type: str, packet: Packet, **extra: Any
     ) -> AbciEvent:
-        attrs: list[tuple[str, Any]] = [
+        attrs: tuple[tuple[str, Any], ...] = (
             ("packet_sequence", packet.sequence),
             ("packet_src_port", packet.source_port),
             ("packet_src_channel", packet.source_channel),
@@ -897,10 +897,11 @@ class IbcModule(Journaled):
             ("packet_timeout_height", packet.timeout_height),
             ("packet_timeout_timestamp", packet.timeout_timestamp),
             ("packet_data", packet.data),
-        ]
-        attrs.extend(extra.items())
+        )
+        if extra:
+            attrs += tuple(extra.items())
         return AbciEvent(
             type=event_type,
-            attributes=tuple(attrs),
+            attributes=attrs,
             size_bytes=self.event_bytes.get(event_type, 400),
         )

@@ -21,14 +21,16 @@ from repro.ibc.proofs import AbsenceProof, CommitmentProof
 class IbcMsg:
     """Marker base class for all IBC messages."""
 
+    __slots__ = ()
+
     #: Message kind tag used for routing/gas accounting.
-    kind: str = "ibc"
+    kind = "ibc"
 
 
 # -- client messages ----------------------------------------------------------
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MsgCreateClient(IbcMsg):
     kind = "create_client"
     chain_id: str
@@ -37,7 +39,7 @@ class MsgCreateClient(IbcMsg):
     signer: str = ""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MsgUpdateClient(IbcMsg):
     kind = "update_client"
     client_id: str
@@ -48,7 +50,7 @@ class MsgUpdateClient(IbcMsg):
 # -- connection handshake ------------------------------------------------------
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MsgConnectionOpenInit(IbcMsg):
     kind = "connection_open_init"
     client_id: str
@@ -56,7 +58,7 @@ class MsgConnectionOpenInit(IbcMsg):
     signer: str = ""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MsgConnectionOpenTry(IbcMsg):
     kind = "connection_open_try"
     client_id: str
@@ -67,7 +69,7 @@ class MsgConnectionOpenTry(IbcMsg):
     signer: str = ""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MsgConnectionOpenAck(IbcMsg):
     kind = "connection_open_ack"
     connection_id: str
@@ -77,7 +79,7 @@ class MsgConnectionOpenAck(IbcMsg):
     signer: str = ""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MsgConnectionOpenConfirm(IbcMsg):
     kind = "connection_open_confirm"
     connection_id: str
@@ -89,7 +91,7 @@ class MsgConnectionOpenConfirm(IbcMsg):
 # -- channel handshake ----------------------------------------------------------
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MsgChannelOpenInit(IbcMsg):
     kind = "channel_open_init"
     port_id: str
@@ -100,7 +102,7 @@ class MsgChannelOpenInit(IbcMsg):
     signer: str = ""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MsgChannelOpenTry(IbcMsg):
     kind = "channel_open_try"
     port_id: str
@@ -114,7 +116,7 @@ class MsgChannelOpenTry(IbcMsg):
     signer: str = ""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MsgChannelOpenAck(IbcMsg):
     kind = "channel_open_ack"
     port_id: str
@@ -125,7 +127,7 @@ class MsgChannelOpenAck(IbcMsg):
     signer: str = ""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MsgChannelOpenConfirm(IbcMsg):
     kind = "channel_open_confirm"
     port_id: str
@@ -138,7 +140,7 @@ class MsgChannelOpenConfirm(IbcMsg):
 # -- packet life cycle -----------------------------------------------------------
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MsgTransfer(IbcMsg):
     """ICS-20 fungible token transfer request (the paper's workload unit)."""
 
@@ -154,7 +156,7 @@ class MsgTransfer(IbcMsg):
     signer: str = ""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MsgRecvPacket(IbcMsg):
     kind = "recv_packet"
     packet: Packet
@@ -163,7 +165,7 @@ class MsgRecvPacket(IbcMsg):
     signer: str = ""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MsgAcknowledgement(IbcMsg):
     kind = "acknowledgement"
     packet: Packet
@@ -173,7 +175,7 @@ class MsgAcknowledgement(IbcMsg):
     signer: str = ""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MsgTimeout(IbcMsg):
     kind = "timeout"
     packet: Packet

@@ -4,12 +4,13 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Optional
 
 from repro.tendermint.crypto import sha256
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Height:
     """An IBC height: revision number + revision height.
 
@@ -44,7 +45,7 @@ class Height:
         return f"{self.revision_number}-{self.revision_height}"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Packet:
     """An IBC packet: opaque data plus routing and timeout metadata."""
 
@@ -62,11 +63,10 @@ class Packet:
 
         Commits to the timeout and the data hash — not the full packet —
         exactly as ibc-go does, so the packet itself travels off-chain.
+        A packet is frozen (hashable), so the digest is computed once per
+        distinct packet; send/recv/ack/timeout all re-derive it.
         """
-        return sha256(
-            f"{self.timeout_timestamp}/{self.timeout_height}".encode()
-            + sha256(self.data)
-        )
+        return _packet_commitment(self)
 
     def timed_out(self, height: "Height", timestamp: float) -> bool:
         """Would this packet be rejected at the given destination state?"""
@@ -81,7 +81,7 @@ class Packet:
         return (self.source_port, self.source_channel, self.sequence)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Acknowledgement:
     """Result written by the receiving application (ICS-20 style)."""
 
@@ -90,9 +90,7 @@ class Acknowledgement:
     error: str = ""
 
     def encode(self) -> bytes:
-        if self.success:
-            return json.dumps({"result": self.result or "AQ=="}).encode()
-        return json.dumps({"error": self.error}).encode()
+        return _ack_encode(self)
 
     @classmethod
     def decode(cls, raw: bytes) -> "Acknowledgement":
@@ -103,7 +101,29 @@ class Acknowledgement:
 
     def commitment(self) -> bytes:
         """The ack commitment stored on the receiving chain."""
-        return sha256(self.encode())
+        return _ack_commitment(self)
+
+
+@lru_cache(maxsize=None)
+def _packet_commitment(packet: Packet) -> bytes:
+    return sha256(
+        f"{packet.timeout_timestamp}/{packet.timeout_height}".encode()
+        + sha256(packet.data)
+    )
+
+
+@lru_cache(maxsize=None)
+def _ack_encode(ack: Acknowledgement) -> bytes:
+    # Almost every ack in a run is the identical success ack, so the
+    # json.dumps collapses to one call per distinct payload.
+    if ack.success:
+        return json.dumps({"result": ack.result or "AQ=="}).encode()
+    return json.dumps({"error": ack.error}).encode()
+
+
+@lru_cache(maxsize=None)
+def _ack_commitment(ack: Acknowledgement) -> bytes:
+    return sha256(_ack_encode(ack))
 
 
 def packet_from_event_attrs(attrs: dict) -> Packet:

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Protocol
 
 from repro.cosmos.denom import DenomRegistry, DenomTrace
@@ -39,7 +40,7 @@ class BankLike(Protocol):
     def balance(self, address: str, denom: str) -> int: ...
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FungibleTokenPacketData:
     """The ICS-20 packet payload."""
 
@@ -49,25 +50,37 @@ class FungibleTokenPacketData:
     receiver: str
 
     def encode(self) -> bytes:
-        return json.dumps(
-            {
-                "denom": self.denom,
-                "amount": str(self.amount),
-                "sender": self.sender,
-                "receiver": self.receiver,
-            },
-            sort_keys=True,
-        ).encode()
+        return _ftpd_encode(self)
 
     @classmethod
     def decode(cls, raw: bytes) -> "FungibleTokenPacketData":
-        payload = json.loads(raw.decode())
-        return cls(
-            denom=payload["denom"],
-            amount=int(payload["amount"]),
-            sender=payload["sender"],
-            receiver=payload["receiver"],
-        )
+        return _ftpd_decode(raw)
+
+
+@lru_cache(maxsize=None)
+def _ftpd_encode(data: FungibleTokenPacketData) -> bytes:
+    # Payloads repeat heavily (same sender/receiver/amount across a run),
+    # so each distinct payload is serialised once.
+    return json.dumps(
+        {
+            "denom": data.denom,
+            "amount": str(data.amount),
+            "sender": data.sender,
+            "receiver": data.receiver,
+        },
+        sort_keys=True,
+    ).encode()
+
+
+@lru_cache(maxsize=None)
+def _ftpd_decode(raw: bytes) -> FungibleTokenPacketData:
+    payload = json.loads(raw.decode())
+    return FungibleTokenPacketData(
+        denom=payload["denom"],
+        amount=int(payload["amount"]),
+        sender=payload["sender"],
+        receiver=payload["receiver"],
+    )
 
 
 def escrow_address(port_id: str, channel_id: str) -> str:

@@ -1,13 +1,17 @@
 """``python -m repro.lint`` — run the determinism analyzer from the shell.
 
 Exit status: 0 when no findings, 1 when any finding survives suppression
-and exemption filtering, 2 on usage errors.
+and exemption filtering (or a dynamic check reports a divergence), 2 on
+usage errors *and* analyzer crashes — so CI can tell "the tree is dirty"
+(1) from "the analyzer itself broke" (2).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import traceback
+from fnmatch import fnmatchcase
 from typing import Optional
 
 from repro.lint.config import LintConfig
@@ -43,6 +47,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated rule ids to run (default: all)",
     )
     parser.add_argument(
+        "--select",
+        action="append",
+        default=None,
+        metavar="GLOB",
+        help=(
+            "rule-id glob to run (repeatable, comma-separable); e.g. "
+            "'--select P*' runs only the performance tier, '--select D*,R*' "
+            "the determinism and resource tiers"
+        ),
+    )
+    parser.add_argument(
+        "--ignore",
+        action="append",
+        default=None,
+        metavar="GLOB",
+        help=(
+            "rule-id glob to skip after selection (repeatable, "
+            "comma-separable); e.g. '--ignore P00[45]'"
+        ),
+    )
+    parser.add_argument(
         "--list-rules",
         action="store_true",
         help="print the registered rules and exit",
@@ -58,10 +83,40 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--alloccheck",
+        metavar="SCENARIO",
+        default=None,
+        help=(
+            "dynamic mode: run SCENARIO under tracemalloc and report "
+            "allocations per simulated event by top call site, diffed "
+            "against the pinned budget file (ALLOC_BUDGET.json)"
+        ),
+    )
+    parser.add_argument(
+        "--alloc-budget",
+        metavar="FILE",
+        default=None,
+        help=(
+            "budget file for --alloccheck (default: ALLOC_BUDGET.json "
+            "next to the repo root)"
+        ),
+    )
+    parser.add_argument(
+        "--write-alloc-budget",
+        action="store_true",
+        help=(
+            "re-pin the --alloccheck budget file from this run's "
+            "measurements instead of diffing against it"
+        ),
+    )
+    parser.add_argument(
         "--seed",
         type=int,
         default=7,
-        help="experiment seed for --schedcheck scenarios (default 7)",
+        help=(
+            "experiment seed for --schedcheck/--alloccheck scenarios "
+            "(default 7)"
+        ),
     )
     parser.add_argument(
         "--stream-inventory",
@@ -73,6 +128,22 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     return parser
+
+
+def _parse_globs(
+    parser: argparse.ArgumentParser, values: Optional[list[str]], flag: str
+) -> tuple[str, ...]:
+    """Flatten repeatable comma-separable glob flags and typo-check them."""
+    if not values:
+        return ()
+    globs = tuple(
+        g.strip() for chunk in values for g in chunk.split(",") if g.strip()
+    )
+    known = list(REGISTRY) + list(PROGRAM_REGISTRY)
+    for pattern in globs:
+        if not any(fnmatchcase(rule_id, pattern) for rule_id in known):
+            parser.error(f"{flag} glob {pattern!r} matches no registered rule")
+    return globs
 
 
 def main(argv: Optional[list[str]] = None) -> int:
@@ -94,7 +165,35 @@ def main(argv: Optional[list[str]] = None) -> int:
                 f"unknown schedcheck scenario {args.schedcheck!r} "
                 f"(known: {', '.join(sorted(SCENARIOS))})"
             )
-        result = check_scenario(args.schedcheck, seed=args.seed)
+        try:
+            result = check_scenario(args.schedcheck, seed=args.seed)
+        except Exception:
+            traceback.print_exc()
+            print("schedcheck crashed (not a divergence)", file=sys.stderr)
+            return 2
+        print(result.summary())
+        return 0 if result.clean else 1
+
+    if args.alloccheck is not None:
+        from repro.lint.alloccheck import SCENARIOS as ALLOC_SCENARIOS
+        from repro.lint.alloccheck import check_scenario as alloc_check
+
+        if args.alloccheck not in ALLOC_SCENARIOS:
+            parser.error(
+                f"unknown alloccheck scenario {args.alloccheck!r} "
+                f"(known: {', '.join(sorted(ALLOC_SCENARIOS))})"
+            )
+        try:
+            result = alloc_check(
+                args.alloccheck,
+                seed=args.seed,
+                budget_path=args.alloc_budget,
+                write_budget=args.write_alloc_budget,
+            )
+        except Exception:
+            traceback.print_exc()
+            print("alloccheck crashed (not a regression)", file=sys.stderr)
+            return 2
         print(result.summary())
         return 0 if result.clean else 1
 
@@ -105,11 +204,20 @@ def main(argv: Optional[list[str]] = None) -> int:
         if unknown:
             parser.error(f"unknown rule id(s): {', '.join(sorted(unknown))}")
     config = LintConfig(
-        select=select, stream_inventory_path=args.stream_inventory
+        select=select,
+        select_globs=_parse_globs(parser, args.select, "--select"),
+        ignore_globs=_parse_globs(parser, args.ignore, "--ignore"),
+        stream_inventory_path=args.stream_inventory,
     )
 
-    findings = lint_paths(args.paths, config)
-    print(REPORTERS[args.format](findings))
+    try:
+        findings = lint_paths(args.paths, config)
+        report = REPORTERS[args.format](findings)
+    except Exception:
+        traceback.print_exc()
+        print("analyzer crashed (findings, if any, are incomplete)", file=sys.stderr)
+        return 2
+    print(report)
     return 1 if findings else 0
 
 

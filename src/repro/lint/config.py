@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from fnmatch import fnmatchcase
 from typing import Mapping, Optional
 
 #: Files that are structurally allowed to violate a rule.  Matched as
@@ -35,6 +36,12 @@ class LintConfig:
     #: Rule ids to run; ``None`` means every registered rule (both the
     #: per-module registry and the whole-program registry).
     select: Optional[frozenset[str]] = None
+    #: Rule-id glob patterns (``fnmatch`` style, e.g. ``P*`` or ``D00?``);
+    #: when non-empty, only rules matching at least one pattern run.  This
+    #: is how the CLI's ``--select`` runs one tier (D/R/P) in isolation.
+    select_globs: tuple[str, ...] = ()
+    #: Rule-id glob patterns removed *after* selection (CLI ``--ignore``).
+    ignore_globs: tuple[str, ...] = ()
     #: rule id -> posix path suffixes exempt from that rule.
     exempt_paths: Mapping[str, tuple[str, ...]] = field(
         default_factory=lambda: dict(DEFAULT_EXEMPT_PATHS)
@@ -46,7 +53,15 @@ class LintConfig:
     stream_inventory_path: Optional[str] = None
 
     def rule_enabled(self, rule_id: str) -> bool:
-        return self.select is None or rule_id in self.select
+        if self.select is not None and rule_id not in self.select:
+            return False
+        if self.select_globs and not any(
+            fnmatchcase(rule_id, pattern) for pattern in self.select_globs
+        ):
+            return False
+        return not any(
+            fnmatchcase(rule_id, pattern) for pattern in self.ignore_globs
+        )
 
     def rule_exempt(self, rule_id: str, posix_path: str) -> bool:
         """True when ``posix_path`` is structurally exempt from the rule."""

@@ -3,8 +3,13 @@
 Linting runs in two phases.  Phase one parses each module and runs the
 per-module rules.  Phase two builds a :class:`~repro.lint.program.ProgramIndex`
 over *every* parsed module and runs the whole-program rules (D005/D006/
-R003), which need the cross-module symbol table and call graph.  Both
-phases share the same suppression and exemption filtering.
+R003 and the Tier P performance rules), which need the cross-module
+symbol table and call graph.  Both phases share the same suppression and
+exemption filtering — and the same parsed-AST cache: every module is
+``ast.parse``\\ d exactly once per (content, path) and the resulting
+:class:`ModuleContext` is handed to both phases, and reused across
+repeated ``lint_paths`` calls in one process (the tier-1 lint gates run
+the driver several times over overlapping trees).
 """
 
 from __future__ import annotations
@@ -64,6 +69,52 @@ def _parse_module(
         ModuleContext(path=path, posix_path=posix_path, source=source, tree=tree),
         None,
     )
+
+
+class _AstCache:
+    """Stat-validated cache of parsed modules, shared by both lint phases.
+
+    Keyed by the path spelling the driver sees (already normalized by
+    :func:`iter_python_files`) and validated against ``(mtime_ns, size)``,
+    so an edited file re-parses while repeated gate runs over an unchanged
+    tree parse each module once per process instead of once per call.
+    """
+
+    def __init__(self) -> None:
+        self._entries: dict[
+            str, tuple[tuple[int, int], Optional[ModuleContext], Optional[Finding]]
+        ] = {}
+
+    def load(
+        self, filename: str
+    ) -> "tuple[Optional[ModuleContext], Optional[Finding]]":
+        try:
+            stat = os.stat(filename)
+            stat_key = (stat.st_mtime_ns, stat.st_size)
+            cached = self._entries.get(filename)
+            if cached is not None and cached[0] == stat_key:
+                return cached[1], cached[2]
+            with open(filename, "r", encoding="utf-8") as handle:
+                source = handle.read()
+        except OSError as exc:
+            # Unreadable files are reported fresh each run, never cached.
+            return None, Finding(
+                path=filename,
+                line=1,
+                col=1,
+                rule_id=PARSE_ERROR_RULE,
+                message=f"cannot read file: {exc}",
+            )
+        ctx, parse_error = _parse_module(source, filename)
+        self._entries[filename] = (stat_key, ctx, parse_error)
+        return ctx, parse_error
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+
+#: Process-wide cache instance (tests may :meth:`~_AstCache.clear` it).
+AST_CACHE = _AstCache()
 
 
 def _module_findings(ctx: ModuleContext, config: LintConfig) -> list[Finding]:
@@ -145,21 +196,7 @@ def lint_paths(
     findings: list[Finding] = []
     contexts: list[ModuleContext] = []
     for filename in iter_python_files(paths, config.exclude_dirs):
-        try:
-            with open(filename, "r", encoding="utf-8") as handle:
-                source = handle.read()
-        except OSError as exc:
-            findings.append(
-                Finding(
-                    path=filename,
-                    line=1,
-                    col=1,
-                    rule_id=PARSE_ERROR_RULE,
-                    message=f"cannot read file: {exc}",
-                )
-            )
-            continue
-        ctx, parse_error = _parse_module(source, filename)
+        ctx, parse_error = AST_CACHE.load(filename)
         if parse_error is not None:
             findings.append(parse_error)
             continue

@@ -14,6 +14,9 @@ D006     module-global ``random.*`` / wall-clock calls in functions
          *transitively* reachable from a simulation process generator
 R003     ``env.process(...)`` / ``env.timeout(...)`` results discarded,
          so the event can never be awaited, interrupted or cancelled
+P001-P005  the performance tier (:mod:`repro.lint.program.performance`):
+         allocation and lookup anti-patterns in *hot* code, i.e. code
+         reachable from spawned process generators or the DES kernel
 =======  ==============================================================
 
 As a side effect of D005's analysis the layer produces a machine-readable
@@ -35,6 +38,9 @@ from repro.lint.program.rules import (
     build_stream_inventory,
     register_program,
 )
+
+# Tier P registers its rules on import (registration order = doc order).
+from repro.lint.program import performance as _performance  # noqa: E402,F401
 
 __all__ = [
     "FunctionInfo",

@@ -22,6 +22,12 @@ from repro.lint.rules.base import ModuleContext
 #: (the spawned callee becomes a call-graph root for reachability).
 SPAWN_METHODS = frozenset({"process", "spawn", "run_process"})
 
+#: Modules that *are* the hot path by definition: every function in the
+#: DES event loop and its resource layer runs once (or more) per event,
+#: so they seed the Tier P "hot" reachability set alongside the spawn
+#: roots even though nothing spawns them directly.
+HOT_KERNEL_MODULES = frozenset({"repro.sim.core", "repro.sim.resources"})
+
 #: Method/function names that create named RNG streams; the stream name
 #: is the call's last positional argument (``stream(name)``,
 #: ``keyed(name)``, ``derive_seed(root, name)``).
@@ -95,6 +101,8 @@ class ModuleInfo:
     functions: dict[str, FunctionInfo] = field(default_factory=dict)
     #: class qualname -> base-class dotted names (as written/resolved).
     class_bases: dict[str, list[str]] = field(default_factory=dict)
+    #: class qualname -> its ClassDef node (for body/decorator checks).
+    class_nodes: dict[str, ast.ClassDef] = field(default_factory=dict)
 
 
 class ProgramIndex:
@@ -115,6 +123,17 @@ class ProgramIndex:
         self.spawn_roots: set[str] = set()
         #: every statically visible stream creation, in file/line order.
         self.stream_calls: list[StreamCall] = []
+        #: class fqn -> (owning module info, class qualname).
+        self.classes: dict[str, tuple[ModuleInfo, str]] = {}
+        #: function fqn -> class fqns it instantiates.  Tracked separately
+        #: from the call graph because a dataclass-generated ``__init__``
+        #: has no definition node for the call graph to land on.
+        self.instantiations: dict[str, set[str]] = {}
+        #: method name -> fqns of every class method with that name; used
+        #: for unique-name attribute dispatch (``store.put(...)`` resolves
+        #: to ``Store.put`` when exactly one class defines ``put``).
+        self._method_owners: dict[str, list[str]] = {}
+        self._hot_cache: Optional[dict[str, list[str]]] = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -130,6 +149,14 @@ class ProgramIndex:
             index.by_path[ctx.path] = info
         for info in index.modules.values():
             index._collect_definitions(info)
+        for fqn in sorted(index.functions):
+            fn = index.functions[fqn]
+            if fn.owner_class is not None and not fn.qualname.split(".")[
+                -1
+            ].startswith("__"):
+                index._method_owners.setdefault(
+                    fn.qualname.split(".")[-1], []
+                ).append(fqn)
         for info in index.modules.values():
             index._collect_imports(info)
             index._collect_calls(info)
@@ -161,6 +188,8 @@ class ProgramIndex:
                         )
                         if base
                     ]
+                    info.class_nodes[class_qual] = child
+                    self.classes[f"{info.name}.{class_qual}"] = (info, class_qual)
                     visit(child, f"{class_qual}.", class_qual)
 
         visit(info.ctx.tree, "", None)
@@ -197,6 +226,11 @@ class ProgramIndex:
                 callee = self._resolve_call(info, fn, call)
                 if callee:
                     callees.add(callee)
+                instantiated = self._resolve_class(info, call)
+                if instantiated:
+                    self.instantiations.setdefault(fn.fqn, set()).add(
+                        instantiated
+                    )
                 self._record_spawn(info, fn, call)
             self.call_graph[fn.fqn] = callees
         # Module-level code (including class bodies outside methods).
@@ -229,9 +263,19 @@ class ProgramIndex:
             and func.value.id in ("self", "cls")
             and fn.owner_class is not None
         ):
-            return self._resolve_method(info, fn.owner_class, func.attr, set())
+            found = self._resolve_method(info, fn.owner_class, func.attr, set())
+            if found is not None:
+                return found
         resolved = info.ctx.resolve(func)
         if resolved is None:
+            # ``store.put(...)``-style attribute dispatch on an arbitrary
+            # receiver: resolvable only when exactly one class anywhere in
+            # the program defines the method (unique-name dispatch).  A
+            # name defined twice stays unresolved — unknown, not proof.
+            if isinstance(func, ast.Attribute):
+                owners = self._method_owners.get(func.attr, ())
+                if len(owners) == 1:
+                    return owners[0]
             return None
         # A bare name: a function in this module, or a from-import.
         if "." not in resolved:
@@ -251,6 +295,63 @@ class ProgramIndex:
         if remainder in target.class_bases:  # instantiation
             return self._resolve_method(target, remainder, "__init__", set())
         return None
+
+    def _resolve_class(
+        self, info: ModuleInfo, call: ast.Call
+    ) -> Optional[str]:
+        """Resolve a call expression to a known *class* fqn (instantiation)."""
+        resolved = info.ctx.resolve(call.func)
+        if resolved is None:
+            return None
+        if "." not in resolved:
+            if resolved in info.class_bases:
+                return f"{info.name}.{resolved}"
+            return None
+        module = self._owning_module(resolved)
+        if module is None:
+            return None
+        remainder = resolved[len(module) + 1 :]
+        if remainder in self.modules[module].class_bases:
+            return f"{module}.{remainder}"
+        return None
+
+    def resolve_base_fqn(
+        self, info: ModuleInfo, base: str
+    ) -> Optional[str]:
+        """Map a collected base-class name to a class fqn in the index."""
+        if "." not in base:
+            if base in info.class_bases:
+                return f"{info.name}.{base}"
+            return None
+        module = self._owning_module(base)
+        if module is None:
+            return None
+        remainder = base[len(module) + 1 :]
+        if remainder in self.modules[module].class_bases:
+            return f"{module}.{remainder}"
+        return None
+
+    def class_has_external_base(
+        self, class_fqn: str, _seen: Optional[set[str]] = None
+    ) -> bool:
+        """True when the class (transitively) inherits from anything the
+        index cannot see — ``Exception``, ``Enum``, ABCs, third-party
+        classes — where adding ``__slots__`` may be wrong or pointless."""
+        seen = _seen if _seen is not None else set()
+        if class_fqn in seen:
+            return False
+        seen.add(class_fqn)
+        entry = self.classes.get(class_fqn)
+        if entry is None:
+            return True
+        info, qual = entry
+        for base in info.class_bases.get(qual, ()):
+            if base == "object":
+                continue
+            resolved = self.resolve_base_fqn(info, base)
+            if resolved is None or self.class_has_external_base(resolved, seen):
+                return True
+        return False
 
     def _resolve_method(
         self,
@@ -340,8 +441,11 @@ class ProgramIndex:
         Returns fqn -> call chain (root first) for every reachable
         function, shortest chain wins; deterministic order.
         """
+        return self._bfs(sorted(self.spawn_roots))
+
+    def _bfs(self, roots: "list[str]") -> dict[str, list[str]]:
         chains: dict[str, list[str]] = {}
-        frontier = sorted(self.spawn_roots)
+        frontier = sorted(roots)
         for root in frontier:
             chains.setdefault(root, [root])
         while frontier:
@@ -354,6 +458,51 @@ class ProgramIndex:
                         next_frontier.append(callee)
             frontier = next_frontier
         return chains
+
+    def hot_roots(self) -> set[str]:
+        """Tier P reachability roots: every spawned process generator plus
+        every function in the DES kernel modules themselves."""
+        roots = set(self.spawn_roots)
+        for name in sorted(HOT_KERNEL_MODULES):
+            info = self.modules.get(name)
+            if info is not None:
+                roots.update(fn.fqn for fn in info.functions.values())
+        return roots
+
+    def hot_chains(self) -> dict[str, list[str]]:
+        """fqn -> shortest chain from a hot root, for every hot function.
+
+        *Hot* means transitively reachable from a spawned process
+        generator or from the event loop / resource layer — i.e. code
+        that runs per simulated event.  Cached; the index is immutable
+        once built.
+        """
+        if self._hot_cache is None:
+            self._hot_cache = self._bfs(sorted(self.hot_roots()))
+        return self._hot_cache
+
+    def hot_classes(self) -> dict[str, list[str]]:
+        """class fqn -> chain explaining why the class is hot.
+
+        A class is hot when it is defined in a kernel module or when any
+        hot function instantiates it (tracked via
+        :attr:`instantiations`, which sees dataclass constructors the
+        call graph cannot).
+        """
+        chains = self.hot_chains()
+        out: dict[str, list[str]] = {}
+        for name in sorted(HOT_KERNEL_MODULES & set(self.modules)):
+            for qual in self.modules[name].class_bases:
+                fqn = f"{name}.{qual}"
+                out.setdefault(fqn, [fqn])
+        for fqn in sorted(self.instantiations):
+            chain = chains.get(fqn)
+            if chain is None:
+                continue
+            for cls in sorted(self.instantiations[fqn]):
+                if cls not in out:
+                    out[cls] = chain + [cls]
+        return out
 
 
 def _is_generator(node: ast.AST) -> bool:

@@ -1,0 +1,427 @@
+"""Tier P — static performance rules over the hot-path call graph.
+
+The determinism tiers ask "can this code diverge?"; this tier asks "does
+this code allocate or look things up per simulated event when it doesn't
+have to?".  *Hot* code is what :meth:`ProgramIndex.hot_chains` reaches:
+functions transitively callable from a spawned process generator or from
+the DES kernel itself (``sim/core.py`` / ``sim/resources.py``), i.e.
+code that runs once or more per event.  Every finding names its chain —
+``(hot via a -> b -> c)`` — so the reader can audit the reachability
+claim, exactly like D006.
+
+=======  ==============================================================
+Rule     What it catches
+=======  ==============================================================
+P001     hot classes without ``__slots__`` (or ``@dataclass(slots=True)``)
+         — a per-instance ``__dict__`` on something built per event
+P002     constant container literals and closures built inside hot
+         loops — the same object reallocated every iteration
+P003     the same attribute chain read three or more times in one hot
+         loop — bind it to a local before the loop
+P004     eager string formatting handed to a logger (or ``print``) on a
+         hot path — the string is built even when the record is dropped
+P005     linear membership tests against list literals in hot code —
+         a tuple (folded constant) or a set is O(1)
+=======  ==============================================================
+
+Resolution is syntactic and conservative (see the index docstring): a
+function the call graph cannot reach is *unknown*, not cold, so a clean
+Tier P run means "nothing provably hot misbehaves", not "nothing does".
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, Optional
+
+from repro.lint.findings import Finding
+from repro.lint.program.index import FunctionInfo, ProgramIndex
+from repro.lint.program.rules import ProgramRule, register_program
+
+#: Logger method names whose arguments are formatted eagerly at the call
+#: site even when the record is filtered out.
+_LOG_METHODS = frozenset(
+    {"debug", "info", "warning", "error", "exception", "critical", "log"}
+)
+
+
+def _chain_text(chain: "list[str]") -> str:
+    return " -> ".join(chain)
+
+
+def _hot_functions(
+    index: ProgramIndex,
+) -> Iterator[tuple[FunctionInfo, "list[str]"]]:
+    """Hot functions with their chains, in deterministic fqn order."""
+    chains = index.hot_chains()
+    for fqn in sorted(chains):
+        fn = index.functions.get(fqn)
+        if fn is not None:
+            yield fn, chains[fqn]
+
+
+def _loops_in(func: ast.AST) -> Iterator[ast.AST]:
+    """Every for/while loop in a function body, excluding nested defs."""
+    stack: list[ast.AST] = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if isinstance(node, (ast.For, ast.AsyncFor, ast.While)):
+            yield node
+        stack.extend(reversed(list(ast.iter_child_nodes(node))))
+
+
+def _walk_same_function(node: ast.AST) -> Iterator[ast.AST]:
+    """Walk a subtree without descending into nested function bodies."""
+    stack: list[ast.AST] = list(ast.iter_child_nodes(node))
+    while stack:
+        child = stack.pop()
+        yield child
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        stack.extend(reversed(list(ast.iter_child_nodes(child))))
+
+
+def _attr_chain_text(node: ast.AST) -> Optional[str]:
+    """Dotted text for a pure ``name.attr[.attr...]`` chain, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name) or not parts:
+        return None
+    parts.append(node.id)
+    parts.reverse()
+    return ".".join(parts)
+
+
+# ----------------------------------------------------------------------
+# P001 — hot classes without __slots__
+# ----------------------------------------------------------------------
+
+
+def _class_declares_slots(node: ast.ClassDef) -> bool:
+    for stmt in node.body:
+        if isinstance(stmt, ast.Assign) and any(
+            isinstance(t, ast.Name) and t.id == "__slots__"
+            for t in stmt.targets
+        ):
+            return True
+        if (
+            isinstance(stmt, ast.AnnAssign)
+            and isinstance(stmt.target, ast.Name)
+            and stmt.target.id == "__slots__"
+        ):
+            return True
+    for dec in node.decorator_list:
+        if isinstance(dec, ast.Call):
+            for kw in dec.keywords:
+                if (
+                    kw.arg == "slots"
+                    and isinstance(kw.value, ast.Constant)
+                    and kw.value.value is True
+                ):
+                    return True
+    return False
+
+
+@register_program
+class HotClassSlotsRule(ProgramRule):
+    """Every instance of a hot class carries a ``__dict__`` unless the
+    class declares ``__slots__``; at one-or-more instances per simulated
+    event that is the single largest avoidable allocation."""
+
+    rule_id = "P001"
+    description = (
+        "hot class (instantiated per simulated event) has no __slots__ "
+        "and no @dataclass(slots=True); instances carry a __dict__"
+    )
+
+    def check(self, index: ProgramIndex) -> Iterable[Finding]:
+        hot = index.hot_classes()
+        for class_fqn in sorted(hot):
+            entry = index.classes.get(class_fqn)
+            if entry is None:
+                continue
+            info, qual = entry
+            node = info.class_nodes[qual]
+            if _class_declares_slots(node):
+                continue
+            if index.class_has_external_base(class_fqn):
+                # Exception/Enum/ABC/third-party bases: __slots__ may be
+                # wrong (layout conflicts) or pointless (base has a dict).
+                continue
+            # A known base without __slots__ already gives instances a
+            # dict; the base gets its own finding, and fixing it makes
+            # this one actionable — report both.
+            chain = _chain_text(hot[class_fqn])
+            yield self.finding(
+                None,
+                info.ctx.path,
+                node.lineno,
+                node.col_offset + 1,
+                f"class {qual} is hot (via {chain}) but declares no "
+                "__slots__; add __slots__ (or @dataclass(slots=True)) so "
+                "per-event instances skip the __dict__ allocation",
+            )
+
+
+# ----------------------------------------------------------------------
+# P002 — per-iteration constant containers / closures in hot loops
+# ----------------------------------------------------------------------
+
+
+def _constant_container(node: ast.AST) -> Optional[str]:
+    """'list'/'dict' when the node is a non-empty all-constant literal."""
+    if isinstance(node, ast.List) and node.elts:
+        if all(isinstance(e, ast.Constant) for e in node.elts):
+            return "list"
+    if isinstance(node, ast.Dict) and node.keys:
+        parts = list(node.keys) + list(node.values)
+        if all(p is not None and isinstance(p, ast.Constant) for p in parts):
+            return "dict"
+    return None
+
+
+@register_program
+class HotLoopAllocationRule(ProgramRule):
+    """A constant literal or a closure built inside a hot loop is the
+    same object reallocated every iteration — hoist it."""
+
+    rule_id = "P002"
+    description = (
+        "constant container literal or closure allocated inside a hot "
+        "loop; hoist it out of the per-event path"
+    )
+
+    def check(self, index: ProgramIndex) -> Iterable[Finding]:
+        for fn, chain in _hot_functions(index):
+            info = index.modules[fn.module]
+            for loop in _loops_in(fn.node):
+                for node in _walk_same_function(loop):
+                    kind = _constant_container(node)
+                    if kind is not None:
+                        yield self.finding(
+                            None,
+                            info.ctx.path,
+                            node.lineno,
+                            node.col_offset + 1,
+                            f"constant {kind} literal rebuilt every "
+                            f"iteration of a hot loop in {fn.qualname} "
+                            f"(hot via {_chain_text(chain)}); hoist it to "
+                            "a module-level constant",
+                        )
+                    elif isinstance(
+                        node, (ast.Lambda, ast.FunctionDef, ast.AsyncFunctionDef)
+                    ):
+                        name = getattr(node, "name", "<lambda>")
+                        yield self.finding(
+                            None,
+                            info.ctx.path,
+                            node.lineno,
+                            node.col_offset + 1,
+                            f"closure {name} created every iteration of a "
+                            f"hot loop in {fn.qualname} (hot via "
+                            f"{_chain_text(chain)}); define it once "
+                            "outside the loop",
+                        )
+
+
+# ----------------------------------------------------------------------
+# P003 — repeated attribute lookups in hot loops
+# ----------------------------------------------------------------------
+
+#: Minimum reads of one chain in one loop before P003 fires.
+_P003_THRESHOLD = 3
+
+
+@register_program
+class HotLoopAttributeRule(ProgramRule):
+    """CPython resolves ``a.b.c`` from scratch on every read; three or
+    more reads of the same chain in one hot loop body should be one
+    local binding taken before the loop."""
+
+    rule_id = "P003"
+    description = (
+        "same attribute chain read 3+ times inside one hot loop; bind "
+        "it to a local before the loop"
+    )
+
+    def check(self, index: ProgramIndex) -> Iterable[Finding]:
+        for fn, chain in _hot_functions(index):
+            info = index.modules[fn.module]
+            written = self._written_chains(fn.node)
+            for loop in _loops_in(fn.node):
+                reads: dict[str, list[ast.Attribute]] = {}
+                rebound = self._rebound_names(loop)
+                for node in _walk_same_function(loop):
+                    if not (
+                        isinstance(node, ast.Attribute)
+                        and isinstance(node.ctx, ast.Load)
+                    ):
+                        continue
+                    text = _attr_chain_text(node)
+                    if text is None:
+                        continue
+                    base = text.split(".", 1)[0]
+                    if base in rebound or text in written:
+                        continue
+                    reads.setdefault(text, []).append(node)
+                for text in sorted(reads):
+                    nodes = reads[text]
+                    # Nested chains double-count (a.b.c contains a.b);
+                    # only the outermost chain of each site is recorded.
+                    if len(nodes) < _P003_THRESHOLD:
+                        continue
+                    first = nodes[0]
+                    yield self.finding(
+                        None,
+                        info.ctx.path,
+                        first.lineno,
+                        first.col_offset + 1,
+                        f"attribute chain {text} is read {len(nodes)} "
+                        f"times in one hot loop in {fn.qualname} (hot via "
+                        f"{_chain_text(chain)}); bind it to a local "
+                        "before the loop",
+                    )
+
+    @staticmethod
+    def _written_chains(func: ast.AST) -> "set[str]":
+        """Attribute chains assigned anywhere in the function: reading
+        them repeatedly may be deliberate (the value changes)."""
+        written: set[str] = set()
+        for node in _walk_same_function(func):
+            if isinstance(node, ast.Attribute) and isinstance(
+                node.ctx, (ast.Store, ast.Del)
+            ):
+                text = _attr_chain_text(node)
+                if text:
+                    written.add(text)
+            elif isinstance(node, ast.AugAssign) and isinstance(
+                node.target, ast.Attribute
+            ):
+                text = _attr_chain_text(node.target)
+                if text:
+                    written.add(text)
+        return written
+
+    @staticmethod
+    def _rebound_names(loop: ast.AST) -> "set[str]":
+        """Names stored inside the loop (including its targets): chains
+        rooted at them are not loop-invariant."""
+        rebound: set[str] = set()
+        for node in _walk_same_function(loop):
+            if isinstance(node, ast.Name) and isinstance(
+                node.ctx, (ast.Store, ast.Del)
+            ):
+                rebound.add(node.id)
+        return rebound
+
+
+# ----------------------------------------------------------------------
+# P004 — eager formatting on hot logging paths
+# ----------------------------------------------------------------------
+
+
+def _is_eager_format(node: ast.AST) -> bool:
+    if isinstance(node, ast.JoinedStr):
+        return True
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Mod):
+        return isinstance(node.left, ast.Constant) and isinstance(
+            node.left.value, str
+        )
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == "format"
+    ):
+        return True
+    return False
+
+
+@register_program
+class HotLogFormatRule(ProgramRule):
+    """``log.debug(f"...")`` renders the message even when the level is
+    disabled; on a per-event path that is pure allocation overhead.  Use
+    lazy ``%s`` arguments (or guard with ``isEnabledFor``)."""
+
+    rule_id = "P004"
+    description = (
+        "eagerly formatted string handed to a logger (or print) in hot "
+        "code; use lazy %s arguments so filtered records cost nothing"
+    )
+
+    def check(self, index: ProgramIndex) -> Iterable[Finding]:
+        for fn, chain in _hot_functions(index):
+            info = index.modules[fn.module]
+            for node in _walk_same_function(fn.node):
+                if not (isinstance(node, ast.Call) and node.args):
+                    continue
+                func = node.func
+                is_logger = (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in _LOG_METHODS
+                    and "log" in (_attr_chain_text(func) or "").lower()
+                )
+                is_print = isinstance(func, ast.Name) and func.id == "print"
+                if not (is_logger or is_print):
+                    continue
+                if any(_is_eager_format(arg) for arg in node.args):
+                    target = "print" if is_print else _attr_chain_text(func)
+                    yield self.finding(
+                        None,
+                        info.ctx.path,
+                        node.lineno,
+                        node.col_offset + 1,
+                        f"{target}(...) formats its message eagerly in "
+                        f"hot {fn.qualname} (hot via {_chain_text(chain)});"
+                        " pass lazy %s arguments instead",
+                    )
+
+
+# ----------------------------------------------------------------------
+# P005 — linear membership tests on lists in hot code
+# ----------------------------------------------------------------------
+
+
+def _is_list_expr(node: ast.AST) -> bool:
+    if isinstance(node, ast.List):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "list"
+    )
+
+
+@register_program
+class HotListMembershipRule(ProgramRule):
+    """``x in [a, b, c]`` scans linearly and rebuilds the list per test;
+    a constant tuple is folded once and a set tests in O(1)."""
+
+    rule_id = "P005"
+    description = (
+        "membership test against a list in hot code; use a tuple "
+        "constant or a set"
+    )
+
+    def check(self, index: ProgramIndex) -> Iterable[Finding]:
+        for fn, chain in _hot_functions(index):
+            info = index.modules[fn.module]
+            for node in _walk_same_function(fn.node):
+                if not isinstance(node, ast.Compare):
+                    continue
+                for op, comparator in zip(node.ops, node.comparators):
+                    if not isinstance(op, (ast.In, ast.NotIn)):
+                        continue
+                    if _is_list_expr(comparator):
+                        yield self.finding(
+                            None,
+                            info.ctx.path,
+                            comparator.lineno,
+                            comparator.col_offset + 1,
+                            "membership test against a list in hot "
+                            f"{fn.qualname} (hot via {_chain_text(chain)});"
+                            " use a tuple constant or a set",
+                        )

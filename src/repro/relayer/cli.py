@@ -51,6 +51,21 @@ class TransferSubmission:
 class WorkloadCli:
     """Submits cross-chain transfers on behalf of one user account."""
 
+    __slots__ = (
+        "env",
+        "node",
+        "log",
+        "source_channel",
+        "receiver",
+        "denom",
+        "confirm_poll_seconds",
+        "confirm_timeout_seconds",
+        "client",
+        "factory",
+        "_gas",
+        "wallet",
+    )
+
     def __init__(
         self,
         env: Environment,

@@ -9,7 +9,7 @@ from repro.ibc.packet import Height, Packet
 from repro.tendermint.websocket import BlockNotification, EventDescriptor
 
 
-@dataclass
+@dataclass(slots=True)
 class PacketEvent:
     """One IBC packet event the relayer must act on."""
 
@@ -19,7 +19,7 @@ class PacketEvent:
     packet: Packet
 
 
-@dataclass
+@dataclass(slots=True)
 class WorkBatch:
     """All packet events of one kind and channel from one block.
 

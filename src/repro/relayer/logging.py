@@ -39,7 +39,7 @@ def render_journal(logs: "Iterable[RelayerLog]") -> str:
     )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LogRecord:
     time: float
     relayer: str
@@ -56,6 +56,8 @@ class LogRecord:
 
 class RelayerLog:
     """Append-only log for one relayer instance."""
+
+    __slots__ = ("env", "relayer", "clock_skew", "records")
 
     def __init__(self, env: Environment, relayer: str, clock_skew: float = 0.0):
         self.env = env

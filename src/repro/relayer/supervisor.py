@@ -104,26 +104,28 @@ class Supervisor:
         #: Last height seen before a disconnect; set while a gap check is
         #: pending after a successful resubscribe.
         gap_from: Optional[int] = None
+        heights = self.heights
+        log_error = self.log.error
         while True:
             item = yield subscription.queue.get()
             if isinstance(item, SubscriptionClosed):
-                self.log.error(
+                log_error(
                     "websocket_disconnected", chain=chain_id, reason=item.reason
                 )
                 if not self.config.resubscribe_on_disconnect:
                     return  # the stream is gone for good (Hermes 1.0.0-like)
-                gap_from = self.heights.get(chain_id, 0)
+                gap_from = heights.get(chain_id, 0)
                 subscription = yield from self._resubscribe(chain_id)
                 continue
             notification: BlockNotification = item
-            self.heights[chain_id] = max(
-                self.heights.get(chain_id, 0), notification.height
+            heights[chain_id] = max(
+                heights.get(chain_id, 0), notification.height
             )
             if gap_from is not None:
                 if notification.height > gap_from + 1:
                     # Blocks committed during the outage: their events are
                     # lost, so hand the missed range to the clear machinery.
-                    self.log.error(
+                    log_error(
                         "height_gap_detected",
                         chain=chain_id,
                         gap_from=gap_from,
@@ -132,7 +134,7 @@ class Supervisor:
                     self._recover_gap(chain_id)
                 gap_from = None
             if not notification.ok:
-                self.log.error(
+                log_error(
                     "failed_to_collect_events",
                     chain=chain_id,
                     height=notification.height,

@@ -62,6 +62,10 @@ class RelayPath:
     b: PathEnd
 
 
+def _by_sequence(packet: Packet) -> int:
+    return packet.sequence
+
+
 class DirectionWorker:
     """Relays packets ``src → dst`` and their acks ``dst → src``."""
 
@@ -216,6 +220,8 @@ class DirectionWorker:
             "recv_build", self._track, start=build_started, count=len(packets)
         )
         size = self.config.max_msgs_per_tx
+        dst = self.dst
+        signer = dst.factory.wallet.address
         for start in range(0, len(packets), size):
             chunk = packets[start : start + size]
             try:
@@ -238,7 +244,7 @@ class DirectionWorker:
                     packet=packet,
                     proof_commitment=proofs[packet.sequence],
                     proof_height=proven["proof_height"],
-                    signer=self.dst.factory.wallet.address,
+                    signer=signer,
                 )
                 for packet in chunk
                 if packet.sequence in proofs
@@ -248,13 +254,13 @@ class DirectionWorker:
             update = MsgUpdateClient(
                 client_id=self.dst_end.client_id,
                 header=header,
-                signer=self.dst.factory.wallet.address,
+                signer=signer,
             )
-            submitted = yield from self.dst.submit_msgs(
+            submitted = yield from dst.submit_msgs(
                 msgs, label="recv", prepend_msg=update
             )
             self.processes.spawn(
-                self._confirm(self.dst, submitted, "recv"), name="confirm/recv"
+                self._confirm(dst, submitted, "recv"), name="confirm/recv"
             )
 
     def _pull_batch(self, endpoint: ChainEndpoint, batch: WorkBatch, step: str):
@@ -306,13 +312,14 @@ class DirectionWorker:
                     )
             return response, started
 
+        env = self.env
         for start in range(0, len(tx_hashes), concurrency):
             group = tx_hashes[start : start + concurrency]
             procs = [
-                self.env.process(one(tx_hash), name=f"pull/{step}")
+                env.process(one(tx_hash), name=f"pull/{step}")
                 for tx_hash in group
             ]
-            yield self.env.all_of(procs)
+            yield env.all_of(procs)
             for tx_hash, proc in zip(group, procs):
                 response, started = proc.value
                 if response is None:
@@ -324,7 +331,7 @@ class DirectionWorker:
                     step,
                     height=batch.height,
                     count=count,
-                    duration=self.env.now - started,
+                    duration=env.now - started,
                 )
                 responses.append((tx_hash, response))
         return responses
@@ -392,7 +399,7 @@ class DirectionWorker:
         wanted = set(unacked)
         to_relay = sorted(
             (p for p in packets if p.sequence in wanted),
-            key=lambda p: p.sequence,
+            key=_by_sequence,
         )
         if not to_relay:
             return
@@ -411,6 +418,8 @@ class DirectionWorker:
             "ack_build", self._track, start=build_started, count=len(packets)
         )
         size = self.config.max_msgs_per_tx
+        src = self.src
+        signer = src.factory.wallet.address
         for start in range(0, len(packets), size):
             chunk = packets[start : start + size]
             try:
@@ -434,7 +443,7 @@ class DirectionWorker:
                     acknowledgement=acks[packet.sequence],
                     proof_acked=proofs[packet.sequence],
                     proof_height=proven["proof_height"],
-                    signer=self.src.factory.wallet.address,
+                    signer=signer,
                 )
                 for packet in chunk
                 if packet.sequence in proofs
@@ -444,15 +453,15 @@ class DirectionWorker:
             update = MsgUpdateClient(
                 client_id=self.src_end.client_id,
                 header=header,
-                signer=self.src.factory.wallet.address,
+                signer=signer,
             )
-            submitted = yield from self.src.submit_msgs(
+            submitted = yield from src.submit_msgs(
                 msgs, label="ack", prepend_msg=update
             )
             for msg in msgs:
                 self.pending.pop(msg.packet.sequence, None)
             self.processes.spawn(
-                self._confirm(self.src, submitted, "ack"), name="confirm/ack"
+                self._confirm(src, submitted, "ack"), name="confirm/ack"
             )
 
     # ------------------------------------------------------------------
@@ -465,22 +474,27 @@ class DirectionWorker:
             if not self.pending:
                 continue
             dst_height = self.heights.get(self.dst_end.chain_id, 0)
-            # Sorted by sequence: timeout submission order must not depend
-            # on pending-dict insertion history.
+            # Filter on the unsorted dict first — most polls expire nothing,
+            # so sorting the full pending set every tick is wasted work.
             expired = [
                 p
-                for _seq, p in sorted(self.pending.items())
+                for p in self.pending.values()
                 if not p.timeout_height.is_zero
                 and p.timeout_height.revision_height <= dst_height
                 and p.sequence not in self._in_flight
             ]
             if not expired:
                 continue
+            # Sorted by sequence: timeout submission order must not depend
+            # on pending-dict insertion history.
+            expired.sort(key=_by_sequence)
             yield from self._relay_timeouts(expired)
 
     def _relay_timeouts(self, expired: list[Packet]):
         # Group messages by the header they were proven against so each
         # transaction's client update matches its proofs.
+        src = self.src
+        signer = src.factory.wallet.address
         by_header: dict[int, tuple[Any, list[MsgTimeout]]] = {}
         for packet in expired:
             try:
@@ -503,17 +517,17 @@ class DirectionWorker:
                 packet=packet,
                 proof_unreceived=response["proof"],
                 proof_height=header.height,
-                signer=self.src.factory.wallet.address,
+                signer=signer,
             )
             by_header.setdefault(header.height, (header, []))[1].append(msg)
         for _height, (header, msgs) in sorted(by_header.items()):
             update = MsgUpdateClient(
                 client_id=self.src_end.client_id,
                 header=header,
-                signer=self.src.factory.wallet.address,
+                signer=signer,
             )
             self.log.info("timeout_build", count=len(msgs))
-            submitted = yield from self.src.submit_msgs(
+            submitted = yield from src.submit_msgs(
                 msgs,
                 label="timeout",
                 build_seconds_per_msg=cal.RELAYER_BUILD_SECONDS_PER_MSG,
@@ -522,7 +536,7 @@ class DirectionWorker:
             for msg in msgs:
                 self.pending.pop(msg.packet.sequence, None)
             self.processes.spawn(
-                self._confirm(self.src, submitted, "timeout"), name="confirm/timeout"
+                self._confirm(src, submitted, "timeout"), name="confirm/timeout"
             )
 
     # ------------------------------------------------------------------

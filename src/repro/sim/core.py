@@ -352,6 +352,16 @@ class AnyOf(Condition):
 class Environment:
     """The simulation clock and event loop."""
 
+    __slots__ = (
+        "_now",
+        "_queue",
+        "_seq",
+        "tiebreak",
+        "_seq_sign",
+        "crashed_processes",
+        "events_processed",
+    )
+
     def __init__(
         self, initial_time: float = 0.0, tiebreak: "str | TieBreak" = "fifo"
     ):
@@ -364,6 +374,9 @@ class Environment:
         #: still receive the exception; this list exists so harnesses can
         #: detect crashes in fire-and-forget processes.
         self.crashed_processes: list[tuple[str, BaseException]] = []
+        #: Events popped by :meth:`step` so far — the denominator for
+        #: events/sec benchmarks and allocations-per-event accounting.
+        self.events_processed = 0
 
     @property
     def now(self) -> float:
@@ -413,6 +426,7 @@ class Environment:
             raise SimulationError("step() on an empty event queue")
         when, _prio, _seq, event = heapq.heappop(self._queue)
         self._now = when
+        self.events_processed += 1
         callbacks = event.callbacks
         event.callbacks = None
         if event._cancelled:
@@ -424,10 +438,11 @@ class Environment:
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``float('inf')``."""
-        while self._queue:
-            when, _prio, _seq, event = self._queue[0]
+        queue = self._queue
+        while queue:
+            when, _prio, _seq, event = queue[0]
             if event._cancelled and not event.callbacks:
-                heapq.heappop(self._queue)
+                heapq.heappop(queue)
                 continue
             return when
         return float("inf")
@@ -442,12 +457,13 @@ class Environment:
             raise SimulationError(
                 f"run(until={until}) is in the past (now={self._now})"
             )
+        queue = self._queue
+        step = self.step
         try:
-            while self._queue:
-                when = self._queue[0][0]
-                if until is not None and when > until:
+            while queue:
+                if until is not None and queue[0][0] > until:
                     break
-                self.step()
+                step()
         except StopSimulation:
             return
         if until is not None:
@@ -486,6 +502,8 @@ class ProcessGroup:
     analyzer's R003 rule flags them.  A group keeps the handles (pruning
     finished ones on each spawn) and offers bulk interruption for teardown.
     """
+
+    __slots__ = ("env", "_procs")
 
     def __init__(self, env: Environment):
         self.env = env

@@ -18,6 +18,8 @@ from repro.sim.core import Environment
 class Counter:
     """A monotonically increasing named counter."""
 
+    __slots__ = ("name", "value")
+
     def __init__(self, name: str):
         self.name = name
         self.value = 0
@@ -31,6 +33,8 @@ class Counter:
 
 class TimeSeries:
     """Samples of (time, value) pairs, e.g. queue length over time."""
+
+    __slots__ = ("env", "name", "samples")
 
     def __init__(self, env: Environment, name: str):
         self.env = env
@@ -60,7 +64,7 @@ class TimeSeries:
         return total / span
 
 
-@dataclass
+@dataclass(slots=True)
 class SummaryStats:
     """Distribution summary — the data behind one violin in Fig. 6."""
 
@@ -112,6 +116,8 @@ def percentile(sorted_values: list[float], pct: float) -> float:
 class DurationHistogram:
     """Collects durations and summarises them."""
 
+    __slots__ = ("name", "durations")
+
     def __init__(self, name: str):
         self.name = name
         self.durations: list[float] = []
@@ -123,7 +129,7 @@ class DurationHistogram:
         return SummaryStats.from_values(self.durations)
 
 
-@dataclass
+@dataclass(slots=True)
 class ProbeSet:
     """A named bundle of probes owned by one component."""
 

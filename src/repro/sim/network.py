@@ -19,7 +19,7 @@ from repro.sim.resources import Store
 from repro.sim.rng import KeyedStream, RngRegistry
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LinkSpec:
     """One-way delivery characteristics between a pair of hosts."""
 
@@ -28,7 +28,7 @@ class LinkSpec:
     loss: float = 0.0  # probability a message is silently dropped
 
 
-@dataclass
+@dataclass(slots=True)
 class Host:
     """A machine in the testbed.  Components attach mailboxes to it."""
 
@@ -50,6 +50,18 @@ class Network:
     ``default_rtt`` applies to any pair without an explicit link; hosts
     deliver to themselves with zero delay (local endpoints).
     """
+
+    __slots__ = (
+        "env",
+        "_jitter_rng",
+        "_loss_rng",
+        "_pair_rngs",
+        "default",
+        "hosts",
+        "_links",
+        "delivered",
+        "dropped",
+    )
 
     def __init__(
         self,
@@ -151,7 +163,13 @@ class Network:
         link delay.  ``on_delivery`` (if given) runs instead of the mailbox.
         """
         spec = self.link(src, dst)
-        delay = self.delay(src, dst)
+        if spec.jitter:
+            jitter = self._pair(src, dst)[0].uniform(
+                self.env.now, -spec.jitter, spec.jitter
+            )
+            delay = max(0.0, spec.latency + jitter)
+        else:
+            delay = spec.latency
         if spec.loss and self._pair(src, dst)[1].u01(self.env.now) < spec.loss:
             self.dropped += 1
             return

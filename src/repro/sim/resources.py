@@ -47,6 +47,8 @@ class Resource:
             resource.release(req)
     """
 
+    __slots__ = ("env", "capacity", "_users", "_queue", "grants")
+
     def __init__(self, env: Environment, capacity: int = 1):
         if capacity < 1:
             raise SimulationError(f"resource capacity must be >= 1, got {capacity}")
@@ -125,6 +127,8 @@ class Store:
     ``put`` blocks when the store is full; ``get`` blocks when it is empty.
     """
 
+    __slots__ = ("env", "capacity", "items", "_putters", "_getters")
+
     def __init__(self, env: Environment, capacity: float = float("inf")):
         if capacity <= 0:
             raise SimulationError(f"store capacity must be > 0, got {capacity}")
@@ -168,21 +172,24 @@ class Store:
         return sum(1 for p in self._putters if not p.cancelled)
 
     def _dispatch(self) -> None:
+        items = self.items
+        putters = self._putters
+        getters = self._getters
         progressed = True
         while progressed:
             progressed = False
             # Admit queued putters while there is capacity.
-            while self._putters and len(self.items) < self.capacity:
-                putter = self._putters.popleft()
+            while putters and len(items) < self.capacity:
+                putter = putters.popleft()
                 if putter.cancelled:
                     continue
-                self.items.append(putter.item)
+                items.append(putter.item)
                 putter.succeed()
                 progressed = True
             # Satisfy queued getters while there are items.
-            while self._getters and self.items:
-                getter = self._getters.popleft()
+            while getters and items:
+                getter = getters.popleft()
                 if getter.cancelled:
                     continue
-                getter.succeed(self.items.popleft())
+                getter.succeed(items.popleft())
                 progressed = True

@@ -81,6 +81,8 @@ class KeyedStream:
 class RngRegistry:
     """Factory of independent named :class:`random.Random` streams."""
 
+    __slots__ = ("root_seed", "_streams", "_keyed")
+
     def __init__(self, root_seed: int):
         self.root_seed = root_seed
         self._streams: dict[str, random.Random] = {}

@@ -100,7 +100,7 @@ class Application(Protocol):
         ...
 
 
-@dataclass
+@dataclass(slots=True)
 class ExecutedTx:
     """A transaction paired with its DeliverTx result (indexer record)."""
 
@@ -118,7 +118,7 @@ class ExecutedTx:
         return self.result.ok
 
 
-@dataclass
+@dataclass(slots=True)
 class ExecutedBlock:
     """A committed block plus everything the application produced for it."""
 

@@ -84,7 +84,7 @@ class ConsensusConfig:
         )
 
 
-@dataclass
+@dataclass(slots=True)
 class CommittedBlockInfo:
     """What the engine hands to subscribers after a block executes."""
 

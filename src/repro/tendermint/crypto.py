@@ -13,6 +13,7 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Any
 
 
@@ -46,10 +47,22 @@ class PrivateKey:
 
     @property
     def public_key(self) -> "PublicKey":
-        return PublicKey(key=sha256(b"pubkey/" + self.secret))
+        return _public_key_of(self.secret)
 
     def sign(self, message: bytes) -> bytes:
-        return sha256(self.secret + b"/sign/" + message)
+        # Memoized: verification recomputes the tag for the same
+        # (key, message) pair, so the digest is derived exactly once.
+        return _sign(self.secret, message)
+
+
+@lru_cache(maxsize=None)
+def _public_key_of(secret: bytes) -> "PublicKey":
+    return PublicKey(key=sha256(b"pubkey/" + secret))
+
+
+@lru_cache(maxsize=None)
+def _sign(secret: bytes, message: bytes) -> bytes:
+    return sha256(secret + b"/sign/" + message)
 
 
 @dataclass(frozen=True)
@@ -61,7 +74,7 @@ class PublicKey:
     @property
     def address(self) -> str:
         """Tendermint-style address: first 20 bytes of the key hash, hex."""
-        return sha256(self.key)[:20].hex()
+        return _address_of(self.key)
 
     def verify(self, message: bytes, signature: bytes, signer: "PrivateKey") -> bool:
         """Structural verification.
@@ -72,6 +85,11 @@ class PublicKey:
         :class:`SignatureRegistry`).  Callers should prefer the registry.
         """
         return signer.public_key == self and signer.sign(message) == signature
+
+
+@lru_cache(maxsize=None)
+def _address_of(key: bytes) -> str:
+    return sha256(key)[:20].hex()
 
 
 class SignatureRegistry:

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import bisect
 from dataclasses import dataclass
+from hashlib import sha256 as _hashlib_sha256
 from typing import Iterable, Optional, Sequence
 
 from repro.tendermint.crypto import sha256
@@ -27,21 +28,20 @@ EMPTY_HASH = sha256(b"")
 
 
 def _leaf_hash(data: bytes) -> bytes:
-    return sha256(_LEAF_PREFIX + data)
+    return _hashlib_sha256(_LEAF_PREFIX + data).digest()
 
 
 def _inner_hash(left: bytes, right: bytes) -> bytes:
-    return sha256(_INNER_PREFIX + left + right)
+    return _hashlib_sha256(_INNER_PREFIX + left + right).digest()
 
 
 def _split_point(length: int) -> int:
     """Largest power of two strictly less than ``length``."""
     if length < 1:
         raise ValueError("split point undefined for length < 1")
-    split = 1
-    while split * 2 < length:
-        split *= 2
-    return split
+    if length == 1:
+        return 1
+    return 1 << ((length - 1).bit_length() - 1)
 
 
 def simple_hash_from_byte_slices(items: Sequence[bytes]) -> bytes:
@@ -56,7 +56,7 @@ def simple_hash_from_byte_slices(items: Sequence[bytes]) -> bytes:
     return _inner_hash(left, right)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ProofNode:
     """One step in an audit path: a sibling hash and its side."""
 
@@ -64,7 +64,7 @@ class ProofNode:
     sibling_on_left: bool
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MembershipProof:
     """Audit path proving ``key -> value`` is in the tree with some root."""
 
@@ -82,7 +82,7 @@ class MembershipProof:
         return node
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class NonMembershipProof:
     """Proof that ``key`` is absent: membership proofs of its neighbours.
 
@@ -135,20 +135,25 @@ class ProvableStore:
         self._leaf_hashes: list[bytes] = []
         self._subtree_roots: dict[tuple[int, int], bytes] = {}
         self._key_index: dict[bytes, int] = {}
+        # Leaf hashes survive across commits: most keys are unchanged from
+        # block to block, so each entry maps key -> (value, value_hash,
+        # leaf_hash) and is recomputed only when the value actually moved.
+        self._leaf_cache: dict[bytes, tuple[bytes, bytes, bytes]] = {}
+        # Proofs are immutable and snapshot-scoped, so identical requests
+        # between commits (relayers re-proving the same commitment) share
+        # one object.  Cleared whenever the snapshot changes.
+        self._proof_cache: dict[bytes, MembershipProof] = {}
         #: Optional transaction journal (see :mod:`repro.cosmos.journal`).
         self.journal = None
 
     # -- mutation (pending state) -------------------------------------------
 
     def set(self, key: bytes, value: bytes) -> None:
-        if self.journal is not None:
+        journal = self.journal
+        if journal is not None:
             previous = self._data.get(key)
-            if previous is None:
-                self.journal.record(lambda: self._data.pop(key, None))
-            elif previous != value:
-                self.journal.record(
-                    lambda k=key, v=previous: self._data.__setitem__(k, v)
-                )
+            if previous is None or previous != value:
+                journal.record_kv(self._data, key, previous)
         self._data[key] = value
         self._dirty = True
 
@@ -158,10 +163,7 @@ class ProvableStore:
     def delete(self, key: bytes) -> None:
         if key in self._data:
             if self.journal is not None:
-                previous = self._data[key]
-                self.journal.record(
-                    lambda k=key, v=previous: self._data.__setitem__(k, v)
-                )
+                self.journal.record_kv(self._data, key, self._data[key])
             del self._data[key]
             self._dirty = True
 
@@ -178,14 +180,26 @@ class ProvableStore:
 
     def commit(self) -> bytes:
         """Snapshot the pending state and return the new root."""
+        if not self._dirty:
+            # Nothing changed since the last snapshot (an empty block):
+            # the committed tree is already current.
+            return self._root
         self._committed = dict(self._data)
         self._committed_keys = sorted(self._committed)
         self._key_index = {k: i for i, k in enumerate(self._committed_keys)}
-        self._leaf_hashes = [
-            _leaf_hash(k + b"=" + sha256(self._committed[k]))
-            for k in self._committed_keys
-        ]
+        leaf_cache = self._leaf_cache
+        leaf_hashes = []
+        for key in self._committed_keys:
+            value = self._committed[key]
+            cached = leaf_cache.get(key)
+            if cached is None or cached[0] != value:
+                value_hash = sha256(value)
+                cached = (value, value_hash, _leaf_hash(key + b"=" + value_hash))
+                leaf_cache[key] = cached
+            leaf_hashes.append(cached[2])
+        self._leaf_hashes = leaf_hashes
         self._subtree_roots = {}
+        self._proof_cache = {}
         if self._leaf_hashes:
             self._root = self._subtree_root(0, len(self._leaf_hashes))
         else:
@@ -229,15 +243,25 @@ class ProvableStore:
 
     def prove(self, key: bytes) -> MembershipProof:
         """Membership proof for ``key`` in the committed snapshot."""
+        proof = self._proof_cache.get(key)
+        if proof is not None:
+            return proof
         index = self._key_index.get(key)
         if index is None:
             raise KeyError(f"key {key!r} not in committed state")
         path = self._audit_path(index)
-        return MembershipProof(
+        cached = self._leaf_cache.get(key)
+        if cached is not None and cached[0] == self._committed[key]:
+            value_hash = cached[1]
+        else:
+            value_hash = sha256(self._committed[key])
+        proof = MembershipProof(
             key=key,
-            value_hash=sha256(self._committed[key]),
+            value_hash=value_hash,
             path=tuple(path),
         )
+        self._proof_cache[key] = proof
+        return proof
 
     def prove_absence(self, key: bytes) -> NonMembershipProof:
         """Non-membership proof for ``key`` in the committed snapshot."""
@@ -261,30 +285,24 @@ class ProvableStore:
         )
 
     def _audit_path(self, index: int) -> list[ProofNode]:
+        # Walk the tree top-down collecting siblings, then reverse so the
+        # path reads leaf-upward (the order ``compute_root`` folds in).
+        subtree_root = self._subtree_root
         path: list[ProofNode] = []
-
-        def walk(start: int, end: int, target: int) -> None:
-            if end - start == 1:
-                return
-            split = _split_point(end - start)
-            if target < start + split:
-                walk(start, start + split, target)
+        start, end = 0, len(self._leaf_hashes)
+        while end - start > 1:
+            mid = start + _split_point(end - start)
+            if index < mid:
                 path.append(
-                    ProofNode(
-                        sibling=self._subtree_root(start + split, end),
-                        sibling_on_left=False,
-                    )
+                    ProofNode(sibling=subtree_root(mid, end), sibling_on_left=False)
                 )
+                end = mid
             else:
-                walk(start + split, end, target)
                 path.append(
-                    ProofNode(
-                        sibling=self._subtree_root(start, start + split),
-                        sibling_on_left=True,
-                    )
+                    ProofNode(sibling=subtree_root(start, mid), sibling_on_left=True)
                 )
-
-        walk(0, len(self._leaf_hashes), index)
+                start = mid
+        path.reverse()
         return path
 
 

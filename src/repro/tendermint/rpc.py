@@ -283,6 +283,18 @@ class RpcServer:
 class RpcClient:
     """A client bound to one server, with per-request timeout handling."""
 
+    __slots__ = (
+        "env",
+        "network",
+        "host",
+        "server",
+        "timeout",
+        "client_id",
+        "calls",
+        "timeouts",
+        "errors",
+    )
+
     def __init__(
         self,
         env: Environment,

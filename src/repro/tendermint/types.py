@@ -35,7 +35,7 @@ class BlockIDFlag(enum.IntEnum):
     NIL = 3  # voted for a different block / nil
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PartSetHeader:
     """Header of the proposal part set (block gossip chunking)."""
 
@@ -43,7 +43,7 @@ class PartSetHeader:
     hash: bytes
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BlockID:
     """Content address of a block: header hash + part-set header."""
 
@@ -62,7 +62,7 @@ class BlockID:
         return not self.hash
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CommitSig:
     """One validator's vote in a LastCommit (Fig. 1's signature array)."""
 
@@ -72,7 +72,7 @@ class CommitSig:
     signature: bytes
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Commit:
     """The LastCommit field: +2/3 precommits for the previous block."""
 
@@ -91,7 +91,7 @@ class Commit:
         return cls(height=0, round=0, block_id=BlockID.nil(), signatures=())
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Header:
     """Block header: chain position, consensus metadata, app metadata."""
 
@@ -127,7 +127,7 @@ class Header:
         )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Evidence:
     """Proof of validator misbehaviour (duplicate vote)."""
 
@@ -141,7 +141,7 @@ class Evidence:
         )
 
 
-@dataclass
+@dataclass(slots=True)
 class Data:
     """The transaction list chosen by the proposer."""
 
@@ -155,7 +155,7 @@ class Data:
         return sum(tx.size_bytes for tx in self.txs)
 
 
-@dataclass
+@dataclass(slots=True)
 class Block:
     """A complete Tendermint block (Fig. 1)."""
 

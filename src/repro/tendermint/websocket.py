@@ -24,7 +24,7 @@ from repro.tendermint.abci import ExecutedBlock
 from repro.trace import NULL_TRACER
 
 
-@dataclass
+@dataclass(slots=True)
 class EventDescriptor:
     """What a subscriber learns about one event from the notification."""
 
@@ -34,7 +34,7 @@ class EventDescriptor:
     attributes: dict[str, Any]
 
 
-@dataclass
+@dataclass(slots=True)
 class BlockNotification:
     """One WebSocket frame: NewBlock plus the block's events."""
 
@@ -50,7 +50,7 @@ class BlockNotification:
         return self.error is None
 
 
-@dataclass
+@dataclass(slots=True)
 class SubscriptionClosed:
     """Pushed into a subscription's queue when the connection drops.
 
@@ -65,7 +65,7 @@ class SubscriptionClosed:
     reason: str = "connection reset"
 
 
-@dataclass
+@dataclass(slots=True)
 class Subscription:
     """One client's subscription to a node's event stream."""
 

@@ -1,0 +1,5 @@
+"""Seeded Tier P violations: hot-path allocation and lookup smells.
+
+``proc.run`` is spawned via ``env.process``, so everything it reaches is
+*hot*; ``item.Item`` is instantiated inside its loop.  Parsed by the
+repro.lint tests, never executed."""

@@ -1,0 +1,7 @@
+"""A class built once per event by the hot process generator."""
+
+
+class Item:  # line 4: P001 (no __slots__)
+    def __init__(self, stamp):
+        self.stamp = stamp
+        self.kind = "x"

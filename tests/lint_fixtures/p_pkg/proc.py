@@ -1,0 +1,22 @@
+"""Hot process generator exercising P002-P005."""
+
+from p_pkg.item import Item
+
+
+def classify(kind):
+    return kind in ["x", "y"]  # line 7: P005 (list membership in hot code)
+
+
+def run(env):
+    while True:
+        yield env.timeout(1.0)
+        item = Item(env.now)
+        tags = [1, 2]  # line 14: P002 (constant list rebuilt per iteration)
+        if classify(item.kind):
+            env.log.debug(f"tick {item.stamp}")  # line 16: P004 (eager f-string)
+        total = env.clock.now + env.clock.now + env.clock.now  # line 17: P003
+        tags.append(total)
+
+
+def start(env):
+    return env.process(run(env))

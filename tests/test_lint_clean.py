@@ -31,16 +31,23 @@ def test_lint_clean_over_src_repro():
 
 
 def test_lint_clean_over_whole_repo():
-    """src/, tests/ and benchmarks/ analyzed together, all rules.
+    """src/, tests/, benchmarks/ and examples/ analyzed together, all rules.
 
-    One combined run (not three) so the whole-program rules see stream
+    One combined run (not four) so the whole-program rules see stream
     names and call graphs across the tree boundaries too.  The deliberate
     violations under ``tests/lint_fixtures/`` are pruned by the default
     ``exclude_dirs``; the lint tests pass them explicitly.
     """
-    for sub in ("tests", "benchmarks"):
+    for sub in ("tests", "benchmarks", "examples"):
         assert (REPO_ROOT / sub).is_dir(), f"missing {sub}/ directory"
-    _assert_clean([SRC_ROOT, REPO_ROOT / "tests", REPO_ROOT / "benchmarks"])
+    _assert_clean(
+        [
+            SRC_ROOT,
+            REPO_ROOT / "tests",
+            REPO_ROOT / "benchmarks",
+            REPO_ROOT / "examples",
+        ]
+    )
 
 
 def test_parallel_package_is_gated():

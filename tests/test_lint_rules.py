@@ -97,6 +97,24 @@ def test_r003_package_flags_only_the_discarded_handles():
     assert all(f.path.endswith("spawner.py") for f in findings)
 
 
+def test_p_package_flags_every_tier_p_rule_once():
+    """The seeded performance package trips each P rule at a known line
+    (P003 twice: the ``env.clock.now`` chain and its ``env.clock`` prefix
+    both cross the repeat threshold)."""
+    findings = lint_paths([str(FIXTURES / "p_pkg")])
+    assert rules_hit(findings) == {"P001", "P002", "P003", "P004", "P005"}
+    assert sorted((f.rule_id, Path(f.path).name, f.line) for f in findings) == [
+        ("P001", "item.py", 4),
+        ("P002", "proc.py", 14),
+        ("P003", "proc.py", 17),
+        ("P003", "proc.py", 17),
+        ("P004", "proc.py", 16),
+        ("P005", "proc.py", 7),
+    ]
+    # Every finding names its reachability chain from the spawn root.
+    assert all("via p_pkg.proc.run" in f.message for f in findings)
+
+
 def test_r003_ignores_non_env_receivers_and_retained_handles():
     findings = lint_source(
         "def start(env, pool):\n"
@@ -406,6 +424,64 @@ def test_disable_all_wildcard():
         "a = random.Random(1)  # repro-lint: disable=all\n"
     )
     assert findings == []
+
+
+_P002_DECORATED_DEF = (
+    "def deco(fn):\n"
+    "    return fn\n"
+    "\n"
+    "def start(env):\n"
+    "    return env.process(run(env))\n"
+    "\n"
+    "def run(env):\n"
+    "    while True:\n"
+    "        yield env.timeout(1.0)\n"
+    "        @deco\n"
+    "        def helper():{comment}\n"
+    "            return 1\n"
+    "        helper()\n"
+)
+
+_P002_ASYNC_DEF = (
+    "def start(env):\n"
+    "    return env.process(run(env))\n"
+    "\n"
+    "def run(env):\n"
+    "    while True:\n"
+    "        yield env.timeout(1.0)\n"
+    "        async def helper():{comment}\n"
+    "            return 1\n"
+    "        helper()\n"
+)
+
+
+def test_suppression_on_decorated_def():
+    """Findings on a decorated def anchor at the ``def`` line (not the
+    decorator), so that's where the suppression comment belongs."""
+    live = lint_source(_P002_DECORATED_DEF.format(comment=""))
+    assert [(f.rule_id, f.line) for f in live] == [("P002", 11)]
+    suppressed = lint_source(
+        _P002_DECORATED_DEF.format(comment="  # repro-lint: disable=P002")
+    )
+    assert suppressed == []
+
+
+def test_suppression_on_decorator_line_does_not_cover_the_def():
+    """A comment on the decorator line is one line too early — the
+    directive is strictly line-scoped."""
+    source = _P002_DECORATED_DEF.format(comment="").replace(
+        "@deco", "@deco  # repro-lint: disable=P002"
+    )
+    assert rules_hit(lint_source(source)) == {"P002"}
+
+
+def test_suppression_on_async_def():
+    live = lint_source(_P002_ASYNC_DEF.format(comment=""))
+    assert [(f.rule_id, f.line) for f in live] == [("P002", 7)]
+    suppressed = lint_source(
+        _P002_ASYNC_DEF.format(comment="  # repro-lint: disable=P002")
+    )
+    assert suppressed == []
 
 
 def test_d006_fires_on_a_single_module_spawn_chain():
