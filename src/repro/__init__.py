@@ -36,6 +36,7 @@ from repro.errors import ReproError, SchemaError
 from repro.framework import (
     ExperimentConfig,
     ExperimentReport,
+    TopologySpec,
     run_experiment,
     sweep,
 )
@@ -47,6 +48,7 @@ __all__ = [
     "ExperimentReport",
     "ReproError",
     "SchemaError",
+    "TopologySpec",
     "__version__",
     "run_experiment",
     "sweep",

@@ -192,6 +192,13 @@ RELAYER_SIGN_SECONDS_PER_TX = 8e-3
 #: Time for Hermes to parse one event out of a WebSocket notification.
 RELAYER_EVENT_PARSE_SECONDS = 20e-6
 
+#: The supervisor hands parsed batches to the direction workers one at a
+#: time; each hand-off after the first costs this much.  A block whose
+#: frame feeds two workers (hub blocks: recv + forward + write_ack in one
+#: tx) therefore wakes them at strictly different instants, so their
+#: follow-up queries never tie for the serial RPC slot.
+RELAYER_BATCH_HANDOFF_SECONDS = 5e-6
+
 #: Interval at which Hermes polls /tx for confirmation of submitted txs.
 RELAYER_CONFIRM_POLL_SECONDS = 1.0
 

@@ -34,6 +34,7 @@ from repro.framework.report import ExperimentReport
 from repro.framework.runner import ExperimentRunner, run_experiment
 from repro.framework.setup import Testbed
 from repro.framework.sweep import METRICS, SweepPoint, run_seeded, sweep
+from repro.framework.topology import TopologySpec
 from repro.framework.workload import WorkloadDriver, WorkloadStats
 
 __all__ = [
@@ -54,6 +55,7 @@ __all__ = [
     "RpcBusyMetrics",
     "StepTimeline",
     "Testbed",
+    "TopologySpec",
     "TraceReport",
     "TransferTimelineReport",
     "WindowMetrics",

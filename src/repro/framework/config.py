@@ -15,6 +15,7 @@ from typing import Any, Optional
 from repro import calibration as cal
 from repro.errors import SchemaError, WorkloadError
 from repro.faults import FaultSchedule
+from repro.framework.topology import TopologySpec
 
 
 @dataclass
@@ -72,6 +73,11 @@ class ExperimentConfig:
     #: large sweeps), or "auto" (stub above ``AUTO_STUB_THRESHOLD`` expected
     #: packets).
     proof_mode: str = "auto"
+    #: EXTENSION: the chain/connection graph (see
+    #: :class:`repro.framework.topology.TopologySpec`).  None = the paper's
+    #: two-chain pair; multi-hop routes run packet-forward style through
+    #: intermediate chains.
+    topology: Optional[TopologySpec] = None
 
     # -- robustness scenarios -----------------------------------------------
     #: Deterministic fault schedule (see :mod:`repro.faults`); fault times
@@ -152,7 +158,10 @@ class ExperimentConfig:
         out: dict[str, Any] = {}
         for spec in fields(self):
             value = getattr(self, spec.name)
-            if spec.name in ("faults", "calibration") and value is not None:
+            if (
+                spec.name in ("faults", "calibration", "topology")
+                and value is not None
+            ):
                 value = value.to_dict()
             out[spec.name] = value
         return out
@@ -184,6 +193,8 @@ class ExperimentConfig:
             kwargs["calibration"] = cal.Calibration.from_dict(
                 kwargs["calibration"]
             )
+        if kwargs.get("topology") is not None:
+            kwargs["topology"] = TopologySpec.from_dict(kwargs["topology"])
         return cls(**kwargs)
 
     # ------------------------------------------------------------------

@@ -85,6 +85,11 @@ class WindowMetrics:
     sends_total: int = 0
     block_intervals_a: list[float] = field(default_factory=list)
     block_message_counts_a: list[int] = field(default_factory=list)
+    #: Per-channel breakdown (fairness view): one dict per channel end,
+    #: ``{chain, port, channel, sends, receives, acks, timeouts}``, counted
+    #: in the block-time window on the owning chain.  Empty for reports
+    #: loaded from pre-topology (schema < 4) documents.
+    channels: list[dict[str, Any]] = field(default_factory=list)
 
     @property
     def duration(self) -> float:
@@ -114,63 +119,154 @@ class WindowMetrics:
         return SummaryStats.from_values(self.block_intervals_a)
 
 
+#: A channel end for scoped counting: (port, channel) on a known chain.
+ChannelEnd = tuple[str, str]
+
+
+def _events_at(
+    chain: Chain,
+    event_type: str,
+    height: int,
+    channels: Optional[list[ChannelEnd]],
+) -> int:
+    """Events of a type at one height, optionally scoped to channel ends.
+
+    Channel scoping keys on the event's *local* end (source end for
+    send/ack/timeout, destination end for recv), so two channels on one
+    chain never double-count each other's traffic.
+    """
+    if channels is None:
+        return chain.indexer.events_at(height).get(event_type, 0)
+    return sum(
+        chain.indexer.channel_events_at(height, event_type, port, channel)
+        for port, channel in channels
+    )
+
+
 def count_events_in_window(
     chain: Chain,
     event_type: str,
     start_height: int,
     end_time: float,
+    channels: Optional[list[ChannelEnd]] = None,
 ) -> int:
     """Count events of a type in blocks after ``start_height`` whose block
-    time falls inside the window."""
+    time falls inside the window, optionally scoped to channel ends."""
     total = 0
     store = chain.block_store
     for height in range(start_height + 1, store.latest_height + 1):
         block = store.block(height)
         if block is None or block.header.time > end_time:
             continue
-        total += chain.indexer.events_at(height).get(event_type, 0)
+        total += _events_at(chain, event_type, height, channels)
     return total
 
 
-def count_events_total(chain: Chain, event_type: str, start_height: int) -> int:
+def count_events_total(
+    chain: Chain,
+    event_type: str,
+    start_height: int,
+    channels: Optional[list[ChannelEnd]] = None,
+) -> int:
     """Count events of a type in every block after ``start_height``,
     regardless of window end (chain-truth commit counting)."""
     total = 0
     for height in range(start_height + 1, chain.block_store.latest_height + 1):
-        total += chain.indexer.events_at(height).get(event_type, 0)
+        total += _events_at(chain, event_type, height, channels)
     return total
 
 
+def _count_in_time_window(
+    chain: Chain,
+    event_type: str,
+    start_time: float,
+    end_time: float,
+    channels: Optional[list[ChannelEnd]] = None,
+) -> int:
+    """Count events in blocks whose block time falls inside the window."""
+    total = 0
+    store = chain.block_store
+    for height in range(1, store.latest_height + 1):
+        block = store.block(height)
+        if block is None:
+            continue
+        if block.header.time < start_time or block.header.time > end_time:
+            continue
+        total += _events_at(chain, event_type, height, channels)
+    return total
+
+
+def channel_breakdown(
+    channel_ends: list[tuple[Chain, str, str]],
+    start_time: float,
+    end_time: float,
+) -> list[dict[str, Any]]:
+    """Per-channel event counts in the block-time window (fairness view)."""
+    rows: list[dict[str, Any]] = []
+    for chain, port, channel in channel_ends:
+        ends = [(port, channel)]
+        rows.append(
+            {
+                "chain": chain.chain_id,
+                "port": port,
+                "channel": channel,
+                "sends": _count_in_time_window(
+                    chain, SEND_EVENT, start_time, end_time, ends
+                ),
+                "receives": _count_in_time_window(
+                    chain, RECV_EVENT, start_time, end_time, ends
+                ),
+                "acks": _count_in_time_window(
+                    chain, ACK_EVENT, start_time, end_time, ends
+                ),
+                "timeouts": _count_in_time_window(
+                    chain, TIMEOUT_EVENT, start_time, end_time, ends
+                ),
+            }
+        )
+    return rows
+
+
 def collect_window_metrics(
-    chain_a: Chain,
-    chain_b: Chain,
+    source_chain: Chain,
+    dest_chain: Chain,
     start_time: float,
     end_time: float,
     start_height_a: int,
     requested: int,
     accepted: int,
+    source_channels: Optional[list[ChannelEnd]] = None,
+    dest_channels: Optional[list[ChannelEnd]] = None,
+    channel_ends: Optional[list[tuple[Chain, str, str]]] = None,
 ) -> WindowMetrics:
-    """Assemble the ground-truth window metrics from both chains."""
-    sends = count_events_in_window(chain_a, SEND_EVENT, start_height_a, end_time)
-    acks = count_events_in_window(chain_a, ACK_EVENT, start_height_a, end_time)
+    """Assemble the ground-truth window metrics.
+
+    ``source_chain``/``dest_chain`` anchor the headline numbers: the first
+    chain of the primary route (sends/acks/timeouts, height-windowed) and
+    its final chain (receives, time-windowed).  ``source_channels`` /
+    ``dest_channels`` restrict those counts to the route's own channel
+    ends — without them a second channel (or a second route through the
+    same chain) would be double-counted.  ``channel_ends`` enumerates
+    every channel end in the topology for the per-channel breakdown.
+    """
+    sends = count_events_in_window(
+        source_chain, SEND_EVENT, start_height_a, end_time, source_channels
+    )
+    acks = count_events_in_window(
+        source_chain, ACK_EVENT, start_height_a, end_time, source_channels
+    )
     timeouts = count_events_in_window(
-        chain_a, TIMEOUT_EVENT, start_height_a, end_time
+        source_chain, TIMEOUT_EVENT, start_height_a, end_time, source_channels
     )
     # The destination chain's matching window starts at its height when the
     # workload began; we approximate by block time.
-    receives = 0
-    store_b = chain_b.block_store
-    for height in range(1, store_b.latest_height + 1):
-        block = store_b.block(height)
-        if block is None:
-            continue
-        if block.header.time < start_time or block.header.time > end_time:
-            continue
-        receives += chain_b.indexer.events_at(height).get(RECV_EVENT, 0)
+    receives = _count_in_time_window(
+        dest_chain, RECV_EVENT, start_time, end_time, dest_channels
+    )
 
     intervals: list[float] = []
     message_counts: list[int] = []
-    store_a = chain_a.block_store
+    store_a = source_chain.block_store
     previous_time: Optional[float] = None
     for height in range(start_height_a + 1, store_a.latest_height + 1):
         block = store_a.block(height)
@@ -179,7 +275,7 @@ def collect_window_metrics(
         if previous_time is not None:
             intervals.append(block.header.time - previous_time)
         previous_time = block.header.time
-        message_counts.append(chain_a.indexer.message_count_at(height))
+        message_counts.append(source_chain.indexer.message_count_at(height))
 
     end_height_a = start_height_a
     for height in range(start_height_a + 1, store_a.latest_height + 1):
@@ -198,9 +294,16 @@ def collect_window_metrics(
         timeouts=timeouts,
         requested=requested,
         accepted=accepted,
-        sends_total=count_events_total(chain_a, SEND_EVENT, start_height_a),
+        sends_total=count_events_total(
+            source_chain, SEND_EVENT, start_height_a, source_channels
+        ),
         block_intervals_a=intervals,
         block_message_counts_a=message_counts,
+        channels=(
+            channel_breakdown(channel_ends, start_time, end_time)
+            if channel_ends
+            else []
+        ),
     )
 
 
@@ -216,23 +319,29 @@ class GasMetrics:
     ack_samples: int
 
 
-def collect_gas_metrics(chain_a: Chain, chain_b: Chain) -> GasMetrics:
-    """Gas used by full 100-message transactions, per kind."""
+def collect_gas_metrics(chains: list[Chain]) -> GasMetrics:
+    """Gas used by full 100-message transactions, per kind, over all
+    chains (a transfer tx lands on a route's source chain, its recv on the
+    next hop, its ack back on the source — any chain can play any role in
+    a multi-chain topology)."""
 
-    def harvest(chain: Chain, kind: str, payload: int = 100) -> list[int]:
+    def harvest(kind: str, payload: int = 100) -> list[int]:
         samples: list[int] = []
-        for executed in chain.block_store.iter_executed():
-            for item in executed.txs:
-                if not item.ok:
-                    continue
-                kinds = [k for k in item.tx.msg_kinds() if k != "update_client"]
-                if len(kinds) == payload and all(k == kind for k in kinds):
-                    samples.append(item.result.gas_used)
+        for chain in chains:
+            for executed in chain.block_store.iter_executed():
+                for item in executed.txs:
+                    if not item.ok:
+                        continue
+                    kinds = [
+                        k for k in item.tx.msg_kinds() if k != "update_client"
+                    ]
+                    if len(kinds) == payload and all(k == kind for k in kinds):
+                        samples.append(item.result.gas_used)
         return samples
 
-    transfer = harvest(chain_a, "transfer")
-    recv = harvest(chain_b, "recv_packet")
-    ack = harvest(chain_a, "acknowledgement")
+    transfer = harvest("transfer")
+    recv = harvest("recv_packet")
+    ack = harvest("acknowledgement")
 
     def avg(values: list[int]) -> float:
         return sum(values) / len(values) if values else 0.0
@@ -377,9 +486,17 @@ class PacketTrace:
     window).  Multi-relayer duplicates are merged by taking the *earliest*
     observation of each boundary, so redundant relaying cannot inflate a
     stage.
+
+    For a hub-routed multi-hop transfer each hop is its own packet and
+    gets its own lifecycle; ``forwarded_from`` links a hop's key back to
+    the packet whose receipt spawned it (the hub's recv tx committed both
+    in one block), so lifecycles chain into end-to-end routes.  Forwarded
+    hops have no workload submission — their ``submit_at`` is pinned to
+    their send's proposal time, keeping the stage partition exact with a
+    zero-length submit stage.
     """
 
-    key: tuple[str, int]
+    key: tuple[str, str, int]
     submit_at: Optional[float] = None
     proposed_at: Optional[float] = None
     src_commit_at: Optional[float] = None
@@ -387,6 +504,8 @@ class PacketTrace:
     recv_commit_at: Optional[float] = None
     ack_commit_at: Optional[float] = None
     timed_out: bool = False
+    #: Key of the previous hop's packet, for forwarded (hop >= 2) packets.
+    forwarded_from: Optional[tuple[str, str, int]] = None
 
     def boundaries(self) -> list[Optional[float]]:
         return [getattr(self, name) for name in TRACE_BOUNDARIES]
@@ -418,6 +537,7 @@ _TRACE_KEYS = (
     "completed",
     "partial",
     "timed_out",
+    "forwarded",
     "origin_time",
     "wall_seconds",
     "stage_seconds",
@@ -425,6 +545,10 @@ _TRACE_KEYS = (
     "recv_pull_seconds",
     "data_pull_share",
 )
+
+#: Keys absent from pre-topology (schema < 4) trace sections; loaders
+#: default them instead of rejecting the document.
+_TRACE_OPTIONAL_KEYS = frozenset({"forwarded"})
 
 
 @dataclass
@@ -447,6 +571,7 @@ class TraceReport:
     completed: int
     partial: int
     timed_out: int
+    forwarded: int
     origin_time: float
     wall_seconds: float
     stage_seconds: dict[str, float]
@@ -465,6 +590,7 @@ class TraceReport:
             "completed": self.completed,
             "partial": self.partial,
             "timed_out": self.timed_out,
+            "forwarded": self.forwarded,
             "origin_time": self.origin_time,
             "wall_seconds": self.wall_seconds,
             "stage_seconds": {
@@ -487,7 +613,7 @@ class TraceReport:
                 f"unknown key(s) {', '.join(unknown)} in trace section "
                 f"(known keys: {', '.join(_TRACE_KEYS)})"
             )
-        missing = sorted(set(_TRACE_KEYS) - set(data))
+        missing = sorted(set(_TRACE_KEYS) - _TRACE_OPTIONAL_KEYS - set(data))
         if missing:
             raise SchemaError(
                 f"trace section is missing key(s): {', '.join(missing)}"
@@ -497,6 +623,7 @@ class TraceReport:
             completed=data["completed"],
             partial=data["partial"],
             timed_out=data["timed_out"],
+            forwarded=data.get("forwarded", 0),
             origin_time=data["origin_time"],
             wall_seconds=data["wall_seconds"],
             stage_seconds=dict(data["stage_seconds"]),
@@ -506,9 +633,11 @@ class TraceReport:
         )
 
 
-def _min_by_key(events, value=lambda e: e.time) -> dict[tuple[str, int], float]:
+def _min_by_key(
+    events, value=lambda e: e.time
+) -> dict[tuple[str, str, int], float]:
     """Earliest observation per packet key (multi-relayer duplicate merge)."""
-    merged: dict[tuple[str, int], float] = {}
+    merged: dict[tuple[str, str, int], float] = {}
     for event in events:
         candidate = value(event)
         if candidate is None:
@@ -519,12 +648,39 @@ def _min_by_key(events, value=lambda e: e.time) -> dict[tuple[str, int], float]:
     return merged
 
 
+def _forward_links(tracer) -> dict[tuple[str, str, int], tuple[str, str, int]]:
+    """Map each forwarded hop's key to the key of the hop it came from.
+
+    A hub forwards inside the recv transaction: the module emits the
+    ``recv_packet`` event, then the onward ``send_packet``, in one tx.
+    The commit marks preserve that emission order, so within one
+    (chain, tx_hash) group every send following a recv was spawned by the
+    most recent recv before it.
+    """
+    links: dict[tuple[str, str, int], tuple[str, str, int]] = {}
+    last_recv: dict[tuple[Any, Any], tuple[str, str, int]] = {}
+    for event in tracer.events:
+        if event.key is None:
+            continue
+        group = (event.attr("chain"), event.attr("tx_hash"))
+        if event.name == "commit/recv_packet":
+            last_recv[group] = event.key
+        elif event.name == "commit/send_packet":
+            parent = last_recv.get(group)
+            if parent is not None:
+                links[event.key] = parent
+    return links
+
+
 def assemble_packet_traces(tracer) -> list[PacketTrace]:
     """Join trace records into per-packet lifecycles, sorted by key.
 
     The submit leg has no packet key at recording time (the sequence is
     assigned on chain), so submit spans are joined through the tx hash the
-    ``commit/send_packet`` mark carries.
+    ``commit/send_packet`` mark carries.  Forwarded hops (spawned inside a
+    hub's recv transaction) have no submit span at all; they are linked to
+    their parent hop and their submit boundary is pinned to their own
+    proposal time.
     """
     submit_starts: dict[Any, float] = {}
     for span in tracer.spans_named("submit"):
@@ -545,22 +701,84 @@ def assemble_packet_traces(tracer) -> list[PacketTrace]:
     recv_commits = _min_by_key(tracer.packet_events("commit/recv_packet"))
     ack_commits = _min_by_key(tracer.packet_events("commit/acknowledge_packet"))
     timeouts = _min_by_key(tracer.packet_events("commit/timeout_packet"))
+    links = _forward_links(tracer)
 
     keys = set(src_commits) | set(pulls) | set(recv_commits)
     keys |= set(ack_commits) | set(timeouts)
-    return [
-        PacketTrace(
-            key=key,
-            submit_at=submits.get(key),
-            proposed_at=proposed.get(key),
-            src_commit_at=src_commits.get(key),
-            pull_done_at=pulls.get(key),
-            recv_commit_at=recv_commits.get(key),
-            ack_commit_at=ack_commits.get(key),
-            timed_out=key in timeouts,
+    traces = []
+    for key in sorted(keys):
+        submit_at = submits.get(key)
+        if submit_at is None and key in links:
+            submit_at = proposed.get(key)
+        traces.append(
+            PacketTrace(
+                key=key,
+                submit_at=submit_at,
+                proposed_at=proposed.get(key),
+                src_commit_at=src_commits.get(key),
+                pull_done_at=pulls.get(key),
+                recv_commit_at=recv_commits.get(key),
+                ack_commit_at=ack_commits.get(key),
+                timed_out=key in timeouts,
+                forwarded_from=links.get(key),
+            )
         )
-        for key in sorted(keys)
-    ]
+    return traces
+
+
+@dataclass
+class RouteTrace:
+    """One end-to-end route: the chained hop lifecycles of a transfer.
+
+    ``hops[0]`` is the origin packet (a workload submission); each later
+    hop was spawned inside the previous hop's recv transaction.  The
+    route's end-to-end latency runs from the origin's submit to the final
+    hop's delivery — the ack legs ripple backwards concurrently and are
+    not on the delivery path.
+    """
+
+    hops: list[PacketTrace]
+
+    @property
+    def hop_count(self) -> int:
+        return len(self.hops)
+
+    @property
+    def complete(self) -> bool:
+        origin, final = self.hops[0], self.hops[-1]
+        return origin.submit_at is not None and final.recv_commit_at is not None
+
+    @property
+    def delivery_seconds(self) -> float:
+        if not self.complete:
+            raise ValueError(
+                f"route {self.hops[0].key} has no end-to-end interval"
+            )
+        return self.hops[-1].recv_commit_at - self.hops[0].submit_at
+
+
+def assemble_route_traces(tracer) -> list[RouteTrace]:
+    """Chain per-hop lifecycles into end-to-end routes, sorted by origin key.
+
+    Follows each origin packet (one with no ``forwarded_from`` parent)
+    through the forward links to its terminal hop.  Single-hop transfers
+    come back as one-hop routes, so latency-vs-hop-count figures compare
+    like with like across topologies.
+    """
+    packets = assemble_packet_traces(tracer)
+    by_key = {p.key: p for p in packets}
+    child_of = {
+        p.forwarded_from: p.key for p in packets if p.forwarded_from is not None
+    }
+    routes = []
+    for packet in packets:
+        if packet.forwarded_from is not None:
+            continue
+        hops = [packet]
+        while hops[-1].key in child_of:
+            hops.append(by_key[child_of[hops[-1].key]])
+        routes.append(RouteTrace(hops=hops))
+    return routes
 
 
 def trace_ack_offsets(tracer, start_time: float) -> list[float]:
@@ -615,6 +833,7 @@ def collect_trace_metrics(tracer, window_start: float = 0.0) -> Optional[TraceRe
         completed=len(complete),
         partial=len(partial),
         timed_out=sum(1 for p in packets if p.timed_out),
+        forwarded=sum(1 for p in packets if p.forwarded_from is not None),
         origin_time=origin,
         wall_seconds=wall,
         stage_seconds=stage_seconds,

@@ -84,7 +84,7 @@ def _faults_from_dict(data: Optional[dict[str, Any]]) -> Optional[FaultReport]:
     )
 
 
-#: Top-level keys every schema-3 report document carries, in dump order.
+#: Top-level keys every schema-4 report document carries, in dump order.
 _DOCUMENT_KEYS = (
     "schema_version",
     "config",
@@ -109,6 +109,11 @@ _DOCUMENT_KEYS = (
 #: the ``trace`` key does not exist.  They still load (tracing absent).
 _V2_DOCUMENT_KEYS = tuple(k for k in _DOCUMENT_KEYS if k != "trace")
 
+#: Schema 3 → 4 added the topology layer: ``config.topology``, the
+#: ``window.channels`` per-channel breakdown and the trace section's
+#: ``forwarded`` count.  The top-level key set is unchanged; old
+#: documents load with those subkeys defaulted.
+
 
 @dataclass
 class ExperimentReport:
@@ -116,11 +121,11 @@ class ExperimentReport:
 
     #: Version of the JSON wire schema ``to_dict`` emits.  Bump whenever a
     #: key is added, removed or changes meaning; ``from_dict`` refuses
-    #: documents with any other version except the immediately preceding
-    #: one where a lossless upgrade exists (schema 2 → 3 added the
-    #: ``trace`` section, absent on old documents).  Version 1 was the
-    #: unversioned, presentation-only dump of the pre-parallel era.
-    SCHEMA_VERSION = 3
+    #: documents with any other version except older ones where a lossless
+    #: upgrade exists (schema 2 → 3 added the ``trace`` section; 3 → 4
+    #: added the topology subkeys).  Version 1 was the unversioned,
+    #: presentation-only dump of the pre-parallel era.
+    SCHEMA_VERSION = 4
 
     config: ExperimentConfig
     window: WindowMetrics
@@ -194,6 +199,7 @@ class ExperimentReport:
                 "block_message_counts_a": list(
                     self.window.block_message_counts_a
                 ),
+                "channels": [dict(row) for row in self.window.channels],
             },
             "block_interval_mean": (
                 sum(self.window.block_intervals_a)
@@ -279,26 +285,27 @@ class ExperimentReport:
 
     @classmethod
     def from_dict(cls, data: Any) -> "ExperimentReport":
-        """Load a schema-3 (or legacy schema-2) report document.
+        """Load a schema-4 (or legacy schema-2/3) report document.
 
         A loaded current-schema report re-serializes byte-identically:
         the raw sections (``config``, ``window``, ``timeline.steps``, ...)
         are restored and every derived section is recomputed from them.
-        Schema-2 documents (pre-tracing) load with ``trace`` absent and
-        re-serialize as schema 3.  Unknown keys and foreign schema
-        versions raise :class:`SchemaError`.
+        Schema-2 documents (pre-tracing) load with ``trace`` absent;
+        schema-3 documents (pre-topology) load with the topology subkeys
+        defaulted; both re-serialize as schema 4.  Unknown keys and
+        foreign schema versions raise :class:`SchemaError`.
         """
         if not isinstance(data, dict):
             raise SchemaError(
                 f"report document must be a dict, got {type(data).__name__}"
             )
         version = data.get("schema_version")
-        if version not in (2, cls.SCHEMA_VERSION):
+        if version not in (2, 3, cls.SCHEMA_VERSION):
             raise SchemaError(
                 f"unsupported report schema_version {version!r} "
-                f"(this library reads versions 2 and {cls.SCHEMA_VERSION})"
+                f"(this library reads versions 2, 3 and {cls.SCHEMA_VERSION})"
             )
-        expected = _DOCUMENT_KEYS if version == cls.SCHEMA_VERSION else _V2_DOCUMENT_KEYS
+        expected = _DOCUMENT_KEYS if version >= 3 else _V2_DOCUMENT_KEYS
         unknown = sorted(set(data) - set(expected))
         if unknown:
             raise SchemaError(
@@ -383,6 +390,15 @@ class ExperimentReport:
             f"{self.config.network_rtt * 1000:.0f} ms RTT)",
             f"window            : {self.config.measurement_blocks} blocks, "
             f"{self.window.duration:.1f} s",
+        ]
+        if self.config.topology is not None:
+            topo = self.config.topology
+            lines.append(
+                f"topology          : {topo.name} — {len(topo.chain_ids)} "
+                f"chains, {len(topo.edges)} edge(s), {len(topo.routes)} "
+                f"route(s), max {topo.max_hops} hop(s)"
+            )
+        lines += [
             f"requested         : {self.workload.requested_transfers}",
             f"committed (chain) : {self.window.sends} "
             f"({self.window.chain_throughput_tfps:.1f} TFPS included)",

@@ -36,6 +36,23 @@ from repro.sim.core import Event
 _POLL = 0.5
 
 
+def _reset_run_caches() -> None:
+    """Drop process-global memo caches before a run.
+
+    The payload-codec and signature caches are keyed by content and bounded,
+    but a pool worker that executes many sweep points back to back would
+    still carry entries (and their memory) from one experiment into the
+    next, skewing allocation measurements.  Runs stay deterministic either
+    way — the caches only memoize pure functions — so clearing them is
+    purely a memory-hygiene hook.
+    """
+    from repro.ibc import transfer
+    from repro.tendermint import crypto
+
+    transfer.reset_caches()
+    crypto.reset_caches()
+
+
 class _ExperimentEngine:
     """Runs one experiment configuration and produces a report."""
 
@@ -48,6 +65,11 @@ class _ExperimentEngine:
         self._window_end_time = 0.0
         self._window_start_height = 0
         self._completion_latency: Optional[float] = None
+
+    @property
+    def _anchor_chain(self):
+        """The primary route's source chain: the measurement-window clock."""
+        return self.testbed.chains[self.testbed.topology.routes[0][0]]
 
     # ------------------------------------------------------------------
 
@@ -94,7 +116,7 @@ class _ExperimentEngine:
         yield from self._wait_blocks(1)
 
         self._window_start_time = env.now
-        self._window_start_height = testbed.chain_a.engine.height
+        self._window_start_height = self._anchor_chain.engine.height
         self.driver = WorkloadDriver(testbed)
         self.driver.start()
         if config.faults:
@@ -103,7 +125,7 @@ class _ExperimentEngine:
             self.injector = FaultInjector(
                 env,
                 testbed.network,
-                [testbed.chain_a, testbed.chain_b],
+                list(testbed.chains),
                 testbed.rng,
                 config.faults,
             )
@@ -111,7 +133,7 @@ class _ExperimentEngine:
 
         # Measurement window: `measurement_blocks` source-chain blocks.
         end_height = self._window_start_height + config.measurement_blocks
-        while testbed.chain_a.engine.height < end_height:
+        while self._anchor_chain.engine.height < end_height:
             if config.total_transfers is not None and self.driver.finished.triggered:
                 # Fixed-total workloads may finish submitting early; keep
                 # waiting for the window unless we are in completion mode.
@@ -129,26 +151,33 @@ class _ExperimentEngine:
 
     def _wait_blocks(self, blocks: int) -> Generator[Event, Any, None]:
         env = self.testbed.env
-        target = self.testbed.chain_a.engine.height + blocks
-        while self.testbed.chain_a.engine.height < target:
+        target = self._anchor_chain.engine.height + blocks
+        while self._anchor_chain.engine.height < target:
             yield env.timeout(_POLL)
+
+    def _pending_commitments(self) -> list:
+        """Outstanding packet commitments on every channel end of every
+        edge — forwarded hops pend on the hub's outgoing channels, so
+        settlement must sweep the whole topology, not just edge 0."""
+        chains = {chain.chain_id: chain for chain in self.testbed.chains}
+        pending: list = []
+        for paths in self.testbed.edge_paths:
+            for path in paths:
+                for end in (path.a, path.b):
+                    pending.extend(
+                        chains[end.chain_id].app.ibc.pending_commitments(
+                            end.port_id, end.channel_id
+                        )
+                    )
+        return pending
 
     def _wait_for_settlement(self) -> Generator[Event, Any, None]:
         """Wait until every committed transfer is acked or timed out."""
         env = self.testbed.env
         assert self.driver is not None
-        paths = self.testbed.paths or [self.testbed.path]
-        ibc_a = self.testbed.chain_a.app.ibc
         while True:
             if self.driver.finished.triggered:
-                pending = [
-                    seq
-                    for path in paths
-                    for seq in ibc_a.pending_commitments(
-                        path.a.port_id, path.a.channel_id
-                    )
-                ]
-                if not pending:
+                if not self._pending_commitments():
                     processor = self._processor()
                     latency = processor.completion_latency(
                         self._window_start_time,
@@ -173,15 +202,47 @@ class _ExperimentEngine:
 
     def _build_report(self) -> ExperimentReport:
         assert self.driver is not None
+        testbed = self.testbed
         stats = self.driver.finalize()
+        route = testbed.topology.routes[0]
+        source_chain = testbed.chains[route[0]]
+        dest_chain = testbed.chains[route[-1]]
+        hop_paths = testbed.route_hop_paths(0)
+        source_channels = [
+            (end.port_id, end.channel_id)
+            for end in (
+                testbed.path_end(path, source_chain.chain_id)
+                for path in hop_paths[0]
+            )
+        ]
+        dest_channels = [
+            (end.port_id, end.channel_id)
+            for end in (
+                testbed.path_end(path, dest_chain.chain_id)
+                for path in hop_paths[-1]
+            )
+        ]
+        chains_by_id = {chain.chain_id: chain for chain in testbed.chains}
+        channel_ends = [
+            (chains_by_id[end.chain_id], end.port_id, end.channel_id)
+            for paths in testbed.edge_paths
+            for path in paths
+            for end in (path.a, path.b)
+        ]
         window = collect_window_metrics(
-            chain_a=self.testbed.chain_a,
-            chain_b=self.testbed.chain_b,
+            source_chain=source_chain,
+            dest_chain=dest_chain,
             start_time=self._window_start_time,
             end_time=self._window_end_time,
             start_height_a=self._window_start_height,
-            requested=stats.requested_transfers,
-            accepted=stats.accepted_transfers,
+            # Window metrics describe the primary route, so the submission
+            # counters must be route-local too (they coincide with the
+            # global totals for single-route topologies).
+            requested=self.driver.route_requested[0],
+            accepted=self.driver.route_accepted[0],
+            source_channels=source_channels,
+            dest_channels=dest_channels,
+            channel_ends=channel_ends,
         )
         processor = self._processor()
         timeline = processor.transfer_timeline(self._window_start_time)
@@ -198,7 +259,7 @@ class _ExperimentEngine:
             )
             faults = collect_fault_metrics(
                 windows,
-                [self.testbed.chain_a, self.testbed.chain_b],
+                list(self.testbed.chains),
                 [relayer.log for relayer in self.testbed.relayers],
                 completion_curve,
                 first_fault_offset=first_offset,
@@ -215,8 +276,8 @@ class _ExperimentEngine:
             window=window,
             workload=stats,
             timeline=timeline,
-            gas=collect_gas_metrics(self.testbed.chain_a, self.testbed.chain_b),
-            rpc=collect_rpc_metrics([self.testbed.chain_a, self.testbed.chain_b]),
+            gas=collect_gas_metrics(list(self.testbed.chains)),
+            rpc=collect_rpc_metrics(list(self.testbed.chains)),
             errors=processor.error_summary(),
             completion_curve=completion_curve,
             completion_latency=self._completion_latency,
@@ -240,6 +301,7 @@ def run_experiment(
     determinism tests and the scheduler-race sanitizer diff.  The journal
     is host-side only; it never enters the report's JSON wire format.
     """
+    _reset_run_caches()
     engine = _ExperimentEngine(config)
     report = engine.run()
     if capture_journal:

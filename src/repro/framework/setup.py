@@ -1,11 +1,19 @@
 """The framework's Setup module: testbed deployment.
 
-Builds the paper's private testnet in simulation: two Gaia chains with
-``num_validators`` validators each, spread over ``num_machines`` machines
-(one validator of each chain per machine), a configurable inter-machine
-RTT, and ``num_relayers`` Hermes instances — relayer *i* running on machine
-*i* against machine-local full nodes, as the paper's production-style
-deployment prescribes.
+Builds the paper's private testnet in simulation — and its N-chain
+generalizations.  A :class:`~repro.framework.topology.TopologySpec`
+names the chain graph: each chain gets ``num_validators`` validators
+spread over ``num_machines`` machines (one validator of each chain per
+machine), each edge gets an IBC connection with ``num_channels``
+channels and ``num_relayers`` Hermes instances, and each route gets its
+own workload accounts.  The default topology is the paper's two-chain
+pair (``ibc-0`` ↔ ``ibc-1``), and for that preset this module deploys
+the *exact* legacy testbed: same names, same construction order, same
+RNG streams, byte-identical runs.
+
+Relayer *i* (global index, across edges) runs on machine *i* against
+machine-local full nodes, as the paper's production-style deployment
+prescribes.
 """
 
 from __future__ import annotations
@@ -16,7 +24,9 @@ from typing import Any, Generator, Optional
 from repro.cosmos.accounts import Wallet
 from repro.cosmos.app import FEE_DENOM, TRANSFER_DENOM
 from repro.framework.config import ExperimentConfig
+from repro.framework.topology import TopologySpec
 from repro.relayer import Relayer, RelayerConfig, RelayPath
+from repro.relayer.worker import PathEnd
 from repro.sim.core import Environment, Event
 from repro.sim.network import Network
 from repro.sim.rng import RngRegistry
@@ -38,18 +48,27 @@ class Testbed:
     tracer: Tracer | NullTracer = field(init=False)
     network: Network = field(init=False)
     rng: RngRegistry = field(init=False)
-    chain_a: Chain = field(init=False)
-    chain_b: Chain = field(init=False)
+    #: The resolved topology (``config.topology`` or the legacy pair).
+    topology: TopologySpec = field(init=False)
+    #: Chains in topology order.
+    chains: list[Chain] = field(init=False, default_factory=list)
+    #: Relayers grouped per topology edge; ``relayers`` is the flat view.
+    edge_relayers: list[list[Relayer]] = field(init=False, default_factory=list)
     relayers: list[Relayer] = field(init=False, default_factory=list)
-    user_wallets: list[Wallet] = field(init=False, default_factory=list)
-    receiver: Wallet = field(init=False)
+    #: Workload sender wallets per route (route 0 == legacy user_wallets).
+    route_wallets: list[list[Wallet]] = field(init=False, default_factory=list)
+    #: Final-receiver wallet per route.
+    receivers: list[Wallet] = field(init=False, default_factory=list)
     path: Optional[RelayPath] = field(init=False, default=None)
-    #: All established channels (len == config.num_channels).
-    paths: list[RelayPath] = field(init=False, default_factory=list)
+    #: Established channels per topology edge (len == config.num_channels
+    #: each); populated by :meth:`bootstrap`.
+    edge_paths: list[list[RelayPath]] = field(init=False, default_factory=list)
 
     def __post_init__(self) -> None:
         config = self.config
         calibration = config.resolved_calibration
+        topology = config.topology or TopologySpec.pair()
+        self.topology = topology
         self.env = Environment(tiebreak=config.tiebreak)
         # Pure observation: the tracer only records (never schedules, never
         # draws), so traced and untraced runs evolve identically.
@@ -68,65 +87,125 @@ class Testbed:
         # One validator of each chain per machine (paper §III-C).
         val_hosts = [machines[i % len(machines)] for i in range(config.num_validators)]
         proof_mode = config.resolved_proof_mode
-        self.chain_a = Chain(
-            self.env, self.network, "ibc-0", val_hosts, self.rng,
-            calibration=calibration, proof_mode=proof_mode,
-            tracer=self.tracer,
-        )
-        self.chain_b = Chain(
-            self.env, self.network, "ibc-1", val_hosts, self.rng,
-            calibration=calibration, proof_mode=proof_mode,
-            tracer=self.tracer,
-        )
-        self.chain_a.app.register_counterparty(self.chain_b.counterparty_info())
-        self.chain_b.app.register_counterparty(self.chain_a.counterparty_info())
+        for chain_id in topology.chain_ids:
+            self.chains.append(
+                Chain(
+                    self.env, self.network, chain_id, val_hosts, self.rng,
+                    calibration=calibration, proof_mode=proof_mode,
+                    tracer=self.tracer,
+                )
+            )
+        for i, j in topology.edges:
+            self.chains[i].app.register_counterparty(
+                self.chains[j].counterparty_info()
+            )
+            self.chains[j].app.register_counterparty(
+                self.chains[i].counterparty_info()
+            )
 
         # Full nodes on every machine hosting a relayer or the CLI.
-        client_machines = machines[: max(1, config.num_relayers)]
+        total_relayers = config.num_relayers * len(topology.edges)
+        client_machines = machines[: max(1, total_relayers)]
         for machine in client_machines:
-            self.chain_a.add_node(machine)
-            self.chain_b.add_node(machine)
+            for chain in self.chains:
+                chain.add_node(machine)
 
-        # Relayers: instance i on machine i, each with its own keys.
-        for i in range(config.num_relayers):
-            machine = machines[i % len(machines)]
-            wallet_a = Wallet.named(f"relayer{i}-{config.seed}-a")
-            wallet_b = Wallet.named(f"relayer{i}-{config.seed}-b")
-            self.chain_a.app.genesis_account(wallet_a, {FEE_DENOM: GENESIS_FEE})
-            self.chain_b.app.genesis_account(wallet_b, {FEE_DENOM: GENESIS_FEE})
-            relayer = Relayer(
-                self.env,
-                name=f"hermes-{i}",
-                host=machine,
-                node_a=self.chain_a.node(machine),
-                node_b=self.chain_b.node(machine),
-                wallet_a=wallet_a,
-                wallet_b=wallet_b,
-                config=RelayerConfig(
-                    name=f"hermes-{i}",
-                    max_msgs_per_tx=config.msgs_per_tx,
-                    clear_interval=config.clear_interval,
-                    pull_concurrency=config.pull_concurrency,
-                    coordination_index=i if config.coordinate_relayers else 0,
-                    coordination_total=(
-                        config.num_relayers if config.coordinate_relayers else 1
+        # Relayers: instance k (global, across edges) on machine k, each
+        # with its own keys on the two chains of its edge.
+        for edge_pos, (i, j) in enumerate(topology.edges):
+            chain_i, chain_j = self.chains[i], self.chains[j]
+            edge_group: list[Relayer] = []
+            for local in range(config.num_relayers):
+                k = edge_pos * config.num_relayers + local
+                machine = machines[k % len(machines)]
+                wallet_a = Wallet.named(f"relayer{k}-{config.seed}-a")
+                wallet_b = Wallet.named(f"relayer{k}-{config.seed}-b")
+                chain_i.app.genesis_account(wallet_a, {FEE_DENOM: GENESIS_FEE})
+                chain_j.app.genesis_account(wallet_b, {FEE_DENOM: GENESIS_FEE})
+                relayer = Relayer(
+                    self.env,
+                    name=f"hermes-{k}",
+                    host=machine,
+                    node_a=chain_i.node(machine),
+                    node_b=chain_j.node(machine),
+                    wallet_a=wallet_a,
+                    wallet_b=wallet_b,
+                    config=RelayerConfig(
+                        name=f"hermes-{k}",
+                        max_msgs_per_tx=config.msgs_per_tx,
+                        clear_interval=config.clear_interval,
+                        pull_concurrency=config.pull_concurrency,
+                        coordination_index=(
+                            local if config.coordinate_relayers else 0
+                        ),
+                        coordination_total=(
+                            config.num_relayers
+                            if config.coordinate_relayers
+                            else 1
+                        ),
+                        rpc_retry_attempts=config.rpc_retry_attempts,
+                        resubscribe_on_disconnect=config.resubscribe_on_disconnect,
                     ),
-                    rpc_retry_attempts=config.rpc_retry_attempts,
-                    resubscribe_on_disconnect=config.resubscribe_on_disconnect,
-                ),
-                tracer=self.tracer,
-            )
-            self.relayers.append(relayer)
+                    tracer=self.tracer,
+                )
+                edge_group.append(relayer)
+                self.relayers.append(relayer)
+            self.edge_relayers.append(edge_group)
 
-        # Workload accounts (paper §III-D: many accounts, 100 msgs each).
-        for i in range(config.num_accounts):
-            wallet = Wallet.named(f"user{i}-{config.seed}")
-            self.chain_a.app.genesis_account(
-                wallet, {FEE_DENOM: GENESIS_FEE, TRANSFER_DENOM: GENESIS_TOKENS}
+        # Workload accounts (paper §III-D: many accounts, 100 msgs each),
+        # one pool per route, funded on the route's source chain.
+        single_route = len(topology.routes) == 1
+        for r, route in enumerate(topology.routes):
+            source = self.chains[route[0]]
+            wallets: list[Wallet] = []
+            for i in range(config.num_accounts):
+                name = (
+                    f"user{i}-{config.seed}"
+                    if single_route
+                    else f"user{r}.{i}-{config.seed}"
+                )
+                wallet = Wallet.named(name)
+                source.app.genesis_account(
+                    wallet, {FEE_DENOM: GENESIS_FEE, TRANSFER_DENOM: GENESIS_TOKENS}
+                )
+                wallets.append(wallet)
+            self.route_wallets.append(wallets)
+        for r, route in enumerate(topology.routes):
+            name = (
+                f"receiver-{config.seed}"
+                if single_route
+                else f"receiver{r}-{config.seed}"
             )
-            self.user_wallets.append(wallet)
-        self.receiver = Wallet.named(f"receiver-{config.seed}")
-        self.chain_b.app.genesis_account(self.receiver, {FEE_DENOM: GENESIS_FEE})
+            receiver = Wallet.named(name)
+            self.chains[route[-1]].app.genesis_account(
+                receiver, {FEE_DENOM: GENESIS_FEE}
+            )
+            self.receivers.append(receiver)
+
+    # -- legacy two-chain views ----------------------------------------
+
+    @property
+    def chain_a(self) -> Chain:
+        return self.chains[0]
+
+    @property
+    def chain_b(self) -> Chain:
+        return self.chains[1]
+
+    @property
+    def user_wallets(self) -> list[Wallet]:
+        """Route 0's sender wallets (the legacy single-route pool)."""
+        return self.route_wallets[0]
+
+    @property
+    def receiver(self) -> Wallet:
+        """Route 0's final receiver."""
+        return self.receivers[0]
+
+    @property
+    def paths(self) -> list[RelayPath]:
+        """Edge 0's established channels (len == config.num_channels)."""
+        return self.edge_paths[0] if self.edge_paths else []
 
     # ------------------------------------------------------------------
 
@@ -139,59 +218,82 @@ class Testbed:
     def cli_node(self) -> ChainNode:
         return self.chain_a.node(self.cli_host)
 
+    def path_end(self, path: RelayPath, chain_id: str) -> PathEnd:
+        """The end of ``path`` that lives on ``chain_id``."""
+        if path.a.chain_id == chain_id:
+            return path.a
+        if path.b.chain_id != chain_id:
+            raise ValueError(f"path has no end on {chain_id!r}")
+        return path.b
+
+    def route_hop_paths(self, r: int) -> list[list[RelayPath]]:
+        """The established channels of each hop of route ``r``, in order."""
+        route = self.topology.routes[r]
+        return [
+            self.edge_paths[edge] for edge in self.topology.route_edges(route)
+        ]
+
+    def route_chains(self, r: int) -> list[Chain]:
+        return [self.chains[i] for i in self.topology.routes[r]]
+
     def start_chains(self) -> None:
-        self.chain_a.start()
-        self.chain_b.start()
+        for chain in self.chains:
+            chain.start()
 
     def bootstrap(self) -> Generator[Event, Any, RelayPath]:
-        """Start chains and establish the relay path (Setup module run).
+        """Start chains and establish every relay path (Setup module run).
 
         With ``num_relayers == 0`` (chain-only experiments) a throwaway
-        bootstrap relayer performs the handshake so the channel exists, but
-        no relaying processes are started.
+        bootstrap relayer performs each edge's handshake so the channels
+        exist, but no relaying processes are started.  Returns edge 0's
+        first path (the legacy return value).
         """
         self.start_chains()
-        if self.relayers:
-            opener = self.relayers[0]
-        else:
-            wallet_a = Wallet.named(f"bootstrap-{self.config.seed}-a")
-            wallet_b = Wallet.named(f"bootstrap-{self.config.seed}-b")
-            self.chain_a.app.genesis_account(wallet_a, {FEE_DENOM: GENESIS_FEE})
-            self.chain_b.app.genesis_account(wallet_b, {FEE_DENOM: GENESIS_FEE})
-            machine = self.cli_host
-            opener = Relayer(
-                self.env, "bootstrap", machine,
-                self.chain_a.node(machine), self.chain_b.node(machine),
-                wallet_a, wallet_b,
-            )
         from repro.ibc.channel import ChannelOrder
+        from repro.relayer.handshake import HandshakeDriver
 
         ordering = (
             ChannelOrder.ORDERED
             if self.config.channel_ordering == "ordered"
             else ChannelOrder.UNORDERED
         )
-        path = yield from opener.establish_path(ordering=ordering)
-        self.path = path
-        self.paths = [path]
-        if self.config.num_channels > 1:
-            # EXTENSION: per-relayer channels over the shared connection.
-            from repro.relayer.handshake import HandshakeDriver
-
-            driver = HandshakeDriver(opener.endpoint_a, opener.endpoint_b)
-            for _ in range(self.config.num_channels - 1):
-                extra = yield from driver.open_extra_channel(path)
-                self.paths.append(extra)
-            # Relayer i serves channel i exclusively.
-            opener.use_path(self.paths[0])
-            for i, relayer in enumerate(self.relayers):
-                if relayer is not opener:
-                    relayer.use_path(self.paths[i % len(self.paths)])
-        else:
-            for relayer in self.relayers:
-                if relayer is not opener:
-                    relayer.use_path(path)
-        return path
+        for edge_pos, (i, j) in enumerate(self.topology.edges):
+            relayers = self.edge_relayers[edge_pos]
+            if relayers:
+                opener = relayers[0]
+            else:
+                suffix = "" if edge_pos == 0 else str(edge_pos)
+                wallet_a = Wallet.named(f"bootstrap{suffix}-{self.config.seed}-a")
+                wallet_b = Wallet.named(f"bootstrap{suffix}-{self.config.seed}-b")
+                chain_i, chain_j = self.chains[i], self.chains[j]
+                chain_i.app.genesis_account(wallet_a, {FEE_DENOM: GENESIS_FEE})
+                chain_j.app.genesis_account(wallet_b, {FEE_DENOM: GENESIS_FEE})
+                machine = self.cli_host
+                opener = Relayer(
+                    self.env, f"bootstrap{suffix}", machine,
+                    chain_i.node(machine), chain_j.node(machine),
+                    wallet_a, wallet_b,
+                )
+            path = yield from opener.establish_path(ordering=ordering)
+            paths = [path]
+            if self.config.num_channels > 1:
+                # EXTENSION: per-relayer channels over the shared connection.
+                driver = HandshakeDriver(opener.endpoint_a, opener.endpoint_b)
+                for _ in range(self.config.num_channels - 1):
+                    extra = yield from driver.open_extra_channel(path)
+                    paths.append(extra)
+                # Relayer i serves channel i exclusively.
+                opener.use_path(paths[0])
+                for local, relayer in enumerate(relayers):
+                    if relayer is not opener:
+                        relayer.use_path(paths[local % len(paths)])
+            else:
+                for relayer in relayers:
+                    if relayer is not opener:
+                        relayer.use_path(path)
+            self.edge_paths.append(paths)
+        self.path = self.edge_paths[0][0]
+        return self.path
 
     def start_relayers(self) -> None:
         for relayer in self.relayers:

@@ -12,6 +12,12 @@ per block).  Two modes:
 * **fixed-total** (latency experiments, Figs. 12-13): exactly
   ``total_transfers`` messages are spread evenly over
   ``submission_blocks`` consecutive per-account rounds.
+
+Multi-route topologies get one account pool per route, each submitting
+on the route's source chain; rates and fixed totals apply *per route*,
+so adding spokes to a hub adds load (the saturation experiment).
+Multi-hop routes encode the remaining hops into the receiver field
+(packet-forward style, see :mod:`repro.ibc.transfer`).
 """
 
 from __future__ import annotations
@@ -19,11 +25,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.cosmos.bank import module_address
 from repro.errors import WorkloadError
 from repro.framework.setup import Testbed
+from repro.ibc.transfer import encode_forward_receiver
 from repro.relayer.cli import TransferSubmission, WorkloadCli
 from repro.relayer.logging import RelayerLog
 from repro.sim.core import Environment, ProcessGroup
+from repro.tendermint.node import Chain
 
 
 @dataclass(slots=True)
@@ -73,6 +82,10 @@ class WorkloadDriver:
         "finished",
         "processes",
         "_clis",
+        "_hint_chains",
+        "_routes",
+        "route_requested",
+        "route_accepted",
     )
 
     def __init__(self, testbed: Testbed, log: Optional[RelayerLog] = None):
@@ -88,21 +101,56 @@ class WorkloadDriver:
         self.finished = self.env.event()
         #: Per-account submission processes, retained for interruption.
         self.processes = ProcessGroup(self.env)
-        paths = testbed.paths or [testbed.path]
-        self._clis = [
-            WorkloadCli(
-                env=self.env,
-                node=testbed.cli_node,
-                wallet=wallet,
-                client_host=testbed.cli_host,
-                log=self.log,
+        self._clis: list[WorkloadCli] = []
+        #: Per-account first-hop destination chain (timeout-height hints).
+        self._hint_chains: list[Chain] = []
+        #: Route index per account, plus per-route submission tallies — the
+        #: report's window section is scoped to the primary route, so it
+        #: needs route-local requested/accepted, not the global totals.
+        self._routes: list[int] = []
+        self.route_requested = [0] * len(testbed.topology.routes)
+        self.route_accepted = [0] * len(testbed.topology.routes)
+        forward_fallback = module_address("transfer/forward")
+        for r, route in enumerate(testbed.topology.routes):
+            source = testbed.chains[route[0]]
+            hop_paths = testbed.route_hop_paths(r)
+            hint_chain = testbed.chains[route[1]]
+            final_receiver = testbed.receivers[r].address
+            for i, wallet in enumerate(testbed.route_wallets[r]):
                 # Accounts spread round-robin over the available channels
-                # (one channel in the paper's experiments).
-                source_channel=paths[i % len(paths)].a.channel_id,
-                receiver=testbed.receiver.address,
-            )
-            for i, wallet in enumerate(testbed.user_wallets)
-        ]
+                # of every hop (one channel in the paper's experiments).
+                first = testbed.path_end(
+                    hop_paths[0][i % len(hop_paths[0])], source.chain_id
+                )
+                if len(route) == 2:
+                    receiver = final_receiver
+                else:
+                    # Each intermediate chain forwards on its next-hop
+                    # channel; timed-out forwards refund to the module
+                    # account standing in for packet-forward middleware.
+                    hops = []
+                    for k in range(1, len(route) - 1):
+                        onward = testbed.path_end(
+                            hop_paths[k][i % len(hop_paths[k])],
+                            testbed.topology.chain_ids[route[k]],
+                        )
+                        hops.append(
+                            (forward_fallback, onward.port_id, onward.channel_id)
+                        )
+                    receiver = encode_forward_receiver(hops, final_receiver)
+                self._clis.append(
+                    WorkloadCli(
+                        env=self.env,
+                        node=source.node(testbed.cli_host),
+                        wallet=wallet,
+                        client_host=testbed.cli_host,
+                        log=self.log,
+                        source_channel=first.channel_id,
+                        receiver=receiver,
+                    )
+                )
+                self._hint_chains.append(hint_chain)
+                self._routes.append(r)
 
     # ------------------------------------------------------------------
 
@@ -111,9 +159,11 @@ class WorkloadDriver:
         self.stats.start_time = self.env.now
         schedules = self._schedules()
         self._active = len(self._clis)
-        for cli, schedule in zip(self._clis, schedules):
+        for cli, r, hint_chain, schedule in zip(
+            self._clis, self._routes, self._hint_chains, schedules
+        ):
             self.processes.spawn(
-                self._account_loop(cli, schedule),
+                self._account_loop(cli, r, hint_chain, schedule),
                 name=f"workload/{cli.wallet.name}",
             )
 
@@ -124,17 +174,25 @@ class WorkloadDriver:
     # ------------------------------------------------------------------
 
     def _schedules(self) -> list[Optional[list[int]]]:
-        """Per-account submission schedules.
+        """Per-account submission schedules, route pools concatenated.
 
         ``None`` means continuous mode (repeat full transactions until
-        stopped); otherwise a list of per-round message counts.
+        stopped); otherwise a list of per-round message counts.  In
+        fixed-total mode each route submits ``total_transfers`` messages
+        through its own account pool.
         """
         config = self.config
         if config.total_transfers is None:
             return [None] * len(self._clis)
+        schedules: list[Optional[list[int]]] = []
+        for wallets in self.testbed.route_wallets:
+            schedules.extend(self._route_schedule(len(wallets)))
+        return schedules
+
+    def _route_schedule(self, accounts: int) -> list[list[int]]:
+        config = self.config
         total = config.total_transfers
         rounds = config.submission_blocks
-        accounts = len(self._clis)
         # Messages per round, spread as evenly as integers allow.
         per_round = [
             total // rounds + (1 if r < total % rounds else 0)
@@ -159,19 +217,27 @@ class WorkloadDriver:
                 )
         return list(schedules)
 
-    def _account_loop(self, cli: WorkloadCli, schedule: Optional[list[int]]):
+    def _account_loop(
+        self,
+        cli: WorkloadCli,
+        r: int,
+        hint_chain: Chain,
+        schedule: Optional[list[int]],
+    ):
         config = self.config
         try:
             if schedule is None:
                 while not self.stop_requested:
-                    yield from self._one_submission(cli, config.msgs_per_tx)
+                    yield from self._one_submission(
+                        cli, r, hint_chain, config.msgs_per_tx
+                    )
             else:
                 for count in schedule:
                     if count <= 0:
                         # Keep round alignment: wait out one block interval.
                         yield self.env.timeout(config.block_interval)
                         continue
-                    yield from self._one_submission(cli, count)
+                    yield from self._one_submission(cli, r, hint_chain, count)
         finally:
             self._active -= 1
             if self._active == 0:
@@ -179,7 +245,9 @@ class WorkloadDriver:
                 if not self.finished.triggered:
                     self.finished.succeed()
 
-    def _one_submission(self, cli: WorkloadCli, count: int):
+    def _one_submission(
+        self, cli: WorkloadCli, r: int, hint_chain: Chain, count: int
+    ):
         # The packet sequence is assigned on chain, so the span carries the
         # tx hash instead of a packet key; the trace aggregator joins it to
         # packets via the commit/send_packet marks for the same hash.
@@ -190,10 +258,12 @@ class WorkloadDriver:
             count=count,
             amount=self.config.transfer_amount,
             timeout_blocks=self.config.timeout_blocks,
-            dst_height_hint=self.testbed.chain_b.engine.height,
+            dst_height_hint=hint_chain.engine.height,
         )
         self.stats.record(submission)
+        self.route_requested[r] += submission.transfer_count
         if submission.accepted:
+            self.route_accepted[r] += submission.transfer_count
             yield from cli.wait_confirmation(submission)
             self.testbed.tracer.close_span(
                 span,

@@ -585,7 +585,9 @@ class IbcModule(Journaled):
         self.store.set(
             keys.packet_commitment_path(port_id, channel_id, sequence), commitment
         )
-        event = self._packet_event("send_packet", packet)
+        event = self._packet_event(
+            "send_packet", packet, packet_src_chain=self.chain_id
+        )
         return packet, [event]
 
     def recv_packet(self, msg: MsgRecvPacket, ctx: ExecContext) -> list[AbciEvent]:
@@ -660,13 +662,23 @@ class IbcModule(Journaled):
             )
         # Route to the application (Fig. 2 step 4) and write the ack (step 5).
         app = self.app_for_port(packet.destination_port)
+        src_chain = self._client(connection.client_id).state.chain_id
         ack = app.on_recv_packet(packet, ctx)
-        events = [self._packet_event("recv_packet", packet)]
-        events.extend(self._write_acknowledgement(packet, ack))
+        events = [
+            self._packet_event("recv_packet", packet, packet_src_chain=src_chain)
+        ]
+        # Applications that forward packets onward (packet-forward
+        # middleware) queue the onward send events during the callback;
+        # drain them here so they land after this hop's recv_packet and
+        # before its write_acknowledgement, in the same transaction.
+        drain = getattr(app, "drain_forward_events", None)
+        if drain is not None:
+            events.extend(drain())
+        events.extend(self._write_acknowledgement(packet, ack, src_chain))
         return events
 
     def _write_acknowledgement(
-        self, packet: Packet, ack: Acknowledgement
+        self, packet: Packet, ack: Acknowledgement, src_chain: str
     ) -> list[AbciEvent]:
         key = (packet.destination_port, packet.destination_channel, packet.sequence)
         if key in self._acks:
@@ -679,7 +691,10 @@ class IbcModule(Journaled):
             keys.packet_acknowledgement_path(*key), ack.commitment()
         )
         event = self._packet_event(
-            "write_acknowledgement", packet, packet_ack=ack
+            "write_acknowledgement",
+            packet,
+            packet_src_chain=src_chain,
+            packet_ack=ack,
         )
         return [event]
 
@@ -731,7 +746,11 @@ class IbcModule(Journaled):
         self.store.delete(keys.packet_commitment_path(*src_key))
         app = self.app_for_port(packet.source_port)
         app.on_acknowledgement(packet, msg.acknowledgement, ctx)
-        return [self._packet_event("acknowledge_packet", packet)]
+        return [
+            self._packet_event(
+                "acknowledge_packet", packet, packet_src_chain=self.chain_id
+            )
+        ]
 
     def timeout_packet(self, msg: MsgTimeout, ctx: ExecContext) -> list[AbciEvent]:
         """OnPacketTimeout (Fig. 3): prove non-receipt, undo, clear."""
@@ -781,7 +800,11 @@ class IbcModule(Journaled):
         self.store.delete(keys.packet_commitment_path(*src_key))
         app = self.app_for_port(packet.source_port)
         app.on_timeout(packet, ctx)
-        return [self._packet_event("timeout_packet", packet)]
+        return [
+            self._packet_event(
+                "timeout_packet", packet, packet_src_chain=self.chain_id
+            )
+        ]
 
     # ------------------------------------------------------------------
     # State queries (used by the RPC layer and the relayer)

@@ -9,6 +9,10 @@ Semantics (ibc-go's transfer module):
   destination un-escrows the original token.
 * A failed acknowledgement or a timeout refunds the sender (un-escrow or
   re-mint, matching how the tokens left).
+* A receiver field of the form ``fallback|port/channel:final`` forwards
+  the received tokens over another channel in the same transaction
+  (packet-forward middleware style), stacking the denom trace — this is
+  how hub-routed A→hub→B transfers are expressed.
 """
 
 from __future__ import annotations
@@ -16,15 +20,15 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass
 from functools import lru_cache
-from typing import Protocol
+from typing import Optional, Protocol
 
 from repro.cosmos.denom import DenomRegistry, DenomTrace
 from repro.errors import IbcError, PacketError
 from repro.ibc import keys
-from repro.ibc.channel import ChannelEnd
+from repro.ibc.channel import ChannelEnd, ChannelState
 from repro.ibc.module import ExecContext, IbcModule
 from repro.ibc.msgs import MsgTransfer
-from repro.ibc.packet import Acknowledgement, Packet
+from repro.ibc.packet import Acknowledgement, Height, Packet
 from repro.tendermint.abci import AbciEvent
 
 
@@ -57,7 +61,14 @@ class FungibleTokenPacketData:
         return _ftpd_decode(raw)
 
 
-@lru_cache(maxsize=None)
+#: Upper bound on the payload memo caches.  A run's working set is one
+#: entry per distinct (denom, amount, sender, receiver) tuple — a few
+#: thousand even for the heaviest workloads — so the bound only matters
+#: for long-lived pool workers, where it stops unbounded cross-run growth.
+_PAYLOAD_CACHE_SIZE = 1 << 15
+
+
+@lru_cache(maxsize=_PAYLOAD_CACHE_SIZE)
 def _ftpd_encode(data: FungibleTokenPacketData) -> bytes:
     # Payloads repeat heavily (same sender/receiver/amount across a run),
     # so each distinct payload is serialised once.
@@ -72,7 +83,7 @@ def _ftpd_encode(data: FungibleTokenPacketData) -> bytes:
     ).encode()
 
 
-@lru_cache(maxsize=None)
+@lru_cache(maxsize=_PAYLOAD_CACHE_SIZE)
 def _ftpd_decode(raw: bytes) -> FungibleTokenPacketData:
     payload = json.loads(raw.decode())
     return FungibleTokenPacketData(
@@ -83,19 +94,112 @@ def _ftpd_decode(raw: bytes) -> FungibleTokenPacketData:
     )
 
 
+def reset_caches() -> None:
+    """Drop the payload memo caches (per-run hygiene for pool workers)."""
+    _ftpd_encode.cache_clear()
+    _ftpd_decode.cache_clear()
+
+
 def escrow_address(port_id: str, channel_id: str) -> str:
     from repro.cosmos.bank import module_address
 
     return module_address(f"transfer/{port_id}/{channel_id}/escrow")
 
 
+def receiver_chain_is_source(
+    source_port: str, source_channel: str, trace: DenomTrace
+) -> bool:
+    """ibc-go's ``ReceiverChainIsSource``: the token is coming *home*.
+
+    True when the denom's outermost hop is the packet's **source** end —
+    the voucher was minted on the sending chain for a token that
+    originated here, so receiving it un-escrows rather than mints.  The
+    two ends of a channel generally have different channel ids, so
+    comparing against the destination end (a symmetric-topology bug this
+    check replaces) silently breaks on any asymmetric topology.
+    """
+    return not trace.is_native and trace.outermost_hop() == (
+        source_port,
+        source_channel,
+    )
+
+
+def sender_chain_is_source(
+    source_port: str, source_channel: str, trace: DenomTrace
+) -> bool:
+    """ibc-go's ``SenderChainIsSource``: escrow (not burn) on send."""
+    return trace.is_native or trace.outermost_hop() != (
+        source_port,
+        source_channel,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Packet forwarding (packet-forward-middleware style)
+# ---------------------------------------------------------------------------
+
+#: Separates the hop-local fallback address from the forward instruction.
+FORWARD_MARKER = "|"
+
+
+@dataclass(frozen=True, slots=True)
+class ForwardRoute:
+    """One parsed forward instruction from a packet's receiver field."""
+
+    fallback: str  #: hop-local address credited before (and refunded after) the forward
+    port: str  #: source port of the onward hop
+    channel: str  #: source channel of the onward hop
+    next_receiver: str  #: final receiver, or a nested forward instruction
+
+
+def encode_forward_receiver(
+    hops: list[tuple[str, str, str]], final_receiver: str
+) -> str:
+    """Build the receiver field routing a transfer through ``hops``.
+
+    Each hop is ``(fallback_address, port, channel)`` as interpreted *on
+    the chain where that hop's packet is received*.  The innermost part
+    is the final receiver on the last chain.
+    """
+    receiver = final_receiver
+    for fallback, port, channel in reversed(hops):
+        receiver = f"{fallback}{FORWARD_MARKER}{port}/{channel}:{receiver}"
+    return receiver
+
+
+def parse_forward_receiver(receiver: str) -> Optional[ForwardRoute]:
+    """Parse a receiver field; None when it is a plain address.
+
+    Raises :class:`PacketError` when the forward marker is present but
+    the instruction is malformed, so the receive fails into a clean
+    error acknowledgement (refund at the origin, no state mutated).
+    """
+    if FORWARD_MARKER not in receiver:
+        return None
+    fallback, _, rest = receiver.partition(FORWARD_MARKER)
+    hop, sep, next_receiver = rest.partition(":")
+    port, hop_sep, channel = hop.partition("/")
+    if not (fallback and sep and hop_sep and port and channel and next_receiver):
+        raise PacketError(f"malformed forward receiver {receiver!r}")
+    return ForwardRoute(
+        fallback=fallback, port=port, channel=channel, next_receiver=next_receiver
+    )
+
+
 class TransferApp:
     """The ICS-20 application bound to the ``transfer`` port."""
+
+    #: Height margin (above the light client's view of the next chain)
+    #: given to packets sent onward by the forward middleware.
+    forward_timeout_blocks = 120
 
     def __init__(self, ibc: IbcModule, bank: BankLike):
         self.ibc = ibc
         self.bank = bank
         self.denoms = DenomRegistry()
+        #: send_packet events produced by forwards inside the current
+        #: receive, drained by the IBC module into the receive's tx events.
+        self._forward_events: list[AbciEvent] = []
         ibc.bind_port(keys.TRANSFER_PORT, self)
 
     # ------------------------------------------------------------------
@@ -109,17 +213,13 @@ class TransferApp:
         if msg.amount <= 0:
             raise PacketError(f"transfer amount must be positive: {msg.amount}")
         trace = self.denoms.resolve(msg.denom)
-        escrow = escrow_address(msg.source_port, msg.source_channel)
-        returning = (
-            not trace.is_native
-            and trace.outermost_hop() == (msg.source_port, msg.source_channel)
-        )
-        if returning:
+        if sender_chain_is_source(msg.source_port, msg.source_channel, trace):
+            # Token is native from this chain's perspective: escrow it.
+            escrow = escrow_address(msg.source_port, msg.source_channel)
+            self.bank.send(msg.sender, escrow, msg.denom, msg.amount)
+        else:
             # Voucher going back where it came from: burn it here.
             self.bank.burn(msg.sender, msg.denom, msg.amount)
-        else:
-            # Token is native from this chain's perspective: escrow it.
-            self.bank.send(msg.sender, escrow, msg.denom, msg.amount)
         data = FungibleTokenPacketData(
             denom=trace.full_path(),
             amount=msg.amount,
@@ -150,19 +250,35 @@ class TransferApp:
     def on_recv_packet(self, packet: Packet, ctx: ExecContext) -> Acknowledgement:
         try:
             data = FungibleTokenPacketData.decode(packet.data)
-            self._apply_receive(packet, data)
+            route = parse_forward_receiver(data.receiver)
+            if route is not None:
+                self._receive_and_forward(packet, data, route, ctx)
+            else:
+                self._apply_receive(packet, data, data.receiver)
         except Exception as exc:  # noqa: BLE001 - ack carries the error
+            self._forward_events.clear()
             return Acknowledgement(success=False, error=str(exc))
         return Acknowledgement(success=True, result="AQ==")
 
-    def _apply_receive(self, packet: Packet, data: FungibleTokenPacketData) -> None:
+    def drain_forward_events(self) -> list[AbciEvent]:
+        """Events of onward sends made inside the current receive.
+
+        Called by :meth:`IbcModule.recv_packet` after the application
+        callback so forwarded ``send_packet`` events land in the same
+        transaction, after the hop's ``recv_packet`` event.
+        """
+        events = self._forward_events
+        self._forward_events = []
+        return events
+
+    def _apply_receive(
+        self, packet: Packet, data: FungibleTokenPacketData, receiver: str
+    ) -> str:
+        """Credit ``receiver`` and return the denom as named on this chain."""
         trace = DenomTrace.parse(data.denom)
-        returning = (
-            not trace.is_native
-            and trace.outermost_hop()
-            == (packet.destination_port, packet.destination_channel)
-        )
-        if returning:
+        if receiver_chain_is_source(
+            packet.source_port, packet.source_channel, trace
+        ):
             # Our own token coming home: un-escrow the original.
             local_trace = trace.unwind()
             local_denom = (
@@ -173,14 +289,51 @@ class TransferApp:
             escrow = escrow_address(
                 packet.destination_port, packet.destination_channel
             )
-            self.bank.send(escrow, data.receiver, local_denom, data.amount)
+            self.bank.send(escrow, receiver, local_denom, data.amount)
         else:
             # Foreign token arriving: extend the trace, mint a voucher.
             voucher_trace = trace.prepend(
                 packet.destination_port, packet.destination_channel
             )
-            voucher = self.denoms.register(voucher_trace)
-            self.bank.mint(data.receiver, voucher, data.amount)
+            local_denom = self.denoms.register(voucher_trace)
+            self.bank.mint(receiver, local_denom, data.amount)
+        return local_denom
+
+    def _receive_and_forward(
+        self,
+        packet: Packet,
+        data: FungibleTokenPacketData,
+        route: ForwardRoute,
+        ctx: ExecContext,
+    ) -> None:
+        """Receive to the hop's fallback address, then send onward.
+
+        The onward hop is validated *before* any balance changes so a bad
+        route fails into an error ack (refund happens at the origin with
+        no residue here).  A failure past the onward send — a timeout or
+        error ack on the next hop — refunds the fallback address on this
+        chain only; the origin's escrow is final once hop 1 succeeds.
+        """
+        end = self.ibc.channels.get((route.port, route.channel))
+        if end is None or end.state is not ChannelState.OPEN:
+            raise PacketError(
+                f"forward channel {route.port}/{route.channel} is not open"
+            )
+        connection = self.ibc.connections[end.connection_id]
+        client = self.ibc.clients[connection.client_id]
+        timeout = Height(0, client.latest_height + self.forward_timeout_blocks)
+        local_denom = self._apply_receive(packet, data, route.fallback)
+        onward = MsgTransfer(
+            source_port=route.port,
+            source_channel=route.channel,
+            denom=local_denom,
+            amount=data.amount,
+            sender=route.fallback,
+            receiver=route.next_receiver,
+            timeout_height=timeout,
+        )
+        _packet, events = self.msg_transfer(onward, ctx)
+        self._forward_events.extend(events)
 
     def on_acknowledgement(
         self, packet: Packet, ack: Acknowledgement, ctx: ExecContext
@@ -192,21 +345,24 @@ class TransferApp:
         self._refund(packet)
 
     def _refund(self, packet: Packet) -> None:
-        """Undo the send: un-escrow or re-mint to the original sender."""
+        """Undo the send: un-escrow or re-mint to the original sender.
+
+        For a forwarded packet the sender is the hub-local fallback
+        address, so a second-hop failure refunds *here* and never touches
+        the origin chain's escrow — hop 1 was already acknowledged.
+        """
         data = FungibleTokenPacketData.decode(packet.data)
         trace = DenomTrace.parse(data.denom)
-        was_return = (
-            not trace.is_native
-            and trace.outermost_hop() == (packet.source_port, packet.source_channel)
-        )
         local_denom = (
             trace.base_denom
             if trace.is_native
             else self.denoms.register(trace)
         )
-        if was_return:
-            # We burned a voucher on send: mint it back.
-            self.bank.mint(data.sender, local_denom, data.amount)
-        else:
+        if sender_chain_is_source(
+            packet.source_port, packet.source_channel, trace
+        ):
             escrow = escrow_address(packet.source_port, packet.source_channel)
             self.bank.send(escrow, data.sender, local_denom, data.amount)
+        else:
+            # We burned a voucher on send: mint it back.
+            self.bank.mint(data.sender, local_denom, data.amount)

@@ -239,11 +239,41 @@ def _golden_faults_config(tiebreak: str, seed: int):
     )
 
 
+def _line3_config(tiebreak: str, seed: int):
+    from repro.framework import ExperimentConfig, TopologySpec
+
+    return ExperimentConfig(
+        input_rate=5,
+        measurement_blocks=3,
+        seed=seed,
+        drain_seconds=45.0,
+        topology=TopologySpec.line(3),
+        tracing=True,
+        tiebreak=tiebreak,
+    )
+
+
+def _hub4_config(tiebreak: str, seed: int):
+    from repro.framework import ExperimentConfig, TopologySpec
+
+    return ExperimentConfig(
+        input_rate=5,
+        measurement_blocks=3,
+        seed=seed,
+        drain_seconds=45.0,
+        topology=TopologySpec.hub_and_spoke(4),
+        tracing=True,
+        tiebreak=tiebreak,
+    )
+
+
 #: Named scenarios for the CLI / pytest marker.  Each maps a name to a
 #: ``(tiebreak, seed) -> ExperimentConfig`` factory.
 SCENARIOS: dict[str, Callable] = {
     "golden": _golden_config,
     "golden-faults": _golden_faults_config,
+    "line3": _line3_config,
+    "hub4": _hub4_config,
 }
 
 

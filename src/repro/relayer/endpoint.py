@@ -52,9 +52,10 @@ class SubmittedTx:
     confirm_time: Optional[float] = None
     #: Packet messages in the tx (excludes the prepended client update).
     payload_msgs: int = 0
-    #: (source_channel, sequence) per packet message, in chunk order, so
-    #: confirmations can be traced back to packet identities.
-    packet_keys: tuple[tuple[str, int], ...] = ()
+    #: (source_chain, source_channel, sequence) per packet message, in
+    #: chunk order, so confirmations can be traced back to packet
+    #: identities.
+    packet_keys: tuple[tuple[str, str, int], ...] = ()
 
     @property
     def accepted(self) -> bool:
@@ -177,6 +178,7 @@ class ChainEndpoint:
         label: str,
         build_seconds_per_msg: float = 0.0,
         prepend_msg: Optional[Any] = None,
+        packet_src_chain: Optional[str] = None,
     ) -> Generator[Event, Any, list[SubmittedTx]]:
         """Chunk, sign and broadcast messages; returns per-tx outcomes.
 
@@ -184,7 +186,12 @@ class ChainEndpoint:
         (proof encoding etc.) before each chunk is signed.  ``prepend_msg``
         (a ``MsgUpdateClient`` in practice) is prepended to every chunk, the
         way Hermes precedes each packet transaction with a client update.
+        ``packet_src_chain`` names the chain the chunk's packets originated
+        on, for trace keys; it defaults to this endpoint's own chain, which
+        is correct for ack/timeout submissions (the packet's source chain is
+        the one being submitted to) but not for recv submissions.
         """
+        src_chain = packet_src_chain if packet_src_chain is not None else self.chain_id
         submitted: list[SubmittedTx] = []
         for chunk in chunk_msgs(msgs, self.config.max_msgs_per_tx):
             started = self.env.now
@@ -196,7 +203,7 @@ class ChainEndpoint:
                 payload, label, payload_msgs=len(chunk)
             )
             entry.packet_keys = tuple(
-                packet_key(m.packet.source_channel, m.packet.sequence)
+                packet_key(src_chain, m.packet.source_channel, m.packet.sequence)
                 for m in chunk
                 if hasattr(m, "packet")
             )

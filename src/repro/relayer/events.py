@@ -11,12 +11,19 @@ from repro.tendermint.websocket import BlockNotification, EventDescriptor
 
 @dataclass(slots=True)
 class PacketEvent:
-    """One IBC packet event the relayer must act on."""
+    """One IBC packet event the relayer must act on.
+
+    ``src_chain`` is the chain the packet *originated* on (the
+    ``packet_src_chain`` event attribute), which together with the source
+    channel and sequence forms the globally unique trace key in
+    multi-chain topologies.
+    """
 
     kind: str  # send_packet | write_acknowledgement | ...
     height: int
     tx_hash: bytes
     packet: Packet
+    src_chain: str = ""
 
 
 @dataclass(slots=True)
@@ -110,6 +117,7 @@ def batches_from_notification(
                 height=notification.height,
                 tx_hash=descriptor.tx_hash,
                 packet=packet,
+                src_chain=descriptor.attributes.get("packet_src_chain", ""),
             )
         )
     return list(batches.values())

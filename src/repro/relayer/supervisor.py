@@ -33,6 +33,10 @@ SUBSCRIBED_KINDS = frozenset(
     {"send_packet", "write_acknowledgement", "acknowledge_packet"}
 )
 
+#: Event kinds whose batches are handed to a direction worker's queue
+#: (``acknowledge_packet`` batches are logged only).
+_WORKER_KINDS = frozenset({"send_packet", "write_acknowledgement"})
+
 #: Log-step name per extracted event kind (the paper's 13-step naming).
 _EXTRACTION_STEP = {
     "send_packet": "transfer_extraction",
@@ -148,8 +152,16 @@ class Supervisor:
                 cal.RELAYER_EVENT_PARSE_SECONDS * len(notification.events)
             )
             batches = batches_from_notification(notification, SUBSCRIBED_KINDS)
+            handed_off = False
             for batch in batches:
-                self._dispatch(chain_id, batch)
+                if handed_off and batch.kind in _WORKER_KINDS:
+                    # Hand-offs are serial: when one frame feeds several
+                    # workers (hub blocks put send_packet *and* write_ack
+                    # events in one tx), the later workers wake strictly
+                    # after the first, so their follow-up queries cannot
+                    # tie for the node's serial RPC slot.
+                    yield self.env.timeout(cal.RELAYER_BATCH_HANDOFF_SECONDS)
+                handed_off = self._dispatch(chain_id, batch) or handed_off
 
     def _resubscribe(self, chain_id: str):
         """Re-open the WebSocket subscription with capped exponential
@@ -191,7 +203,8 @@ class Supervisor:
             if key[0] == chain_id:
                 self._ack_routes[key].request_clear()
 
-    def _dispatch(self, chain_id: str, batch: WorkBatch) -> None:
+    def _dispatch(self, chain_id: str, batch: WorkBatch) -> bool:
+        """Log/trace the batch; returns True if a worker queue received it."""
         step = _EXTRACTION_STEP.get(batch.kind)
         if step is not None:
             self.log.info(
@@ -206,7 +219,9 @@ class Supervisor:
                         "detect",
                         track,
                         key=packet_key(
-                            event.packet.source_channel, event.packet.sequence
+                            event.src_chain,
+                            event.packet.source_channel,
+                            event.packet.sequence,
                         ),
                         kind=batch.kind,
                         chain=chain_id,
@@ -217,9 +232,12 @@ class Supervisor:
             worker = self._recv_routes.get((chain_id, batch.routing_channel))
             if worker is not None:
                 worker.recv_queue.put(batch)
+                return True
         elif batch.kind == "write_acknowledgement":
             worker = self._ack_routes.get((chain_id, batch.routing_channel))
             if worker is not None:
                 worker.ack_queue.put(batch)
+                return True
         # acknowledge_packet events are only logged (step 12 of Fig. 12);
         # the packet life cycle is complete when they appear.
+        return False

@@ -257,7 +257,10 @@ class DirectionWorker:
                 signer=signer,
             )
             submitted = yield from dst.submit_msgs(
-                msgs, label="recv", prepend_msg=update
+                msgs,
+                label="recv",
+                prepend_msg=update,
+                packet_src_chain=self.src.chain_id,
             )
             self.processes.spawn(
                 self._confirm(dst, submitted, "recv"), name="confirm/recv"
@@ -301,12 +304,13 @@ class DirectionWorker:
                     attrs = entry["attrs"]
                     channel = attrs.get("packet_src_channel")
                     sequence = attrs.get("packet_sequence")
-                    if channel is None or sequence is None:
+                    src_chain = attrs.get("packet_src_chain")
+                    if channel is None or sequence is None or src_chain is None:
                         continue
                     self.tracer.event(
                         f"{step}_done",
                         self._track,
-                        key=packet_key(channel, sequence),
+                        key=packet_key(src_chain, channel, sequence),
                         height=batch.height,
                         tx_hash=tx_hash,
                     )
@@ -638,6 +642,7 @@ class DirectionWorker:
                 label="recv",
                 build_seconds_per_msg=cal.RELAYER_BUILD_SECONDS_PER_MSG,
                 prepend_msg=update,
+                packet_src_chain=self.src.chain_id,
             )
             self.processes.spawn(
                 self._confirm(self.dst, submitted, "recv"), name="confirm/clear"

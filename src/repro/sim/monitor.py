@@ -84,7 +84,10 @@ class SummaryStats:
         if n == 0:
             nan = float("nan")
             return cls(0, nan, nan, nan, nan, nan, nan, nan)
-        mean = sum(vals) / n
+        # Summation rounding can push the mean a few ulps outside the
+        # observed range (e.g. three equal values); clamp it back so the
+        # min <= mean <= max invariant holds exactly.
+        mean = min(max(sum(vals) / n, vals[0]), vals[-1])
         var = sum((v - mean) ** 2 for v in vals) / n if n > 1 else 0.0
         return cls(
             count=n,

@@ -55,12 +55,20 @@ class PrivateKey:
         return _sign(self.secret, message)
 
 
-@lru_cache(maxsize=None)
+#: Cache bounds: keypairs and addresses number in the dozens per testbed;
+#: distinct (key, message) signatures grow with simulated blocks.  The
+#: bounds comfortably exceed one run's working set — they exist so a
+#: reused pool worker cannot accumulate entries across runs without limit.
+_KEY_CACHE_SIZE = 1 << 12
+_SIGN_CACHE_SIZE = 1 << 16
+
+
+@lru_cache(maxsize=_KEY_CACHE_SIZE)
 def _public_key_of(secret: bytes) -> "PublicKey":
     return PublicKey(key=sha256(b"pubkey/" + secret))
 
 
-@lru_cache(maxsize=None)
+@lru_cache(maxsize=_SIGN_CACHE_SIZE)
 def _sign(secret: bytes, message: bytes) -> bytes:
     return sha256(secret + b"/sign/" + message)
 
@@ -87,9 +95,20 @@ class PublicKey:
         return signer.public_key == self and signer.sign(message) == signature
 
 
-@lru_cache(maxsize=None)
+@lru_cache(maxsize=_KEY_CACHE_SIZE)
 def _address_of(key: bytes) -> str:
     return sha256(key)[:20].hex()
+
+
+def reset_caches() -> None:
+    """Drop the signature/pubkey/address memo caches.
+
+    Invoked per run by :func:`repro.framework.runner.run_experiment` so a
+    long-lived sweep worker does not retain entries from earlier runs.
+    """
+    _public_key_of.cache_clear()
+    _sign.cache_clear()
+    _address_of.cache_clear()
 
 
 class SignatureRegistry:

@@ -24,6 +24,16 @@ from repro.tendermint.types import TxLike
 from repro.trace import NULL_TRACER
 
 
+def _reap_order(entry: "MempoolTx") -> tuple:
+    """Deterministic FIFO key: arrival time, then sender/sequence/hash."""
+    return (
+        entry.arrival_time,
+        getattr(entry.tx, "signer_address", None) or "",
+        getattr(entry.tx, "sequence", None) or 0,
+        entry.tx.hash,
+    )
+
+
 @dataclass
 class MempoolTx:
     tx: TxLike
@@ -124,11 +134,19 @@ class Mempool:
         max_gas: int = cal.BLOCK_MAX_GAS,
         max_bytes: int = cal.BLOCK_MAX_BYTES,
     ) -> list[TxLike]:
-        """Transactions for a proposal: FIFO, gossiped, within block limits."""
+        """Transactions for a proposal: FIFO, gossiped, within block limits.
+
+        FIFO is by *arrival time*, not raw insertion order: transactions
+        arriving at the same instant from different machines are inserted
+        in event-heap tie order, which must never decide block content
+        (the scheduler-race sanitizer reverses that order).  Ties break
+        by sender/sequence/hash instead — deterministic, and per-sender
+        submission order is preserved.
+        """
         chosen: list[TxLike] = []
         total_gas = 0
         total_bytes = 0
-        for entry in self._txs.values():
+        for entry in sorted(self._txs.values(), key=_reap_order):
             if entry.available_at > now:
                 continue
             gas = getattr(entry.tx, "gas_limit", 0)

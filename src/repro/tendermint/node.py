@@ -196,12 +196,13 @@ class Chain:
                     continue
                 sequence = event.attr("packet_sequence")
                 channel = event.attr("packet_src_channel")
-                if sequence is None or channel is None:
+                src_chain = event.attr("packet_src_chain")
+                if sequence is None or channel is None or src_chain is None:
                     continue
                 self.tracer.event(
                     f"commit/{event.type}",
                     track,
-                    key=packet_key(channel, sequence),
+                    key=packet_key(src_chain, channel, sequence),
                     chain=self.chain_id,
                     height=executed.height,
                     tx_hash=item.hash,

@@ -79,6 +79,34 @@ class HeightIndex:
     event_count: int = 0
     event_bytes: int = 0
     events_by_type: dict[str, int] = field(default_factory=dict)
+    #: Packet events keyed by (type, local port, local channel) — the
+    #: *local* end is the source end for send/ack/timeout events and the
+    #: destination end for recv/write_ack events, so two channels on one
+    #: chain never count each other's traffic.
+    events_by_channel: dict[tuple[str, str, str], int] = field(
+        default_factory=dict
+    )
+
+
+#: Which channel end is *local* to the indexing chain, per packet event
+#: type: send/ack/timeout events are emitted on the packet's source chain,
+#: recv/write_ack events on its destination chain.
+_SOURCE_END_EVENTS = frozenset(
+    {"send_packet", "acknowledge_packet", "timeout_packet"}
+)
+_DEST_END_EVENTS = frozenset({"recv_packet", "write_acknowledgement"})
+
+
+def _local_channel(event) -> Optional[tuple[str, str]]:
+    if event.type in _SOURCE_END_EVENTS:
+        port, channel = event.attr("packet_src_port"), event.attr("packet_src_channel")
+    elif event.type in _DEST_END_EVENTS:
+        port, channel = event.attr("packet_dst_port"), event.attr("packet_dst_channel")
+    else:
+        return None
+    if port is None or channel is None:
+        return None
+    return (port, channel)
 
 
 class TxIndexer:
@@ -102,6 +130,12 @@ class TxIndexer:
                 index.events_by_type[event.type] = (
                     index.events_by_type.get(event.type, 0) + 1
                 )
+                end = _local_channel(event)
+                if end is not None:
+                    key = (event.type, end[0], end[1])
+                    index.events_by_channel[key] = (
+                        index.events_by_channel.get(key, 0) + 1
+                    )
         for event in executed.end_block_events:
             index.event_count += 1
             index.event_bytes += event.size_bytes
@@ -116,6 +150,15 @@ class TxIndexer:
     def events_at(self, height: int) -> dict[str, int]:
         index = self._height_index.get(height)
         return dict(index.events_by_type) if index else {}
+
+    def channel_events_at(
+        self, height: int, event_type: str, port: str, channel: str
+    ) -> int:
+        """Events of a type at a height scoped to one local channel end."""
+        index = self._height_index.get(height)
+        if index is None:
+            return 0
+        return index.events_by_channel.get((event_type, port, channel), 0)
 
     def event_bytes_at(self, height: int) -> int:
         index = self._height_index.get(height)

@@ -180,8 +180,17 @@ class WebSocketServer:
                         attributes=dict(event.attributes),
                     )
                 )
+        # The server writes frames to its subscribers serially: subscriber
+        # k's frame goes on the wire only after the first k frames.  The
+        # stagger also keeps two same-node subscribers from observing a
+        # block at the exact same instant — their follow-up queries would
+        # otherwise race for the serial RPC slot in event-heap tie order.
+        offset = 0.0
         for subscription in self.subscriptions:
-            self._deliver(subscription, executed, descriptors, frame_bytes)
+            if self._deliver(
+                subscription, executed, descriptors, frame_bytes, offset
+            ):
+                offset += frame_bytes * 8e-9
 
     def _deliver(
         self,
@@ -189,15 +198,16 @@ class WebSocketServer:
         executed: ExecutedBlock,
         descriptors: list[EventDescriptor],
         frame_bytes: int,
-    ) -> None:
+        send_offset: float = 0.0,
+    ) -> bool:
         if subscription.disconnected:
             subscription.missed += 1
-            return
+            return False
         if subscription.failed:
             # The paper's observation: after a frame failure the
             # subscription stops yielding events entirely.
             subscription.failures += 1
-            return
+            return False
         selected = [
             d
             for d in descriptors
@@ -225,8 +235,9 @@ class WebSocketServer:
                 events=selected,
             )
         delay = self.network.delay(self.host, subscription.subscriber_host)
-        # Large frames also take wire time (frame bytes / ~1 Gbps).
-        delay += frame_bytes * 8e-9
+        # Large frames also take wire time (frame bytes / ~1 Gbps), behind
+        # whatever the server already has on the wire (``send_offset``).
+        delay += frame_bytes * 8e-9 + send_offset
 
         def push() -> None:
             subscription.delivered += 1
@@ -242,3 +253,4 @@ class WebSocketServer:
             subscription.queue.put(notification)
 
         self.env.schedule_callback(delay, push)
+        return True

@@ -8,8 +8,11 @@ cannot perturb a run: a traced experiment produces byte-identical
 non-trace report sections to an untraced one.
 
 Records that belong to one cross-chain packet carry a *packet key*, the
-``(source_channel, sequence)`` pair that identifies an IBC packet across
-both chains and every relayer.  The aggregator
+``(source_chain, source_channel, sequence)`` triple that identifies an
+IBC packet across every chain and relayer.  The chain component matters
+once a topology has more than one connection: every spoke's first packet
+is ``("channel-0", 1)`` on its own chain, so the channel/sequence pair
+alone collides.  The aggregator
 (:func:`repro.framework.metrics.collect_trace_metrics`) joins the records
 on that key into per-packet lifecycles and the latency decomposition the
 paper reports (69 % of transfer time in serial data pulls).
@@ -34,13 +37,15 @@ from dataclasses import dataclass, field
 from typing import Any, Optional
 
 
-def packet_key(source_channel: str, sequence: int) -> tuple[str, int]:
-    """Canonical packet identity: the *source* channel and sequence."""
-    return (str(source_channel), int(sequence))
+def packet_key(
+    source_chain: str, source_channel: str, sequence: int
+) -> tuple[str, str, int]:
+    """Canonical packet identity: *source* chain, channel and sequence."""
+    return (str(source_chain), str(source_channel), int(sequence))
 
 
-def format_key(key: tuple[str, int]) -> str:
-    return f"{key[0]}/{key[1]}"
+def format_key(key: tuple[str, str, int]) -> str:
+    return f"{key[0]}/{key[1]}/{key[2]}"
 
 
 def json_safe(value: Any) -> Any:
@@ -61,7 +66,7 @@ class Span:
     track: str
     start: float
     end: Optional[float] = None
-    key: Optional[tuple[str, int]] = None
+    key: Optional[tuple[str, str, int]] = None
     attrs: dict[str, Any] = field(default_factory=dict)
 
     @property
@@ -82,7 +87,7 @@ class TraceEvent:
     name: str
     track: str
     time: float
-    key: Optional[tuple[str, int]] = None
+    key: Optional[tuple[str, str, int]] = None
     attrs: tuple[tuple[str, Any], ...] = ()
 
     def attr(self, key: str, default: Any = None) -> Any:
@@ -109,7 +114,7 @@ class Tracer:
         self,
         name: str,
         track: str,
-        key: Optional[tuple[str, int]] = None,
+        key: Optional[tuple[str, str, int]] = None,
         **attrs: Any,
     ) -> Span:
         """Start a span now; pair with :meth:`close_span` (rule R004)."""
@@ -138,7 +143,7 @@ class Tracer:
         track: str,
         start: float,
         end: Optional[float] = None,
-        key: Optional[tuple[str, int]] = None,
+        key: Optional[tuple[str, str, int]] = None,
         **attrs: Any,
     ) -> Span:
         """Record a completed span whose start was sampled earlier."""
@@ -151,7 +156,7 @@ class Tracer:
         self,
         name: str,
         track: str,
-        key: Optional[tuple[str, int]] = None,
+        key: Optional[tuple[str, str, int]] = None,
         **attrs: Any,
     ) -> TraceEvent:
         """Record a point-in-time event at the current simulated instant."""

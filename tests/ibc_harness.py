@@ -106,21 +106,35 @@ class DirectChain:
 
 
 class IbcPair:
-    """Two chains with an open transfer channel, plus relaying helpers."""
+    """Two chains with an open transfer channel, plus relaying helpers.
 
-    def __init__(self, proof_mode: str = "merkle", ordering=ChannelOrder.UNORDERED):
-        self.a = DirectChain("direct-a", proof_mode)
-        self.b = DirectChain("direct-b", proof_mode)
+    By default the pair builds its own two chains; pass ``chains`` to open
+    a channel between pre-built :class:`DirectChain` instances instead —
+    that is how multi-chain topologies share a hub between several pairs.
+    """
+
+    def __init__(
+        self,
+        proof_mode: str = "merkle",
+        ordering=ChannelOrder.UNORDERED,
+        chains: Optional[tuple[DirectChain, DirectChain]] = None,
+    ):
+        if chains is None:
+            self.a = DirectChain("direct-a", proof_mode)
+            self.b = DirectChain("direct-b", proof_mode)
+        else:
+            self.a, self.b = chains
         self.a.app.register_counterparty(
-            CounterpartyChainInfo("direct-b", self.b.validators)
+            CounterpartyChainInfo(self.b.chain_id, self.b.validators)
         )
         self.b.app.register_counterparty(
-            CounterpartyChainInfo("direct-a", self.a.validators)
+            CounterpartyChainInfo(self.a.chain_id, self.a.validators)
         )
-        self.relayer_a = self.a.fund_wallet(Wallet.named("direct-relayer-a"))
-        self.relayer_b = self.b.fund_wallet(Wallet.named("direct-relayer-b"))
-        self.user = self.a.fund_wallet(Wallet.named("direct-user"))
-        self.receiver = Wallet.named("direct-receiver")
+        suffix = f"{self.a.chain_id}-{self.b.chain_id}"
+        self.relayer_a = self.a.fund_wallet(Wallet.named(f"relayer-a-{suffix}"))
+        self.relayer_b = self.b.fund_wallet(Wallet.named(f"relayer-b-{suffix}"))
+        self.user = self.a.fund_wallet(Wallet.named(f"user-{suffix}"))
+        self.receiver = Wallet.named(f"receiver-{suffix}")
         self.b.app.genesis_account(self.receiver, {FEE_DENOM: 10**12})
         self.a.make_block([])
         self.b.make_block([])
@@ -160,15 +174,21 @@ class IbcPair:
     def _handshake(self, ordering) -> None:
         a, b = self.a, self.b
         self.client_on_a, _ = a.ibc.create_client(
-            CounterpartyChainInfo("direct-b", b.validators),
+            CounterpartyChainInfo(b.chain_id, b.validators),
             b.signed_header(),
             now=a.time,
         )
         self.client_on_b, _ = b.ibc.create_client(
-            CounterpartyChainInfo("direct-a", a.validators),
+            CounterpartyChainInfo(a.chain_id, a.validators),
             a.signed_header(),
             now=b.time,
         )
+        # A shared chain may already hold connections/channels from other
+        # pairs: snapshot so the handshake picks up only what it creates.
+        conns_before_a = set(a.ibc.connections)
+        conns_before_b = set(b.ibc.connections)
+        chans_before_a = set(a.ibc.channels)
+        chans_before_b = set(b.ibc.channels)
         # Connection handshake with real proofs.
         self.exec_ok(
             a,
@@ -180,7 +200,7 @@ class IbcPair:
                 )
             ],
         )
-        self.conn_a = next(iter(a.ibc.connections))
+        (self.conn_a,) = set(a.ibc.connections) - conns_before_a
         header_a = self.update_a_on_b()
         self.exec_ok(
             b,
@@ -195,7 +215,7 @@ class IbcPair:
                 )
             ],
         )
-        self.conn_b = next(iter(b.ibc.connections))
+        (self.conn_b,) = set(b.ibc.connections) - conns_before_b
         header_b = self.update_b_on_a()
         self.exec_ok(
             a,
@@ -235,7 +255,7 @@ class IbcPair:
                 )
             ],
         )
-        self.chan_a = next(c for (_p, c) in a.ibc.channels)
+        ((_, self.chan_a),) = set(a.ibc.channels) - chans_before_a
         header_a = self.update_a_on_b()
         self.exec_ok(
             b,
@@ -253,7 +273,7 @@ class IbcPair:
                 )
             ],
         )
-        self.chan_b = next(c for (_p, c) in b.ibc.channels)
+        ((_, self.chan_b),) = set(b.ibc.channels) - chans_before_b
         header_b = self.update_b_on_a()
         self.exec_ok(
             a,
@@ -286,12 +306,34 @@ class IbcPair:
     # Packet helpers (the test acts as the relayer)
     # ------------------------------------------------------------------
 
+    def reverse(self) -> "IbcPair":
+        """A role-swapped view sharing all chain state.
+
+        ``transfer`` on the view sends from the original B side, and the
+        relay helpers run the opposite direction — multi-chain tests use
+        this for return trips without duplicating the relay plumbing.
+        """
+        view = getattr(self, "_reverse_view", None)
+        if view is None:
+            view = object.__new__(IbcPair)
+            view.a, view.b = self.b, self.a
+            view.relayer_a, view.relayer_b = self.relayer_b, self.relayer_a
+            view.client_on_a, view.client_on_b = self.client_on_b, self.client_on_a
+            view.conn_a, view.conn_b = self.conn_b, self.conn_a
+            view.chan_a, view.chan_b = self.chan_b, self.chan_a
+            view.user = TxFactory(self.receiver)
+            view.receiver = self.user.wallet
+            view._reverse_view = self
+            self._reverse_view = view
+        return view
+
     def transfer(
         self,
         amount: int = 10,
         timeout_blocks: int = 100,
         denom: str = TRANSFER_DENOM,
         sender: Optional[TxFactory] = None,
+        receiver: Optional[str] = None,
     ) -> Packet:
         sender = sender or self.user
         msg = MsgTransfer(
@@ -300,7 +342,7 @@ class IbcPair:
             denom=denom,
             amount=amount,
             sender=sender.wallet.address,
-            receiver=self.receiver.address,
+            receiver=receiver or self.receiver.address,
             timeout_height=Height(0, self.b.height + timeout_blocks),
             signer=sender.wallet.address,
         )

@@ -89,7 +89,7 @@ def test_bench_subcommand_dispatches(tmp_path, capsys):
     )
     document = json.loads(out_path.read_text())
     assert len(document) == 1
-    assert document[0]["schema_version"] == 3
+    assert document[0]["schema_version"] == 4
 
 
 def test_bench_smoke_two_points_two_workers(tmp_path):

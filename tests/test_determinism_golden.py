@@ -99,12 +99,12 @@ def test_different_seed_diverges(golden_runs):
 
 def test_golden_report_wire_round_trip(golden_runs):
     """Golden schema stability: the report document declares schema
-    version 3 and survives a load/dump cycle byte-for-byte — so cached
+    version 4 and survives a load/dump cycle byte-for-byte — so cached
     sweep points replay exactly what the simulation produced."""
     import json
 
     (report_json, _), _, _ = golden_runs
-    assert json.loads(report_json)["schema_version"] == 3
+    assert json.loads(report_json)["schema_version"] == 4
     assert ExperimentReport.from_json(report_json).to_json() == report_json
 
 
@@ -244,3 +244,75 @@ def test_traced_run_identical_across_worker_counts():
     assert serial.merged_json() == parallel.merged_json()
     for point in serial.merged_document():
         assert point["trace"]["completed"] > 0
+
+
+# -- Multi-chain topologies --------------------------------------------------
+
+
+def run_topology_scenario(topology, seed):
+    """A small traced run on ``topology``; returns (report_json, journal)."""
+    config = ExperimentConfig(
+        input_rate=5,
+        measurement_blocks=3,
+        seed=seed,
+        drain_seconds=45.0,
+        topology=topology,
+        tracing=True,
+    )
+    report = run_experiment(config, capture_journal=True)
+    return report.to_json(), report.journal
+
+
+@pytest.fixture(scope="module")
+def line3_runs():
+    from repro.framework import TopologySpec
+
+    first = run_topology_scenario(TopologySpec.line(3), seed=11)
+    second = run_topology_scenario(TopologySpec.line(3), seed=11)
+    return first, second
+
+
+@pytest.fixture(scope="module")
+def hub4_runs():
+    from repro.framework import TopologySpec
+
+    first = run_topology_scenario(TopologySpec.hub_and_spoke(4), seed=11)
+    second = run_topology_scenario(TopologySpec.hub_and_spoke(4), seed=11)
+    return first, second
+
+
+def test_line3_same_seed_identical(line3_runs):
+    (json1, journal1), (json2, journal2) = line3_runs
+    assert json1.encode() == json2.encode()
+    assert journal1.encode() == journal2.encode()
+
+
+def test_hub4_same_seed_identical(hub4_runs):
+    (json1, journal1), (json2, journal2) = hub4_runs
+    assert json1.encode() == json2.encode()
+    assert journal1.encode() == journal2.encode()
+
+
+def test_line3_lifecycles_span_hops(line3_runs):
+    """The 3-chain line actually forwards: lifecycles complete end to end
+    and the trace counts the intermediate-hop sends."""
+    import json
+
+    document = json.loads(line3_runs[0][0])
+    trace = document["trace"]
+    assert trace["completed"] > 0
+    assert trace["forwarded"] > 0
+    assert document["config"]["topology"]["name"] == "line"
+
+
+def test_hub4_reports_per_channel_fairness(hub4_runs):
+    """The hub report carries a per-channel breakdown covering every
+    spoke's channel, with hub receives matching spoke sends."""
+    import json
+
+    document = json.loads(hub4_runs[0][0])
+    channels = document["window"]["channels"]
+    assert len(channels) >= 4  # one row per channel end in play
+    assert all(row["sends"] >= 0 for row in channels)
+    assert sum(row["receives"] for row in channels) > 0
+    assert document["trace"]["forwarded"] > 0

@@ -72,9 +72,15 @@ def _schedules(config):
     class _FakeDriver:
         pass
 
+    class _FakeTestbed:
+        pass
+
     driver = _FakeDriver()
     driver.config = config
     driver._clis = [object()] * config.num_accounts
+    driver.testbed = _FakeTestbed()
+    driver.testbed.route_wallets = [[object()] * config.num_accounts]
+    driver._route_schedule = WorkloadDriver._route_schedule.__get__(driver)
     return WorkloadDriver._schedules(driver)
 
 

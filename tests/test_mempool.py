@@ -103,7 +103,7 @@ def test_reap_respects_gas_limit(app, mempool):
     tx_a = factory_a.build([send_msg(factory_a)], gas_limit=100_000)
     tx_b = factory_b.build([send_msg(factory_b)], gas_limit=100_000)
     mempool.add(tx_a, now=0.0)
-    mempool.add(tx_b, now=0.0)
+    mempool.add(tx_b, now=0.5)  # strictly later: FIFO is by arrival time
     reaped = mempool.reap(now=1.0, max_gas=150_000)
     assert reaped == [tx_a]  # second tx would exceed the block gas cap
 
@@ -111,10 +111,25 @@ def test_reap_respects_gas_limit(app, mempool):
 def test_reap_respects_byte_limit(app, mempool):
     factories = [funded_factory(app, f"mp-h{i}") for i in range(2)]
     txs = [f.build([send_msg(f)], gas_limit=100_000) for f in factories]
-    for tx in txs:
-        mempool.add(tx, now=0.0)
-    reaped = mempool.reap(now=1.0, max_bytes=txs[0].size_bytes)
+    for i, tx in enumerate(txs):
+        mempool.add(tx, now=float(i))
+    reaped = mempool.reap(now=2.0, max_bytes=txs[0].size_bytes)
     assert reaped == [txs[0]]
+
+
+def test_reap_same_instant_ties_break_by_sender(app, mempool):
+    """Two txs arriving at the same instant reap in sender-address order,
+    not insertion order — insertion order at one instant is event-heap
+    tie order, which must never decide block content."""
+    factory_a = funded_factory(app, "mp-t1")
+    factory_b = funded_factory(app, "mp-t2")
+    tx_a = factory_a.build([send_msg(factory_a)], gas_limit=100_000)
+    tx_b = factory_b.build([send_msg(factory_b)], gas_limit=100_000)
+    # Insert in both orders: the reaped order must not change.
+    mempool.add(tx_b, now=0.0)
+    mempool.add(tx_a, now=0.0)
+    expected = sorted([tx_a, tx_b], key=lambda tx: tx.signer_address)
+    assert mempool.reap(now=1.0) == expected
 
 
 def test_update_removes_committed_and_rechecks(app, mempool):

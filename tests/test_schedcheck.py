@@ -152,5 +152,17 @@ def test_golden_faults_scenario_has_no_scheduling_race():
     assert result.clean, result.summary()
 
 
+@pytest.mark.schedcheck
+def test_line3_scenario_has_no_scheduling_race():
+    result = check_scenario("line3", seed=7)
+    assert result.clean, result.summary()
+
+
+@pytest.mark.schedcheck
+def test_hub4_scenario_has_no_scheduling_race():
+    result = check_scenario("hub4", seed=7)
+    assert result.clean, result.summary()
+
+
 def test_scenario_registry_names():
-    assert set(SCENARIOS) == {"golden", "golden-faults"}
+    assert set(SCENARIOS) == {"golden", "golden-faults", "line3", "hub4"}

@@ -24,6 +24,7 @@ from repro.framework.metrics import (
     TRACE_BOUNDARIES,
     TRACE_STAGES,
     assemble_packet_traces,
+    assemble_route_traces,
     collect_trace_metrics,
     trace_ack_offsets,
 )
@@ -80,10 +81,10 @@ def test_record_span_defaults_end_to_now():
 def test_events_carry_packet_identity():
     env = Environment()
     tracer = Tracer(env)
-    key = packet_key("channel-0", 7)
+    key = packet_key("ibc-0", "channel-0", 7)
     tracer.event("detect", "supervisor", key=key, height=12)
-    assert key == ("channel-0", 7)
-    assert format_key(key) == "channel-0/7"
+    assert key == ("ibc-0", "channel-0", 7)
+    assert format_key(key) == "ibc-0/channel-0/7"
     (event,) = tracer.packet_events("detect")
     assert event.key == key
     assert event.attr("height") == 12
@@ -170,6 +171,49 @@ def test_trace_counts_are_consistent(traced_report):
     assert trace.timed_out == 0
     assert trace.wall_seconds > 0.0
     assert 0.0 <= trace.data_pull_share <= 1.0
+
+
+def test_single_hop_routes_match_packets(traced_report):
+    """On the two-chain pair every route is one hop and its delivery
+    latency is exactly submit -> recv commit of that packet."""
+    routes = assemble_route_traces(traced_report.tracer)
+    packets = assemble_packet_traces(traced_report.tracer)
+    assert len(routes) == len(packets)
+    for route, packet in zip(routes, packets):
+        assert route.hop_count == 1
+        assert route.hops[0] == packet
+        assert route.delivery_seconds == (
+            packet.recv_commit_at - packet.submit_at
+        )
+
+
+def test_multi_hop_routes_chain_through_forward_links():
+    """A 3-chain line chains each origin packet to its forwarded hop; the
+    route's delivery interval spans both hops."""
+    from repro.framework import TopologySpec
+
+    report = run_experiment(
+        ExperimentConfig(
+            input_rate=4,
+            measurement_blocks=2,
+            seed=5,
+            tracing=True,
+            drain_seconds=40.0,
+            topology=TopologySpec.line(3),
+        )
+    )
+    routes = [r for r in assemble_route_traces(report.tracer) if r.complete]
+    assert routes
+    for route in routes:
+        assert route.hop_count == 2
+        first, second = route.hops
+        assert second.forwarded_from == first.key
+        # The onward hop is spawned by (so never precedes) the first
+        # hop's delivery, and the route interval covers both hops.
+        assert second.src_commit_at >= first.recv_commit_at
+        assert route.delivery_seconds >= (
+            second.recv_commit_at - second.src_commit_at
+        )
 
 
 def test_ack_offsets_sorted_and_match_completions(traced_report):

@@ -137,7 +137,7 @@ def fault_report() -> ExperimentReport:
 
 def test_report_schema_version_in_document(fault_report):
     document = fault_report.to_dict()
-    assert document["schema_version"] == ExperimentReport.SCHEMA_VERSION == 3
+    assert document["schema_version"] == ExperimentReport.SCHEMA_VERSION == 4
     # schema_version leads the dump so humans see it first.
     assert next(iter(document)) == "schema_version"
 
@@ -255,7 +255,7 @@ def test_v2_document_still_loads(fault_report):
     clone = ExperimentReport.from_dict(document)
     assert clone.trace is None
     assert clone.window == fault_report.window
-    assert clone.to_dict()["schema_version"] == 3
+    assert clone.to_dict()["schema_version"] == 4
 
 
 def test_v2_document_rejects_trace_key(fault_report):
