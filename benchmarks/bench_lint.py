@@ -1,0 +1,102 @@
+"""Analyzer benchmark — lint wall-clock pinned with its accounting.
+
+Times a full ``repro.lint`` pass (all twenty rules, both phases) over
+the four analyzed roots — ``src/repro``, ``tests``, ``benchmarks`` and
+``examples`` — and writes ``BENCH_lint.json`` at the repo root.  The
+static analyzer runs inside tier-1 four times (the clean-tree gates), so
+its wall-clock is part of every test run; this artifact makes a slowdown
+visible the same way ``BENCH_kernel.json`` pins the kernel.
+
+The ``accounting`` section is fully deterministic — the number of files
+analyzed, the registered rule count, and the finding count (zero: the
+tree is lint-clean) — and is re-derived by ``tests/test_bench_lint.py``.
+The ``timing`` section is honest measurement (warmup + median/min of
+repeats) and excluded from any stability claim.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import statistics
+from pathlib import Path
+
+from repro.lint import lint_paths
+from repro.lint.config import DEFAULT_EXCLUDE_DIRS
+from repro.lint.program import PROGRAM_REGISTRY
+from repro.lint.rules import REGISTRY
+from repro.parallel import hostclock
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+ARTIFACT = os.path.join(str(REPO_ROOT), "BENCH_lint.json")
+
+#: The four roots the tier-1 clean gate analyzes together.
+ANALYZED_ROOTS = ("src/repro", "tests", "benchmarks", "examples")
+
+WARMUP = 1
+REPS = 5
+
+
+def analyzed_paths() -> list[str]:
+    return [str(REPO_ROOT / root) for root in ANALYZED_ROOTS]
+
+
+def count_analyzed_files() -> int:
+    """Python files the driver will visit (its default excludes applied)."""
+    count = 0
+    for root in analyzed_paths():
+        for path in Path(root).rglob("*.py"):
+            if not any(part in DEFAULT_EXCLUDE_DIRS for part in path.parts):
+                count += 1
+    return count
+
+
+def run_bench() -> dict:
+    paths = analyzed_paths()
+    findings = None
+    for _ in range(WARMUP):
+        findings = lint_paths(paths)
+    walls = []
+    for _ in range(REPS):
+        start = hostclock.now()
+        findings = lint_paths(paths)
+        walls.append(hostclock.elapsed_since(start))
+    files = count_analyzed_files()
+    median = statistics.median(walls)
+    return {
+        "accounting": {
+            "files_analyzed": files,
+            "rules_registered": len(REGISTRY) + len(PROGRAM_REGISTRY),
+            "findings": len(findings),
+        },
+        "timing": {
+            "reps": REPS,
+            "median_wall_seconds": median,
+            "min_wall_seconds": min(walls),
+            "files_per_second": files / median,
+        },
+    }
+
+
+def test_lint_bench(benchmark):
+    result = benchmark.pedantic(run_bench, rounds=1, iterations=1)
+
+    accounting = result["accounting"]
+    timing = result["timing"]
+    print(
+        f"\nLint benchmark:\n"
+        f"  {accounting['files_analyzed']} files under "
+        f"{accounting['rules_registered']} rules: "
+        f"{timing['median_wall_seconds']:.2f}s median "
+        f"({timing['files_per_second']:,.0f} files/s), "
+        f"{accounting['findings']} finding(s)"
+    )
+
+    # The tree is lint-clean and every tier is registered.
+    assert accounting["findings"] == 0
+    assert accounting["rules_registered"] == 20
+
+    with open(ARTIFACT, "w") as handle:
+        json.dump(result, handle, indent=2)
+        handle.write("\n")
+    print(f"  numbers written to {ARTIFACT}")

@@ -30,7 +30,7 @@ from repro.framework.report import ExperimentReport
 from repro.framework.setup import Testbed
 from repro.framework.workload import WorkloadDriver
 from repro.relayer.logging import render_journal
-from repro.sim.core import Event
+from repro.sim.core import SHUTDOWN, Event
 
 #: Polling cadence for orchestration waits (simulation seconds).
 _POLL = 0.5
@@ -99,6 +99,29 @@ class _ExperimentEngine:
                 f"first: {name}: {exc!r}"
             ) from exc
         return self._build_report()
+
+    def shutdown(self, drain_steps: int = 10_000) -> None:
+        """Teardown after :meth:`run`: interrupt every live process.
+
+        Never called on the normal experiment path (which must keep its
+        byte-identical event accounting); only the stallcheck sanitizer
+        invokes it, then asserts the event heap and all registries drain.
+        The drain loop runs shutdown wakeups scheduled *at the current
+        instant* — anything that reschedules itself into the future is a
+        teardown bug the sanitizer should see, so we do not chase it.
+        """
+        if self.driver is not None:
+            self.driver.stop()
+            self.driver.processes.interrupt_all(SHUTDOWN)
+        if self.injector is not None:
+            self.injector.processes.interrupt_all(SHUTDOWN)
+        self.testbed.shutdown()
+        env = self.testbed.env
+        deadline = env.now
+        steps = 0
+        while env.peek() <= deadline and steps < drain_steps:
+            env.step()
+            steps += 1
 
     # ------------------------------------------------------------------
 

@@ -298,3 +298,10 @@ class Testbed:
     def start_relayers(self) -> None:
         for relayer in self.relayers:
             relayer.start()
+
+    def shutdown(self) -> None:
+        """Teardown: stop every relayer, then halt every chain."""
+        for relayer in self.relayers:
+            relayer.stop()
+        for chain in self.chains:
+            chain.shutdown()

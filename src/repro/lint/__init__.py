@@ -1,10 +1,11 @@
-"""repro.lint — determinism & simulation-correctness analysis, two tiers.
+"""repro.lint — determinism, performance & liveness analysis.
 
 The reproduction's numbers are only credible if the discrete-event
-simulation replays identically for a given seed.  This package enforces
-that property with a per-module rule set, a whole-program analysis layer
-(symbol table + import graph + call graph over every linted module), and
-a dynamic scheduler-race sanitizer:
+simulation replays identically for a given seed, runs fast enough to
+sweep, and never silently stalls.  This package enforces all three with
+a per-module rule set, a whole-program analysis layer (symbol table +
+import graph + call graph over every linted module), and three dynamic
+sanitizers:
 
 =======  ==============================================================
 Rule     What it forbids
@@ -21,13 +22,27 @@ D006     module-global entropy transitively reachable from a simulation
          process generator (whole-program)
 R003     discarded ``env.process(...)`` / ``env.timeout(...)`` handles
          (whole-program)
+P001     hot classes without ``__slots__`` (whole-program)
+P002     constant containers/closures rebuilt in hot loops
+P003     repeated attribute-chain reads in one hot loop
+P004     eager string formatting handed to loggers in hot code
+P005     list-literal membership tests in hot code
+W001     unguarded blocking waits in uninterruptible service loops
+W002     resources acquired in opposite orders (circular wait)
+W003     loops that can iterate without a real wait (livelock)
+W004     containers produced to from hot code but never consumed
+W005     granted requests held across a ``yield`` outside try/finally
 =======  ==============================================================
 
 The whole-program phase also emits a machine-readable RNG stream-name
-inventory (``--stream-inventory FILE``).  The dynamic tier,
-:mod:`repro.lint.schedcheck`, reruns a scenario with the event-heap
-tie-break reversed and treats any artifact divergence as a scheduling
-race (``python -m repro lint --schedcheck <scenario>``).
+inventory (``--stream-inventory FILE``).  The dynamic tiers rerun real
+scenarios: :mod:`repro.lint.schedcheck` reverses the event-heap
+tie-break and treats any artifact divergence as a scheduling race,
+:mod:`repro.lint.alloccheck` diffs per-event allocations against a
+pinned budget, and :mod:`repro.lint.stallcheck` monitors a run's wait
+graph, tears the testbed down, and reports deadlocks, livelocks, leaks
+and store-backlog regressions
+(``python -m repro lint --schedcheck|--alloccheck|--stallcheck <scenario>``).
 
 Run the static tiers with ``python -m repro.lint [paths]`` (or
 ``python -m repro lint``).  Findings can be waived inline with

@@ -110,12 +110,40 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--stallcheck",
+        metavar="SCENARIO",
+        default=None,
+        help=(
+            "dynamic mode: run SCENARIO under the liveness monitor, tear "
+            "the testbed down, and report deadlocks, livelocks, leaked "
+            "waiters and store-backlog regressions against the pinned "
+            "budget file (STALL_BUDGET.json)"
+        ),
+    )
+    parser.add_argument(
+        "--stall-budget",
+        metavar="FILE",
+        default=None,
+        help=(
+            "budget file for --stallcheck (default: STALL_BUDGET.json "
+            "next to the repo root)"
+        ),
+    )
+    parser.add_argument(
+        "--write-stall-budget",
+        action="store_true",
+        help=(
+            "re-pin this scenario's entry in the --stallcheck budget file "
+            "from this run's high-water marks instead of diffing"
+        ),
+    )
+    parser.add_argument(
         "--seed",
         type=int,
         default=7,
         help=(
-            "experiment seed for --schedcheck/--alloccheck scenarios "
-            "(default 7)"
+            "experiment seed for --schedcheck/--alloccheck/--stallcheck "
+            "scenarios (default 7)"
         ),
     )
     parser.add_argument(
@@ -193,6 +221,29 @@ def main(argv: Optional[list[str]] = None) -> int:
         except Exception:
             traceback.print_exc()
             print("alloccheck crashed (not a regression)", file=sys.stderr)
+            return 2
+        print(result.summary())
+        return 0 if result.clean else 1
+
+    if args.stallcheck is not None:
+        from repro.lint.stallcheck import SCENARIOS as STALL_SCENARIOS
+        from repro.lint.stallcheck import check_scenario as stall_check
+
+        if args.stallcheck not in STALL_SCENARIOS:
+            parser.error(
+                f"unknown stallcheck scenario {args.stallcheck!r} "
+                f"(known: {', '.join(sorted(STALL_SCENARIOS))})"
+            )
+        try:
+            result = stall_check(
+                args.stallcheck,
+                seed=args.seed,
+                budget_path=args.stall_budget,
+                write_budget=args.write_stall_budget,
+            )
+        except Exception:
+            traceback.print_exc()
+            print("stallcheck crashed (not a stall)", file=sys.stderr)
             return 2
         print(result.summary())
         return 0 if result.clean else 1

@@ -17,6 +17,10 @@ R003     ``env.process(...)`` / ``env.timeout(...)`` results discarded,
 P001-P005  the performance tier (:mod:`repro.lint.program.performance`):
          allocation and lookup anti-patterns in *hot* code, i.e. code
          reachable from spawned process generators or the DES kernel
+W001-W005  the liveness tier (:mod:`repro.lint.program.liveness`):
+         unguarded blocking waits, lock-order cycles, zero-delay
+         livelock loops, consumer-less queues and slot leaks on the
+         fault path — the static half of ``--stallcheck``
 =======  ==============================================================
 
 As a side effect of D005's analysis the layer produces a machine-readable
@@ -39,8 +43,10 @@ from repro.lint.program.rules import (
     register_program,
 )
 
-# Tier P registers its rules on import (registration order = doc order).
+# Tiers P and W register their rules on import (registration order =
+# doc order).
 from repro.lint.program import performance as _performance  # noqa: E402,F401
+from repro.lint.program import liveness as _liveness  # noqa: E402,F401
 
 __all__ = [
     "FunctionInfo",

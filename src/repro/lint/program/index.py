@@ -121,6 +121,11 @@ class ProgramIndex:
         self.call_graph: dict[str, set[str]] = {}
         #: fqns spawned as simulation processes (reachability roots).
         self.spawn_roots: set[str] = set()
+        #: spawn-root fqn -> the spawn method names used (``process``,
+        #: ``spawn``, ``run_process``).  Tier W treats a root spawned
+        #: *only* via plain ``env.process(...)`` as unguarded: no owning
+        #: :class:`ProcessGroup` will ever interrupt it on teardown.
+        self.spawn_methods: dict[str, set[str]] = {}
         #: every statically visible stream creation, in file/line order.
         self.stream_calls: list[StreamCall] = []
         #: class fqn -> (owning module info, class qualname).
@@ -395,6 +400,7 @@ class ProgramIndex:
         callee = self._resolve_call(info, fn, spawned)
         if callee:
             self.spawn_roots.add(callee)
+            self.spawn_methods.setdefault(callee, set()).add(func.attr)
 
     # ------------------------------------------------------------------
     # Stream inventory

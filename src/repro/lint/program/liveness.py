@@ -1,0 +1,618 @@
+"""Tier W — static liveness rules over the program wait graph.
+
+The determinism tiers ask "can this code diverge?" and Tier P asks "does
+it allocate per event?"; this tier asks "can this code *stop*?".  The
+paper's headline robustness finding (§V) is a liveness bug — the relayer
+silently stalls on an oversized WebSocket frame — and the same failure
+shape (a process blocked forever on a wait nobody can interrupt) is what
+these rules catch before a ten-minute CI timeout does.
+
+The wait graph is built from the same index the other program rules use:
+spawn sites say *which* generators run as processes (and whether an
+owning :class:`~repro.sim.core.ProcessGroup` can interrupt them), and
+the blocking primitives — ``resource.request()``, ``store.get()``,
+``store.put()`` — say what those processes block on.
+
+=======  ==============================================================
+Rule     What it catches
+=======  ==============================================================
+W001     a service loop (``while True``) in a process spawned outside
+         any ``ProcessGroup`` blocks on a bare ``request()``/``get()``/
+         ``put()`` — nothing can interrupt the wait and no deadline
+         races it, so a lost wakeup stalls the process silently
+W002     two resources acquired in opposite orders on different call
+         paths — the classic hold-and-wait deadlock cycle
+W003     a ``while True`` process loop with an iteration path that
+         yields only zero-delay timeouts (or nothing) — a zero-time
+         livelock that floods one sim instant with events
+W004     a ``Store``/``deque``/``list`` attribute produced to from hot
+         code but never consumed anywhere — statically provable
+         unbounded growth (the static complement of alloccheck)
+W005     a granted ``Request`` held across a later ``yield`` without a
+         ``try/finally`` release — an interrupt or fault raised at
+         that yield leaks the slot (tightens R001 to the fault path)
+=======  ==============================================================
+
+Like every program rule, resolution is syntactic and conservative: a
+wait the index cannot attribute to a process is *unknown*, not safe, and
+a clean Tier W run means "no provable stall", not "no stall".
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, Optional
+
+from repro.lint.findings import Finding
+from repro.lint.program.index import FunctionInfo, ProgramIndex
+from repro.lint.program.rules import ProgramRule, register_program
+
+#: Zero-argument methods whose events block the yielding process until
+#: another party acts (``put`` takes the item as its one argument).
+_BLOCKING_METHODS = {"request": 0, "get": 0, "put": 1}
+
+#: Attribute calls that grow a container (the produce side of W004).
+_PRODUCE_METHODS = frozenset({"put", "try_put", "append", "appendleft", "extend"})
+
+#: Container constructors W004 tracks (tail of the resolved dotted name).
+_CONTAINER_CTORS = frozenset({"Store", "deque", "list"})
+
+
+def _chain_text(chain: "list[str]") -> str:
+    return " -> ".join(chain)
+
+
+def _walk_same_function(node: ast.AST) -> Iterator[ast.AST]:
+    """Walk a subtree without descending into nested function bodies."""
+    stack: list[ast.AST] = list(ast.iter_child_nodes(node))
+    while stack:
+        child = stack.pop()
+        yield child
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        stack.extend(reversed(list(ast.iter_child_nodes(child))))
+
+
+def _attr_chain_text(node: ast.AST) -> Optional[str]:
+    """Dotted text for a ``name[.attr...]`` chain (bare names included)."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    parts.reverse()
+    return ".".join(parts)
+
+
+def _is_blocking_call(node: ast.AST) -> Optional[str]:
+    """Receiver text when ``node`` is ``<recv>.request()/get()/put(x)``."""
+    if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
+        return None
+    arity = _BLOCKING_METHODS.get(node.func.attr)
+    if arity is None or len(node.args) != arity or node.keywords:
+        return None
+    return _attr_chain_text(node.func.value) or "<expr>"
+
+
+def _is_while_true(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.While)
+        and isinstance(node.test, ast.Constant)
+        and bool(node.test.value)
+    )
+
+
+def _yields_in(node: ast.AST) -> Iterator[ast.AST]:
+    for child in _walk_same_function(node):
+        if isinstance(child, (ast.Yield, ast.YieldFrom)):
+            yield child
+
+
+def _is_real_wait(yield_node: ast.AST) -> bool:
+    """True unless the yield provably does not advance or block time.
+
+    A ``yield env.timeout(0)`` wakes again at the same instant; anything
+    else — positive or unknown delays, blocking calls, conditions,
+    ``yield from`` — is assumed to be a real wait (conservative-quiet).
+    """
+    if isinstance(yield_node, ast.YieldFrom):
+        return True
+    value = yield_node.value
+    if value is None:
+        return False
+    if (
+        isinstance(value, ast.Call)
+        and isinstance(value.func, ast.Attribute)
+        and value.func.attr == "timeout"
+        and value.args
+        and isinstance(value.args[0], ast.Constant)
+    ):
+        delay = value.args[0].value
+        if isinstance(delay, (int, float)) and not isinstance(delay, bool):
+            return delay > 0
+    return True
+
+
+# ----------------------------------------------------------------------
+# W001 — unguarded blocking wait in a fire-and-forget service loop
+# ----------------------------------------------------------------------
+
+
+def _unguarded_reachable(
+    index: ProgramIndex,
+) -> "dict[str, list[str]]":
+    """fqn -> chain for functions reachable from unguarded spawn roots.
+
+    Unguarded means spawned via plain ``env.process(...)`` (or
+    ``run_process``) and never via a ``ProcessGroup.spawn`` — so no owner
+    will interrupt the process on teardown or fault recovery.  The BFS
+    does not cross into group-owned roots: code below them runs in a
+    guarded process context of its own.
+    """
+    guarded_only = {
+        fqn
+        for fqn, methods in index.spawn_methods.items()
+        if methods == {"spawn"}
+    }
+    roots = sorted(
+        fqn
+        for fqn, methods in index.spawn_methods.items()
+        if methods - {"spawn"}
+    )
+    chains: dict[str, list[str]] = {fqn: [fqn] for fqn in roots}
+    frontier = roots
+    while frontier:
+        next_frontier: list[str] = []
+        for fqn in frontier:
+            chain = chains[fqn]
+            for callee in sorted(index.call_graph.get(fqn, ())):
+                if callee in chains or callee in guarded_only:
+                    continue
+                chains[callee] = chain + [callee]
+                next_frontier.append(callee)
+        frontier = next_frontier
+    return chains
+
+
+@register_program
+class UnguardedWaitRule(ProgramRule):
+    """A ``while True`` loop that blocks on a bare resource/store wait,
+    running in a process no ``ProcessGroup`` owns, is the §V stall
+    class: if the wakeup never comes, nothing can interrupt the wait
+    and nothing times it out."""
+
+    rule_id = "W001"
+    description = (
+        "service loop blocks on a bare request()/get()/put() in a "
+        "process spawned outside any ProcessGroup; no interrupt or "
+        "deadline can end the wait"
+    )
+
+    def check(self, index: ProgramIndex) -> Iterable[Finding]:
+        chains = _unguarded_reachable(index)
+        for fqn in sorted(chains):
+            fn = index.functions.get(fqn)
+            if fn is None or not fn.is_generator:
+                continue
+            info = index.modules[fn.module]
+            for loop in _walk_same_function(fn.node):
+                if not _is_while_true(loop):
+                    continue
+                for node in _walk_same_function(loop):
+                    if not isinstance(node, (ast.Yield,)):
+                        continue
+                    receiver = (
+                        _is_blocking_call(node.value)
+                        if node.value is not None
+                        else None
+                    )
+                    if receiver is None:
+                        continue
+                    yield self.finding(
+                        None,
+                        info.ctx.path,
+                        node.lineno,
+                        node.col_offset + 1,
+                        f"{fn.qualname} blocks forever on {receiver} in a "
+                        f"service loop (spawned via "
+                        f"{_chain_text(chains[fqn])}) with no owning "
+                        "ProcessGroup; spawn it through a group so "
+                        "teardown can interrupt it, or race the wait "
+                        "with env.any_of([wait, env.timeout(...)])",
+                    )
+
+
+# ----------------------------------------------------------------------
+# W002 — inconsistent resource acquisition order
+# ----------------------------------------------------------------------
+
+
+def _acquisitions(fn_node: ast.AST) -> "list[tuple[str, Optional[str], ast.AST]]":
+    """(resource text, bound variable, request node) in source order."""
+    found: list[tuple[str, Optional[str], ast.AST]] = []
+    for node in _walk_same_function(fn_node):
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            value = node.value
+            if (
+                isinstance(target, ast.Name)
+                and isinstance(value, ast.Call)
+                and isinstance(value.func, ast.Attribute)
+                and value.func.attr == "request"
+                and not value.args
+                and not value.keywords
+            ):
+                recv = _attr_chain_text(value.func.value)
+                if recv is not None:
+                    found.append((recv, target.id, value))
+        elif isinstance(node, ast.Yield) and node.value is not None:
+            value = node.value
+            if (
+                isinstance(value, ast.Call)
+                and isinstance(value.func, ast.Attribute)
+                and value.func.attr == "request"
+                and not value.args
+                and not value.keywords
+            ):
+                recv = _attr_chain_text(value.func.value)
+                if recv is not None:
+                    found.append((recv, None, value))
+    found.sort(key=lambda item: (item[2].lineno, item[2].col_offset))
+    return found
+
+
+def _release_lines(fn_node: ast.AST, var: Optional[str]) -> "list[int]":
+    """Lines where the request bound to ``var`` is released/cancelled."""
+    if var is None:
+        return []
+    lines: list[int] = []
+    for node in _walk_same_function(fn_node):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr == "release"
+            and len(node.args) == 1
+            and isinstance(node.args[0], ast.Name)
+            and node.args[0].id == var
+        ):
+            lines.append(node.lineno)
+        elif (
+            isinstance(func, ast.Attribute)
+            and func.attr == "cancel"
+            and isinstance(func.value, ast.Name)
+            and func.value.id == var
+        ):
+            lines.append(node.lineno)
+    return lines
+
+
+@register_program
+class LockOrderRule(ProgramRule):
+    """If one path acquires A then B while another acquires B then A,
+    two processes can each hold one slot and wait forever for the
+    other — a hold-and-wait cycle in the wait graph."""
+
+    rule_id = "W002"
+    description = (
+        "two resources are acquired in opposite orders on different "
+        "call paths; processes can deadlock holding one each"
+    )
+
+    def check(self, index: ProgramIndex) -> Iterable[Finding]:
+        # edge (held, acquired) -> first site per function, in fqn order.
+        edges: dict[tuple[str, str], list[tuple[FunctionInfo, ast.AST]]] = {}
+        for fqn in sorted(index.functions):
+            fn = index.functions[fqn]
+            if not fn.is_generator:
+                continue
+            acquired = _acquisitions(fn.node)
+            if len(acquired) < 2:
+                continue
+            for i, (res_a, var_a, _node_a) in enumerate(acquired):
+                releases = _release_lines(fn.node, var_a)
+                for res_b, _var_b, node_b in acquired[i + 1 :]:
+                    if res_b == res_a:
+                        continue
+                    if any(line <= node_b.lineno for line in releases):
+                        continue  # A released before B is requested
+                    edges.setdefault((res_a, res_b), []).append((fn, node_b))
+
+        adjacency: dict[str, set[str]] = {}
+        for held, acquired_next in edges:
+            adjacency.setdefault(held, set()).add(acquired_next)
+
+        def reaches(start: str, goal: str) -> bool:
+            seen: set[str] = set()
+            stack = [start]
+            while stack:
+                name = stack.pop()
+                if name == goal:
+                    return True
+                if name in seen:
+                    continue
+                seen.add(name)
+                stack.extend(sorted(adjacency.get(name, ())))
+            return False
+
+        for held, acquired_next in sorted(edges):
+            if not reaches(acquired_next, held):
+                continue
+            reverse_sites = edges.get((acquired_next, held), ())
+            opposite = (
+                f" (the opposite order is taken in "
+                f"{reverse_sites[0][0].qualname})"
+                if reverse_sites
+                else ""
+            )
+            for fn, node in edges[(held, acquired_next)]:
+                info = index.modules[fn.module]
+                yield self.finding(
+                    None,
+                    info.ctx.path,
+                    node.lineno,
+                    node.col_offset + 1,
+                    f"{fn.qualname} acquires {acquired_next} while "
+                    f"holding {held}, but the acquisition order cycles"
+                    f"{opposite}; pick one global order for these "
+                    "resources",
+                )
+
+
+# ----------------------------------------------------------------------
+# W003 — zero-delay livelock loops
+# ----------------------------------------------------------------------
+
+
+def _path_can_continue_without_wait(body: "list[ast.stmt]") -> bool:
+    """True when some path through one iteration reaches the next one
+    having yielded only zero-delay timeouts (or nothing at all).
+
+    The walk is per-statement with If branching; other compound
+    statements are treated as opaque: if their subtree contains a real
+    wait the path is assumed to take it (conservative-quiet — a loop
+    that *may* skip its wait is not flagged unless an explicit branch
+    shows it).
+    """
+    # Each live path is just a "has waited" flag; exits drop the path.
+    continued: set[bool] = set()
+
+    def step(statements: "list[ast.stmt]", live: "set[bool]") -> "set[bool]":
+        for stmt in statements:
+            if not live:
+                return live
+            if isinstance(stmt, (ast.Return, ast.Raise, ast.Break)):
+                return set()
+            if isinstance(stmt, ast.Continue):
+                continued.update(live)
+                return set()
+            if isinstance(stmt, ast.If):
+                live = step(stmt.body, set(live)) | step(stmt.orelse, set(live))
+                continue
+            if isinstance(stmt, ast.With):
+                live = step(stmt.body, live)
+                continue
+            if any(_is_real_wait(y) for y in _yields_in(stmt)):
+                live = {True}
+        return live
+
+    continued.update(step(body, {False}))
+    return False in continued
+
+
+@register_program
+class ZeroDelayLoopRule(ProgramRule):
+    """A ``while True`` loop whose iteration can complete without a
+    real wait reschedules itself at the same sim instant forever —
+    the event heap floods and time never advances."""
+
+    rule_id = "W003"
+    description = (
+        "while-True process loop has a path that yields only zero-delay "
+        "timeouts; the loop livelocks the current sim instant"
+    )
+
+    def check(self, index: ProgramIndex) -> Iterable[Finding]:
+        for fqn in sorted(index.functions):
+            fn = index.functions[fqn]
+            if not fn.is_generator:
+                continue
+            info = index.modules[fn.module]
+            for loop in _walk_same_function(fn.node):
+                if not _is_while_true(loop):
+                    continue
+                if not any(True for _ in _yields_in(loop)):
+                    continue  # not a process loop (no waits at all)
+                if _path_can_continue_without_wait(loop.body):
+                    yield self.finding(
+                        None,
+                        info.ctx.path,
+                        loop.lineno,
+                        loop.col_offset + 1,
+                        f"while-True loop in {fn.qualname} can iterate "
+                        "while yielding only zero-delay timeouts; give "
+                        "every path a real wait (positive timeout or "
+                        "blocking event) so sim time advances",
+                    )
+
+
+# ----------------------------------------------------------------------
+# W004 — produced-to container with no consumer anywhere
+# ----------------------------------------------------------------------
+
+
+def _container_kind(info, value: ast.AST) -> Optional[str]:
+    """'Store'/'deque'/'list' when ``value`` constructs one, else None."""
+    if isinstance(value, ast.List):
+        return "list"
+    if not isinstance(value, ast.Call):
+        return None
+    resolved = info.ctx.resolve(value.func)
+    if resolved is None:
+        return None
+    tail = resolved.rsplit(".", 1)[-1]
+    return tail if tail in _CONTAINER_CTORS else None
+
+
+@register_program
+class ProducedNotConsumedRule(ProgramRule):
+    """A queue that hot code fills but nothing ever drains (or even
+    reads) grows for the whole run — alloccheck sees the symptom at
+    run time; this rule sees the missing consumer statically."""
+
+    rule_id = "W004"
+    description = (
+        "container attribute is produced to from hot code but never "
+        "consumed or read anywhere; it can only grow"
+    )
+
+    def check(self, index: ProgramIndex) -> Iterable[Finding]:
+        # Container attribute definitions: self.<attr> = Store()/deque()/[].
+        definitions: list[tuple[str, str, object, ast.AST]] = []
+        # attr -> (function, chain) of a hot producer.
+        produced: dict[str, tuple[FunctionInfo, "list[str]"]] = {}
+        consumed: set[str] = set()
+        hot_chains = index.hot_chains()
+
+        for fqn in sorted(index.functions):
+            fn = index.functions[fqn]
+            info = index.modules[fn.module]
+            producer_inner: set[int] = set()
+            for node in _walk_same_function(fn.node):
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _PRODUCE_METHODS
+                    and isinstance(node.func.value, ast.Attribute)
+                ):
+                    attr = node.func.value.attr
+                    producer_inner.add(id(node.func.value))
+                    if fqn in hot_chains and attr not in produced:
+                        produced[attr] = (fn, hot_chains[fqn])
+            for node in _walk_same_function(fn.node):
+                if isinstance(node, ast.Assign):
+                    for target in node.targets:
+                        if (
+                            isinstance(target, ast.Attribute)
+                            and isinstance(target.value, ast.Name)
+                            and target.value.id == "self"
+                        ):
+                            kind = _container_kind(info, node.value)
+                            if kind is not None:
+                                definitions.append(
+                                    (target.attr, kind, info, node)
+                                )
+                elif (
+                    isinstance(node, ast.Attribute)
+                    and isinstance(node.ctx, ast.Load)
+                    and id(node) not in producer_inner
+                ):
+                    consumed.add(node.attr)
+
+        for attr, kind, info, node in definitions:
+            if attr not in produced or attr in consumed:
+                continue
+            fn, chain = produced[attr]
+            yield self.finding(
+                None,
+                info.ctx.path,
+                node.lineno,
+                node.col_offset + 1,
+                f"{kind} attribute {attr} is produced to by "
+                f"{fn.qualname} (hot via {_chain_text(chain)}) but no "
+                "code anywhere consumes or reads it; it grows without "
+                "bound — drain it, or delete it",
+            )
+
+
+# ----------------------------------------------------------------------
+# W005 — granted request held across a yield without try/finally
+# ----------------------------------------------------------------------
+
+
+def _finally_regions(
+    fn_node: ast.AST, var: str
+) -> "list[tuple[int, int]]":
+    """(start, end) line ranges protected by a finally releasing ``var``."""
+    regions: list[tuple[int, int]] = []
+    for node in _walk_same_function(fn_node):
+        if not (isinstance(node, ast.Try) and node.finalbody):
+            continue
+        if not _release_lines(ast.Module(body=node.finalbody, type_ignores=[]), var):
+            continue
+        covered = list(node.body) + list(node.orelse)
+        for handler in node.handlers:
+            covered.extend(handler.body)
+        if not covered:
+            continue
+        start = min(s.lineno for s in covered)
+        end = max(getattr(s, "end_lineno", s.lineno) for s in covered)
+        regions.append((start, end))
+    return regions
+
+
+@register_program
+class UnprotectedHoldRule(ProgramRule):
+    """Between the grant and the release, any yield is a point where an
+    interrupt or a failing event raises *inside* the holder; without
+    ``try/finally`` the slot is never returned and every later waiter
+    queues forever.  (R001 catches requests never released at all;
+    this catches releases skipped on the exception path.)"""
+
+    rule_id = "W005"
+    description = (
+        "granted Request held across a yield without try/finally; an "
+        "interrupt at that yield leaks the slot"
+    )
+
+    def check(self, index: ProgramIndex) -> Iterable[Finding]:
+        for fqn in sorted(index.functions):
+            fn = index.functions[fqn]
+            if not fn.is_generator:
+                continue
+            info = index.modules[fn.module]
+            for res, var, req_node in _acquisitions(fn.node):
+                if var is None:
+                    continue
+                release_lines = _release_lines(fn.node, var)
+                if not release_lines:
+                    continue  # never released: that's R001's finding
+                grant_line = self._grant_line(fn.node, var)
+                if grant_line is None:
+                    continue
+                regions = _finally_regions(fn.node, var)
+                for y in sorted(
+                    _yields_in(fn.node), key=lambda n: (n.lineno, n.col_offset)
+                ):
+                    if y.lineno <= grant_line:
+                        continue
+                    if any(start <= y.lineno <= end for start, end in regions):
+                        continue
+                    if any(line <= y.lineno for line in release_lines):
+                        continue  # already released by this point
+                    yield self.finding(
+                        None,
+                        info.ctx.path,
+                        y.lineno,
+                        y.col_offset + 1,
+                        f"{fn.qualname} holds the {res} slot granted to "
+                        f"{var} across this yield without try/finally; "
+                        "an interrupt or failed event here leaks the "
+                        "slot — wrap the held region and release in "
+                        "finally",
+                    )
+                    break  # one finding per request variable
+
+    @staticmethod
+    def _grant_line(fn_node: ast.AST, var: str) -> Optional[int]:
+        for node in _walk_same_function(fn_node):
+            if (
+                isinstance(node, ast.Yield)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == var
+            ):
+                return node.lineno
+        return None

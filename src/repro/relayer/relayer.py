@@ -119,6 +119,12 @@ class Relayer:
         for worker in self.workers:
             worker.start()
 
+    def stop(self) -> None:
+        """Teardown: close subscriptions and halt every worker pipeline."""
+        self.supervisor.stop()
+        for worker in self.workers:
+            worker.stop()
+
     # ------------------------------------------------------------------
     # Introspection for the analysis pipeline
     # ------------------------------------------------------------------

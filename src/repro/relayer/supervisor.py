@@ -18,7 +18,7 @@ from repro.relayer.config import RelayerConfig
 from repro.relayer.events import WorkBatch, batches_from_notification
 from repro.relayer.logging import RelayerLog
 from repro.relayer.worker import DirectionWorker
-from repro.sim.core import Environment, ProcessGroup
+from repro.sim.core import SHUTDOWN, Environment, ProcessGroup
 from repro.tendermint.node import ChainNode
 from repro.tendermint.websocket import (
     BlockNotification,
@@ -102,6 +102,14 @@ class Supervisor:
                 name=f"supervisor/{chain_id}",
             )
 
+    def stop(self) -> None:
+        """Teardown: interrupt the listeners and close the subscriptions."""
+        self._started = False
+        self.processes.interrupt_all(SHUTDOWN)
+        for chain_id, subscription in self.subscriptions.items():
+            self._nodes[chain_id].websocket.unsubscribe(subscription)
+        self.subscriptions.clear()
+
     # ------------------------------------------------------------------
 
     def _listen(self, chain_id: str, subscription: Subscription):
@@ -116,7 +124,13 @@ class Supervisor:
                 log_error(
                     "websocket_disconnected", chain=chain_id, reason=item.reason
                 )
+                # Deregister the dead subscription: the server keeps
+                # delivering to registered subscriptions, so leaving it
+                # behind leaks one queue per disconnect (stallcheck W-tier
+                # residue finding).
+                self._nodes[chain_id].websocket.unsubscribe(subscription)
                 if not self.config.resubscribe_on_disconnect:
+                    del self.subscriptions[chain_id]
                     return  # the stream is gone for good (Hermes 1.0.0-like)
                 gap_from = heights.get(chain_id, 0)
                 subscription = yield from self._resubscribe(chain_id)

@@ -38,7 +38,7 @@ from repro.relayer.config import RelayerConfig
 from repro.relayer.endpoint import ChainEndpoint, SubmittedTx
 from repro.relayer.events import WorkBatch
 from repro.relayer.logging import RelayerLog
-from repro.sim.core import Environment, ProcessGroup
+from repro.sim.core import SHUTDOWN, Environment, ProcessGroup
 from repro.sim.resources import Store
 from repro.trace import NULL_TRACER, packet_key
 
@@ -119,6 +119,11 @@ class DirectionWorker:
         self.processes.spawn(self._timeout_loop(), name=f"{name}/timeout")
         if self.config.clear_interval > 0:
             self.processes.spawn(self._clear_loop(), name=f"{name}/clear")
+
+    def stop(self) -> None:
+        """Teardown: interrupt every stage loop and in-flight pull."""
+        self._started = False
+        self.processes.interrupt_all(SHUTDOWN)
 
     # ------------------------------------------------------------------
     # Stage 1: receive relaying (src events -> dst transactions)
@@ -319,8 +324,10 @@ class DirectionWorker:
         env = self.env
         for start in range(0, len(tx_hashes), concurrency):
             group = tx_hashes[start : start + concurrency]
+            # Spawned through the worker's group (not bare env.process) so
+            # teardown can interrupt pulls still in flight.
             procs = [
-                env.process(one(tx_hash), name=f"pull/{step}")
+                self.processes.spawn(one(tx_hash), name=f"pull/{step}")
                 for tx_hash in group
             ]
             yield env.all_of(procs)

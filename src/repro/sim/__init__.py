@@ -31,7 +31,7 @@ from repro.sim.monitor import (
     percentile,
 )
 from repro.sim.network import Host, LinkSpec, Network
-from repro.sim.resources import Request, Resource, Store
+from repro.sim.resources import EMPTY, Request, Resource, Store
 from repro.sim.rng import KeyedStream, RngRegistry, derive_seed
 
 __all__ = [
@@ -39,6 +39,7 @@ __all__ = [
     "AnyOf",
     "Counter",
     "DurationHistogram",
+    "EMPTY",
     "Environment",
     "Event",
     "Host",

@@ -33,6 +33,26 @@ URGENT = 0
 NORMAL = 1
 
 
+class _ShutdownType:
+    """Sentinel type for :data:`SHUTDOWN` (interrupt cause)."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "SHUTDOWN"
+
+
+#: Interrupt cause used by graceful teardown (``ProcessGroup
+#: .interrupt_all(SHUTDOWN)``).  A process that lets an Interrupt with
+#: this cause escape its body is *not* recorded as crashed: dying on
+#: shutdown is the expected end of a service loop.
+SHUTDOWN = _ShutdownType()
+
+#: Set by :mod:`repro.lint.stallcheck` while a monitored run is active;
+#: the kernel takes one ``is None`` branch per hook site otherwise.
+_STALL_MONITOR = None
+
+
 class TieBreak:
     """Policy ordering events that share the same (time, priority) heap key.
 
@@ -201,7 +221,7 @@ class Process(Event):
     waiters see the exception (via :meth:`Event.fail` semantics).
     """
 
-    __slots__ = ("_generator", "name", "_waiting_on")
+    __slots__ = ("_generator", "name", "_waiting_on", "__weakref__")
 
     def __init__(
         self, env: "Environment", generator: ProcessGenerator, name: str = ""
@@ -210,6 +230,9 @@ class Process(Event):
         self._generator = generator
         self.name = name or getattr(generator, "__name__", "process")
         self._waiting_on: Optional[Event] = None
+        monitor = _STALL_MONITOR
+        if monitor is not None:
+            monitor.on_process(self)
         # Bootstrap: resume the generator as soon as the env starts stepping.
         bootstrap = Event(env)
         bootstrap._triggered = True
@@ -256,7 +279,10 @@ class Process(Event):
             except BaseException as exc:  # noqa: BLE001 - propagate to waiters
                 if isinstance(exc, StopSimulation):
                     raise
-                self.env.crashed_processes.append((self.name, exc))
+                if not (isinstance(exc, Interrupt) and exc.cause is SHUTDOWN):
+                    # A shutdown interrupt escaping the body is graceful
+                    # teardown, not a crash.
+                    self.env.crashed_processes.append((self.name, exc))
                 if not self._triggered:
                     self.fail(exc)
                 return
@@ -427,6 +453,9 @@ class Environment:
         when, _prio, _seq, event = heapq.heappop(self._queue)
         self._now = when
         self.events_processed += 1
+        monitor = _STALL_MONITOR
+        if monitor is not None:
+            monitor.on_step(when)
         callbacks = event.callbacks
         event.callbacks = None
         if event._cancelled:
@@ -503,11 +532,14 @@ class ProcessGroup:
     finished ones on each spawn) and offers bulk interruption for teardown.
     """
 
-    __slots__ = ("env", "_procs")
+    __slots__ = ("env", "_procs", "__weakref__")
 
     def __init__(self, env: Environment):
         self.env = env
         self._procs: list[Process] = []
+        monitor = _STALL_MONITOR
+        if monitor is not None:
+            monitor.on_group(self)
 
     def spawn(self, generator: ProcessGenerator, name: str = "") -> Process:
         """Start and retain a process; returns its handle."""

@@ -11,10 +11,32 @@ mailboxes, mempools and worker task queues.
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Deque, Generator, Optional
+from typing import Any, Deque, Generator
 
 from repro.errors import SimulationError
 from repro.sim.core import Environment, Event
+
+#: Set by :mod:`repro.lint.stallcheck` while a monitored run is active;
+#: resource/store hot paths take one ``is None`` branch each otherwise.
+_STALL_MONITOR = None
+
+
+class _EmptyType:
+    """Sentinel type for :data:`EMPTY` (a falsy singleton)."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "EMPTY"
+
+    def __bool__(self) -> bool:
+        return False
+
+
+#: Returned by :meth:`Store.try_get` when the store holds no items.
+#: Unlike ``None`` it cannot collide with a stored item, so
+#: ``store.try_get() is not EMPTY`` is always a safe emptiness test.
+EMPTY = _EmptyType()
 
 
 class Request(Event):
@@ -31,6 +53,10 @@ class Request(Event):
         if self.triggered and not self.cancelled:
             # Slot already granted: give it back.
             self.resource.release(self)
+        elif not self.cancelled:
+            # Still queued: the live count drops now; the deque entry
+            # is skipped lazily at the next dispatch.
+            self.resource._live_queued -= 1
         super().cancel()
 
 
@@ -47,7 +73,10 @@ class Resource:
             resource.release(req)
     """
 
-    __slots__ = ("env", "capacity", "_users", "_queue", "grants")
+    __slots__ = (
+        "env", "capacity", "_users", "_queue", "_live_queued", "grants",
+        "__weakref__",
+    )
 
     def __init__(self, env: Environment, capacity: int = 1):
         if capacity < 1:
@@ -56,8 +85,14 @@ class Resource:
         self.capacity = capacity
         self._users: set[Request] = set()
         self._queue: Deque[Request] = deque()
+        # Live (non-cancelled) entries in _queue, maintained so the
+        # monitor-sampled queue_length probe is O(1) instead of a scan.
+        self._live_queued = 0
         #: Total number of requests ever granted (for utilisation probes).
         self.grants = 0
+        monitor = _STALL_MONITOR
+        if monitor is not None:
+            monitor.on_resource(self)
 
     @property
     def count(self) -> int:
@@ -67,7 +102,7 @@ class Resource:
     @property
     def queue_length(self) -> int:
         """Number of requests waiting for a slot."""
-        return sum(1 for r in self._queue if not r.cancelled)
+        return self._live_queued
 
     def request(self) -> Request:
         req = Request(self)
@@ -75,6 +110,7 @@ class Resource:
             self._grant(req)
         else:
             self._queue.append(req)
+            self._live_queued += 1
         return req
 
     def release(self, request: Request) -> None:
@@ -91,7 +127,8 @@ class Resource:
         while self._queue and len(self._users) < self.capacity:
             req = self._queue.popleft()
             if req.cancelled:
-                continue
+                continue  # already uncounted by Request.cancel
+            self._live_queued -= 1
             self._grant(req)
 
     def serve(self, service_time: float) -> Generator[Event, Any, None]:
@@ -110,15 +147,29 @@ class Resource:
 
 
 class StorePut(Event):
-    __slots__ = ("item",)
+    """A pending insertion into a :class:`Store`."""
 
-    def __init__(self, env: Environment, item: Any):
-        super().__init__(env)
+    __slots__ = ("item", "store")
+
+    def __init__(self, store: "Store", item: Any):
+        super().__init__(store.env)
         self.item = item
+        self.store = store
+
+    def cancel(self) -> None:
+        if not self.triggered and not self.cancelled:
+            self.store._live_put_count -= 1
+        super().cancel()
 
 
 class StoreGet(Event):
-    __slots__ = ()
+    """A pending removal from a :class:`Store`."""
+
+    __slots__ = ("store",)
+
+    def __init__(self, store: "Store"):
+        super().__init__(store.env)
+        self.store = store
 
 
 class Store:
@@ -127,7 +178,10 @@ class Store:
     ``put`` blocks when the store is full; ``get`` blocks when it is empty.
     """
 
-    __slots__ = ("env", "capacity", "items", "_putters", "_getters")
+    __slots__ = (
+        "env", "capacity", "items", "_putters", "_getters", "_live_put_count",
+        "__weakref__",
+    )
 
     def __init__(self, env: Environment, capacity: float = float("inf")):
         if capacity <= 0:
@@ -137,18 +191,27 @@ class Store:
         self.items: Deque[Any] = deque()
         self._putters: Deque[StorePut] = deque()
         self._getters: Deque[StoreGet] = deque()
+        # Live (non-cancelled) entries in _putters; keeps try_put O(1).
+        self._live_put_count = 0
+        monitor = _STALL_MONITOR
+        if monitor is not None:
+            monitor.on_store(self)
 
     def __len__(self) -> int:
         return len(self.items)
 
     def put(self, item: Any) -> StorePut:
-        event = StorePut(self.env, item)
+        event = StorePut(self, item)
         self._putters.append(event)
+        self._live_put_count += 1
         self._dispatch()
+        monitor = _STALL_MONITOR
+        if monitor is not None:
+            monitor.on_store_put(self)
         return event
 
     def get(self) -> StoreGet:
-        event = StoreGet(self.env)
+        event = StoreGet(self)
         self._getters.append(event)
         self._dispatch()
         return event
@@ -160,16 +223,20 @@ class Store:
         self.put(item)
         return True
 
-    def try_get(self) -> Optional[Any]:
-        """Non-blocking get; returns None when the store is empty."""
+    def try_get(self) -> Any:
+        """Non-blocking get; returns :data:`EMPTY` when the store is empty.
+
+        The sentinel — not ``None`` — keeps a stored ``None`` item
+        distinguishable from emptiness; test with ``is EMPTY``.
+        """
         if not self.items:
-            return None
+            return EMPTY
         event = self.get()
         # With items available the get triggers synchronously.
         return event.value
 
     def _live_putters(self) -> int:
-        return sum(1 for p in self._putters if not p.cancelled)
+        return self._live_put_count
 
     def _dispatch(self) -> None:
         items = self.items
@@ -182,7 +249,8 @@ class Store:
             while putters and len(items) < self.capacity:
                 putter = putters.popleft()
                 if putter.cancelled:
-                    continue
+                    continue  # already uncounted by StorePut.cancel
+                self._live_put_count -= 1
                 items.append(putter.item)
                 putter.succeed()
                 progressed = True

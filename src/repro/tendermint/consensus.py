@@ -28,7 +28,7 @@ from typing import Callable, Optional
 from repro import calibration as cal
 from repro.errors import SimulationError
 from repro.ibc.client import SignedHeader, make_signed_header
-from repro.sim.core import Environment
+from repro.sim.core import SHUTDOWN, Environment
 from repro.sim.network import Network
 from repro.sim.rng import RngRegistry
 from repro.tendermint.abci import (
@@ -161,6 +161,18 @@ class ConsensusEngine:
 
     def stop(self) -> None:
         self._stopped = True
+
+    def shutdown(self) -> None:
+        """Teardown: stop, then interrupt the height loop mid-wait.
+
+        ``stop()`` alone lets an in-flight block finish (the lifecycle
+        tests depend on that); a shutdown kills the loop immediately so
+        no consensus process outlives the run.
+        """
+        self.stop()
+        if self.process is not None and self.process.is_alive:
+            self.process.interrupt(SHUTDOWN)
+        self.process = None
 
     def set_silent(self, validator_name: str, silent: bool = True) -> None:
         """Fault injection: a silent validator neither proposes nor votes."""

@@ -19,7 +19,7 @@ from repro import calibration as cal
 from repro.cosmos.app import GaiaApp
 from repro.errors import RpcError, SimulationError
 from repro.ibc.module import CounterpartyChainInfo
-from repro.sim.core import Environment
+from repro.sim.core import SHUTDOWN, Environment
 from repro.sim.network import Network
 from repro.sim.rng import RngRegistry
 from repro.tendermint.consensus import (
@@ -155,6 +155,12 @@ class Chain:
 
     def stop(self) -> None:
         self.engine.stop()
+
+    def shutdown(self) -> None:
+        """Teardown: halt consensus immediately and kill in-flight RPC."""
+        self.engine.shutdown()
+        for node in self.nodes.values():
+            node.rpc.processes.interrupt_all(SHUTDOWN)
 
     def counterparty_info(self) -> CounterpartyChainInfo:
         return CounterpartyChainInfo(

@@ -1,0 +1,6 @@
+"""Fixture package for the Tier W liveness rules (W001-W005).
+
+Parsed by the repro.lint tests, never executed.  Each module trips one
+or more W rules at pinned lines; ``clean.py`` holds the guarded twins
+that must stay silent.
+"""

@@ -1,0 +1,23 @@
+"""W004 violation: hot producer with no consumer.  Never executed."""
+
+from repro.sim.resources import Store
+
+
+class Mailbox:
+    def __init__(self, env):
+        self.backlog = Store(env)  # line 8: W004 (filled, never read)
+        self.inbox = Store(env)  # clean twin: drained by drain()
+
+    def start(self, env):
+        return env.process(self.feed(env))
+
+    def feed(self, env):
+        while True:
+            yield env.timeout(1.0)
+            self.backlog.put("tick")
+            self.inbox.put("tick")
+
+    def drain(self):
+        while self.inbox.items:
+            item = yield self.inbox.get()
+            del item

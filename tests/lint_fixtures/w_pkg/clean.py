@@ -1,0 +1,42 @@
+"""Guarded twins the W rules must leave alone.  Never executed."""
+
+
+def start_guarded(env, queue, group):
+    waiter = env.process(guarded_pump(env, queue))
+    owned = group.spawn(owned_pump(env, queue), name="owned")
+    return waiter, owned
+
+
+def guarded_pump(env, queue):
+    """W001-clean: the wait races a deadline via any_of."""
+    while True:
+        wait = queue.get()
+        outcome = env.any_of([wait, env.timeout(5.0)])
+        yield outcome
+        del outcome
+
+
+def owned_pump(env, queue):
+    """W001-clean: spawned only through a ProcessGroup, so teardown
+    can interrupt the bare wait."""
+    while True:
+        item = yield queue.get()
+        del item
+
+
+def careful_hold(env, resource):
+    """W005-clean: the held region is wrapped in try/finally."""
+    req = resource.request()
+    yield req
+    try:
+        yield env.timeout(2.0)
+    finally:
+        resource.release(req)
+
+
+def short_hold(env, resource):
+    """W005-clean: released before the next yield."""
+    req = resource.request()
+    yield req
+    resource.release(req)
+    yield env.timeout(2.0)

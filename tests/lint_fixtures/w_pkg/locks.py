@@ -1,0 +1,59 @@
+"""W002 violation: opposite acquisition orders.  Never executed."""
+
+
+def forward(env, lock_a, lock_b):
+    req_a = lock_a.request()
+    yield req_a
+    try:
+        req_b = lock_b.request()  # line 8: W002 (b while holding a)
+        yield req_b
+        try:
+            yield env.timeout(1.0)
+        finally:
+            lock_b.release(req_b)
+    finally:
+        lock_a.release(req_a)
+
+
+def backward(env, lock_a, lock_b):
+    req_b = lock_b.request()
+    yield req_b
+    try:
+        req_a = lock_a.request()  # line 22: W002 (a while holding b)
+        yield req_a
+        try:
+            yield env.timeout(1.0)
+        finally:
+            lock_a.release(req_a)
+    finally:
+        lock_b.release(req_b)
+
+
+def ordered_outer(env, lock_c, lock_d):
+    """Clean twin: every path takes c before d, so no cycle."""
+    req_c = lock_c.request()
+    yield req_c
+    try:
+        req_d = lock_d.request()
+        yield req_d
+        try:
+            yield env.timeout(1.0)
+        finally:
+            lock_d.release(req_d)
+    finally:
+        lock_c.release(req_c)
+
+
+def ordered_inner(env, lock_c, lock_d):
+    """Clean twin: same global order as ordered_outer."""
+    req_c = lock_c.request()
+    yield req_c
+    try:
+        req_d = lock_d.request()
+        yield req_d
+        try:
+            yield env.timeout(0.5)
+        finally:
+            lock_d.release(req_d)
+    finally:
+        lock_c.release(req_c)

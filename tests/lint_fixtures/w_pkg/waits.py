@@ -1,0 +1,29 @@
+"""W001/W003/W005 violations.  Parsed by the lint tests, never executed."""
+
+
+def start(env, queue, resource, flag):
+    pumper = env.process(pump(env, queue))
+    spinner = env.process(spin(env, flag))
+    holder = env.process(hold(env, resource))
+    return pumper, spinner, holder
+
+
+def pump(env, queue):
+    while True:
+        item = yield queue.get()  # line 13: W001 (bare wait, no group)
+        del item
+
+
+def spin(env, flag):
+    while True:  # line 18: W003 (else path never waits)
+        if flag.ready:
+            yield env.timeout(1.0)
+        else:
+            yield env.timeout(0)
+
+
+def hold(env, resource):
+    req = resource.request()
+    yield req
+    yield env.timeout(2.0)  # line 28: W005 (held slot, no try/finally)
+    resource.release(req)

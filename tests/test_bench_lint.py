@@ -1,0 +1,51 @@
+"""Lint benchmark accounting — deterministic and pinned.
+
+The ``accounting`` section of ``BENCH_lint.json`` must be a pure
+function of the tree (file count, rule count, finding count); only the
+``timing`` section may vary between hosts and runs.  These tests
+re-derive the accounting figures and diff them against the committed
+artifact, so adding analyzed files or rules without regenerating the
+benchmark fails tier-1 (``pytest benchmarks/bench_lint.py``).
+"""
+
+import json
+from pathlib import Path
+
+from benchmarks.bench_lint import (
+    ARTIFACT,
+    analyzed_paths,
+    count_analyzed_files,
+)
+from repro.lint import lint_paths
+from repro.lint.program import PROGRAM_REGISTRY
+from repro.lint.rules import REGISTRY
+
+REPO_ROOT = Path(__file__).parent.parent
+
+
+def _artifact() -> dict:
+    path = Path(ARTIFACT)
+    assert path.is_file(), (
+        "BENCH_lint.json must be committed; regenerate with "
+        "`pytest benchmarks/bench_lint.py`"
+    )
+    return json.loads(path.read_text())
+
+
+def test_artifact_lives_at_repo_root():
+    assert Path(ARTIFACT) == REPO_ROOT / "BENCH_lint.json"
+
+
+def test_accounting_matches_the_tree():
+    accounting = _artifact()["accounting"]
+    assert accounting["files_analyzed"] == count_analyzed_files()
+    assert accounting["rules_registered"] == len(REGISTRY) + len(
+        PROGRAM_REGISTRY
+    )
+    assert accounting["findings"] == len(lint_paths(analyzed_paths()))
+
+
+def test_timing_section_is_present_but_not_pinned():
+    timing = _artifact()["timing"]
+    assert timing["median_wall_seconds"] > 0
+    assert timing["min_wall_seconds"] <= timing["median_wall_seconds"]

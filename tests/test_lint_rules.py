@@ -115,6 +115,29 @@ def test_p_package_flags_every_tier_p_rule_once():
     assert all("via p_pkg.proc.run" in f.message for f in findings)
 
 
+def test_w_package_flags_every_tier_w_rule_at_pinned_lines():
+    """The liveness package trips each W rule once (W002 twice: both
+    halves of the order cycle are named) and leaves the guarded twins
+    in ``clean.py`` alone."""
+    findings = lint_paths([str(FIXTURES / "w_pkg")])
+    assert rules_hit(findings) == {"W001", "W002", "W003", "W004", "W005"}
+    assert sorted((f.rule_id, Path(f.path).name, f.line) for f in findings) == [
+        ("W001", "waits.py", 13),
+        ("W002", "locks.py", 8),
+        ("W002", "locks.py", 22),
+        ("W003", "waits.py", 18),
+        ("W004", "buffers.py", 8),
+        ("W005", "waits.py", 28),
+    ]
+    assert not any(Path(f.path).name == "clean.py" for f in findings)
+    w001 = next(f for f in findings if f.rule_id == "W001")
+    assert "spawned via w_pkg.waits.pump" in w001.message
+    w002 = next(f for f in findings if f.line == 8 and f.rule_id == "W002")
+    assert "the opposite order is taken in backward" in w002.message
+    w004 = next(f for f in findings if f.rule_id == "W004")
+    assert "Mailbox.feed" in w004.message
+
+
 def test_r003_ignores_non_env_receivers_and_retained_handles():
     findings = lint_source(
         "def start(env, pool):\n"
@@ -553,6 +576,7 @@ def test_cli_list_rules(capsys):
     for rule_id in (
         "D001", "D002", "D003", "D004", "D005", "D006",
         "R001", "R002", "R003", "R004",
+        "W001", "W002", "W003", "W004", "W005",
     ):
         assert rule_id in out
     assert "[whole-program]" in out
@@ -561,6 +585,12 @@ def test_cli_list_rules(capsys):
 def test_cli_rejects_unknown_schedcheck_scenario(capsys):
     with pytest.raises(SystemExit):
         lint_cli(["--schedcheck", "no-such-scenario"])
+    capsys.readouterr()
+
+
+def test_cli_rejects_unknown_stallcheck_scenario(capsys):
+    with pytest.raises(SystemExit):
+        lint_cli(["--stallcheck", "no-such-scenario"])
     capsys.readouterr()
 
 

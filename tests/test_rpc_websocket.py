@@ -5,7 +5,7 @@ import pytest
 
 from repro import calibration as cal
 from repro.errors import RpcError, RpcOverloadedError, RpcTimeoutError
-from repro.sim import Environment, Network, RngRegistry
+from repro.sim import EMPTY, Environment, Network, RngRegistry
 from repro.tendermint.rpc import RpcClient, RpcServer
 from repro.tendermint.websocket import WebSocketServer
 from repro.tendermint.abci import AbciEvent, ExecutedBlock, ExecutedTx, ResponseDeliverTx
@@ -256,7 +256,7 @@ def test_failed_subscription_stays_silent(env, net):
     env.run()
     first = sub.queue.try_get()
     assert not first.ok
-    assert sub.queue.try_get() is None  # nothing else delivered
+    assert sub.queue.try_get() is EMPTY  # nothing else delivered
     assert sub.failures == 2
 
 

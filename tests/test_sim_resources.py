@@ -4,7 +4,7 @@
 import pytest
 
 from repro.errors import SimulationError
-from repro.sim import Environment, Resource, Store
+from repro.sim import EMPTY, Environment, Resource, Store
 
 
 def test_resource_capacity_one_serialises(env):
@@ -73,8 +73,10 @@ def test_resource_request_cancel_frees_queue_slot(env):
     def holder():
         req = resource.request()
         yield req
-        yield env.timeout(5.0)
-        resource.release(req)
+        try:
+            yield env.timeout(5.0)
+        finally:
+            resource.release(req)
 
     def quitter():
         req = resource.request()
@@ -186,8 +188,55 @@ def test_store_capacity_blocks_put(env):
 
 def test_store_try_put_and_try_get(env):
     store = Store(env, capacity=1)
-    assert store.try_get() is None
+    assert store.try_get() is EMPTY
     assert store.try_put("x") is True
     assert store.try_put("y") is False
     assert store.try_get() == "x"
     assert len(store) == 0
+
+
+def test_store_try_get_distinguishes_stored_none(env):
+    """A stored ``None`` item comes back as ``None`` — only a truly
+    empty store returns the EMPTY sentinel (which is falsy and has a
+    stable repr for reports)."""
+    store = Store(env)
+    store.put(None)
+    assert store.try_get() is None
+    assert store.try_get() is EMPTY
+    assert not EMPTY
+    assert repr(EMPTY) == "EMPTY"
+
+
+def test_resource_queue_length_tracks_cancellations(env):
+    """queue_length is a live count, not a scan: it drops immediately
+    when a queued request cancels and when a waiter is granted."""
+    resource = Resource(env, capacity=1)
+    held = resource.request()  # granted immediately
+    waiters = [resource.request() for _ in range(3)]
+    assert resource.queue_length == 3
+    waiters[1].cancel()
+    assert resource.queue_length == 2
+    waiters[1].cancel()  # double-cancel must not double-decrement
+    assert resource.queue_length == 2
+    resource.release(held)  # grants waiters[0]
+    assert resource.queue_length == 1
+    assert waiters[0].triggered
+    resource.release(waiters[0])
+    assert resource.queue_length == 0
+    assert waiters[2].triggered
+
+
+def test_store_live_putters_track_cancellations(env):
+    """try_put admission control stays exact as queued puts cancel."""
+    store = Store(env, capacity=1)
+    store.put("a")  # fills the store
+    blocked = [store.put(str(i)) for i in range(2)]
+    assert store.try_put("c") is False
+    blocked[0].cancel()
+    blocked[0].cancel()  # idempotent
+    blocked[1].cancel()
+    assert store._live_putters() == 0
+    assert store.try_get() == "a"
+    # Both queued puts were cancelled, so the store is now empty.
+    assert store.try_get() is EMPTY
+    assert store.try_put("c") is True

@@ -1,0 +1,270 @@
+"""Liveness sanitizer: toy detections plus the tier-1 budget gate.
+
+``test_stallcheck_gate_golden`` is the enforcement point: it runs the
+golden scenario under the :class:`StallMonitor`, tears the testbed down
+and diffs the store high-water marks against the committed
+``STALL_BUDGET.json`` — so a deadlock, a leaked waiter, or an unbounded
+queue regression anywhere in the stack fails the ordinary pytest run.
+The toy tests pin each detector's behaviour on a purpose-built stall.
+"""
+# repro-lint: disable-file=R003 -- clean toys hand their processes to env.run()
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.lint.stallcheck import (
+    DEFAULT_BUDGET_PATH,
+    SCENARIOS,
+    UNBUDGETED_FLOOR,
+    StallcheckResult,
+    StallMonitor,
+    apply_budget,
+    budget_document,
+    check_scenario,
+    check_toy,
+)
+from repro.sim.core import SHUTDOWN, Environment, ProcessGroup
+from repro.sim.resources import Store
+
+REPO_ROOT = Path(__file__).parent.parent
+
+# The stalling builders are static Tier W violations by design, so they
+# live in the lint-excluded fixture directory (zero suppressions here).
+_TOYS_PATH = Path(__file__).parent / "lint_fixtures" / "stall_toys.py"
+_spec = importlib.util.spec_from_file_location("stall_toys", _TOYS_PATH)
+stall_toys = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(stall_toys)
+
+
+# ----------------------------------------------------------------------
+# Toy detections: each detector pinned on a purpose-built stall
+# ----------------------------------------------------------------------
+
+
+def test_toy_clean_producer_consumer_is_clean():
+    def build(env):
+        queue = Store(env)
+
+        def producer():
+            for item in range(5):
+                yield env.timeout(1.0)
+                queue.put(item)
+
+        def consumer():
+            for _ in range(5):
+                yield queue.get()
+
+        env.process(producer(), name="producer")
+        env.process(consumer(), name="consumer")
+
+    result = check_toy("clean", build)
+    assert result.clean, result.summary()
+    assert result.live == 0
+    assert "OK" in result.summary()
+
+
+def test_toy_deadlock_dumps_the_wait_graph():
+    """Classic opposite-order deadlock: the report must name both stuck
+    processes, their suspension sites, and the resources they wait on."""
+    result = check_toy("deadlock", stall_toys.build_deadlock)
+    assert not result.clean
+    assert result.live == 2
+    assert any("deadlock" in v for v in result.violations)
+    graph = "\n".join(result.wait_lines)
+    assert "forward" in graph and "backward" in graph
+    assert "Request on Resource@" in graph
+    assert "stall_toys.py:" in graph  # suspension + creation sites
+    # The held slots and queued requests also surface as residue.
+    assert any("granted slot" in v for v in result.violations)
+    assert any("ungranted request" in v for v in result.violations)
+    assert "runtime wait graph" in result.summary()
+
+
+def test_toy_livelock_raises_inside_step():
+    result = check_toy(
+        "livelock", stall_toys.build_livelock, livelock_threshold=50
+    )
+    assert not result.clean
+    assert any("livelock" in v for v in result.violations)
+    assert any("t=0.0" in v for v in result.violations)
+    assert result.same_instant_max > 50
+
+
+def test_toy_unreleased_request_is_residue():
+    result = check_toy("leak", stall_toys.build_leak)
+    assert not result.clean
+    assert result.live == 0  # the process finished; only the slot leaked
+    assert any("granted slot" in v for v in result.violations)
+
+
+def test_toy_shutdown_interrupt_drains_a_group():
+    """SHUTDOWN teardown is graceful: not a crash, nothing left alive."""
+
+    def build(env):
+        queue = Store(env)
+        group = ProcessGroup(env)
+
+        def service():
+            while True:
+                yield queue.get()
+
+        group.spawn(service(), name="service")
+
+        def killer():
+            yield env.timeout(3.0)
+            group.interrupt_all(SHUTDOWN)
+
+        env.process(killer(), name="killer")
+
+    result = check_toy("teardown", build)
+    assert result.clean, result.summary()
+
+
+def test_monitor_tracks_store_high_water():
+    monitor = StallMonitor()
+    with monitor.activate():
+        env = Environment()
+        store = Store(env)
+        for item in range(4):
+            store.put(item)
+    assert list(monitor.high_water.values()) == [4]
+    (site,) = monitor.high_water
+    assert "test_stallcheck.py" in site
+
+
+def test_nested_activation_is_rejected():
+    monitor = StallMonitor()
+    with monitor.activate():
+        with pytest.raises(RuntimeError, match="already active"):
+            with StallMonitor().activate():
+                pass  # pragma: no cover
+
+
+# ----------------------------------------------------------------------
+# Budget diff semantics (no experiment run needed)
+# ----------------------------------------------------------------------
+
+
+def _result(high_water=None) -> StallcheckResult:
+    return StallcheckResult(
+        scenario="golden",
+        seed=7,
+        events=2000,
+        high_water=high_water or {},
+    )
+
+
+def _budget(high_water) -> dict:
+    return {
+        "tolerance": 0.25,
+        "scenarios": {"golden": {"seed": 7, "high_water": high_water}},
+    }
+
+
+def test_within_budget_is_clean():
+    result = _result({"repro/x.py:1": 10})
+    apply_budget(result, _budget({"repro/x.py:1": 10}))
+    assert result.clean
+
+
+def test_budget_boundary_is_inclusive():
+    """Exactly int(pinned * 1.25) + 2 still passes; one more fails."""
+    result = _result({"repro/x.py:1": 14})  # int(10 * 1.25) + 2 == 14
+    apply_budget(result, _budget({"repro/x.py:1": 10}))
+    assert result.clean
+    over = _result({"repro/x.py:1": 15})
+    apply_budget(over, _budget({"repro/x.py:1": 10}))
+    assert not over.clean
+    assert "backlog regression" in over.violations[0]
+    assert "STALL" in over.summary()
+
+
+def test_unbudgeted_site_gated_only_past_floor():
+    result = _result({"repro/new.py:9": UNBUDGETED_FLOOR})
+    apply_budget(result, _budget({}))
+    assert result.clean
+    over = _result({"repro/new.py:9": UNBUDGETED_FLOOR + 1})
+    apply_budget(over, _budget({}))
+    assert not over.clean
+    assert "unbudgeted store" in over.violations[0]
+
+
+def test_budget_document_merges_scenarios():
+    existing = budget_document(_result({"repro/x.py:1": 3}))
+    other = StallcheckResult(
+        scenario="line3", seed=7, events=100, high_water={"repro/y.py:2": 1}
+    )
+    merged = budget_document(other, existing)
+    assert set(merged["scenarios"]) == {"golden", "line3"}
+    assert merged["scenarios"]["golden"]["high_water"] == {"repro/x.py:1": 3}
+    fresh = _result({"repro/x.py:1": 3})
+    apply_budget(fresh, merged)
+    assert fresh.clean
+
+
+def test_unknown_scenario_raises():
+    with pytest.raises(ValueError, match="unknown stallcheck scenario"):
+        check_scenario("no-such-scenario")
+
+
+def test_scenario_registry_names():
+    assert set(SCENARIOS) == {"golden", "golden-faults", "line3", "hub4"}
+
+
+def test_default_budget_path_is_repo_root():
+    assert DEFAULT_BUDGET_PATH == REPO_ROOT / "STALL_BUDGET.json"
+    assert DEFAULT_BUDGET_PATH.is_file(), (
+        "STALL_BUDGET.json must be committed; re-pin with "
+        "`python -m repro lint --stallcheck <scenario> --write-stall-budget`"
+    )
+
+
+# ----------------------------------------------------------------------
+# Experiment-backed scenarios (the acceptance gate)
+# ----------------------------------------------------------------------
+
+
+def test_stallcheck_gate_golden():
+    """THE gate: golden must run, tear down leak-free, and stay within
+    the committed stall budget.  On an intentional queue-depth change,
+    audit the summary, then re-pin with --write-stall-budget."""
+    result = check_scenario("golden")
+    assert result.budget is not None, "committed STALL_BUDGET.json not loaded"
+    assert result.clean, result.summary()
+    assert result.live == 0
+    # Teardown steps a deterministic number of drain events on top of the
+    # pinned 2013-event golden run; the total is pinned in the budget.
+    assert result.events == result.budget["scenarios"]["golden"]["events"]
+
+
+def test_write_budget_pins_a_diffable_file(tmp_path):
+    path = tmp_path / "budget.json"
+    pinned = check_scenario("golden", budget_path=str(path), write_budget=True)
+    assert pinned.wrote_budget_to == str(path)
+    assert "pinned stall budget" in pinned.summary()
+    document = json.loads(path.read_text())
+    assert "golden" in document["scenarios"]
+
+    checked = check_scenario("golden", budget_path=str(path))
+    assert checked.clean, checked.summary()
+
+
+@pytest.mark.stallcheck
+def test_golden_faults_scenario_has_no_stall():
+    result = check_scenario("golden-faults", seed=7)
+    assert result.clean, result.summary()
+
+
+@pytest.mark.stallcheck
+def test_line3_scenario_has_no_stall():
+    result = check_scenario("line3", seed=7)
+    assert result.clean, result.summary()
+
+
+@pytest.mark.stallcheck
+def test_hub4_scenario_has_no_stall():
+    result = check_scenario("hub4", seed=7)
+    assert result.clean, result.summary()
