@@ -17,7 +17,7 @@ at a rate beyond the single-relayer saturation point.
 from benchmarks.conftest import run_batch, run_cached
 from repro.analysis import format_table
 from repro.cosmos.denom import DenomTrace
-from repro.framework import ExperimentConfig
+from repro.framework import ExperimentConfig, FleetConfig
 
 RATE = 200
 BLOCKS = 40
@@ -34,7 +34,9 @@ def run_sweep():
         [
             scaling_config(num_relayers=1),
             scaling_config(num_relayers=2),
-            scaling_config(num_relayers=2, coordinate_relayers=True),
+            scaling_config(
+                num_relayers=2, relayer=FleetConfig(policy="shard")
+            ),
             scaling_config(num_relayers=2, num_channels=2),
         ]
     )
@@ -42,7 +44,7 @@ def run_sweep():
         "one": run_cached(scaling_config(num_relayers=1)),
         "uncoordinated": run_cached(scaling_config(num_relayers=2)),
         "coordinated": run_cached(
-            scaling_config(num_relayers=2, coordinate_relayers=True)
+            scaling_config(num_relayers=2, relayer=FleetConfig(policy="shard"))
         ),
         "two_channels": run_cached(
             scaling_config(num_relayers=2, num_channels=2)

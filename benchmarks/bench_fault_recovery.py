@@ -19,7 +19,7 @@ the outage is lost with the WebSocket subscription:
 from benchmarks.conftest import run_batch, run_cached
 from repro.analysis import format_table
 from repro.faults import FaultSchedule, NodeCrash
-from repro.framework import ExperimentConfig
+from repro.framework import ExperimentConfig, FleetConfig
 
 #: The relayer (hermes-0) and its full nodes live on machine-0; crash it
 #: for 30 s starting 5 s into the measurement window, while the fixed
@@ -38,8 +38,9 @@ def fault_config(recovery: bool) -> ExperimentConfig:
             submission_blocks=SUBMISSION_BLOCKS,
             measurement_blocks=12,
             faults=CRASH,
-            rpc_retry_attempts=6,
-            resubscribe_on_disconnect=True,
+            relayer=FleetConfig(
+                rpc_retry_attempts=6, resubscribe_on_disconnect=True
+            ),
             clear_interval=2,
             run_to_completion=True,
             seed=3,
@@ -50,8 +51,9 @@ def fault_config(recovery: bool) -> ExperimentConfig:
         submission_blocks=SUBMISSION_BLOCKS,
         measurement_blocks=12,
         faults=CRASH,
-        rpc_retry_attempts=0,
-        resubscribe_on_disconnect=False,
+        relayer=FleetConfig(
+            rpc_retry_attempts=0, resubscribe_on_disconnect=False
+        ),
         clear_interval=0,
         drain_seconds=120.0,
         seed=3,

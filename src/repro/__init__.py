@@ -30,13 +30,16 @@ Or, from a shell (see ``python -m repro bench --help``)::
 # `repro.calibration` through the partially-initialised `repro` package.
 from repro.calibration import Calibration, DEFAULT_CALIBRATION
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 from repro.errors import ReproError, SchemaError
+from repro.faults import FaultSchedule
 from repro.framework import (
     ExperimentConfig,
     ExperimentReport,
+    FleetConfig,
     TopologySpec,
+    TraceReport,
     run_experiment,
     sweep,
 )
@@ -46,9 +49,12 @@ __all__ = [
     "DEFAULT_CALIBRATION",
     "ExperimentConfig",
     "ExperimentReport",
+    "FaultSchedule",
+    "FleetConfig",
     "ReproError",
     "SchemaError",
     "TopologySpec",
+    "TraceReport",
     "__version__",
     "run_experiment",
     "sweep",

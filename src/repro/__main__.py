@@ -35,7 +35,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.framework import ExperimentConfig, run_experiment
+from repro.framework import ExperimentConfig, FleetConfig, run_experiment
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -97,8 +97,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="relayer packet-clearing interval in blocks (0 = off)",
     )
     parser.add_argument(
+        "--fleet-policy", type=str, default="none",
+        choices=("none", "shard", "leader"),
+        help=(
+            "EXTENSION: fleet coordination policy — 'none' (paper "
+            "baseline), 'shard' (static sequence partition) or 'leader' "
+            "(leader election with failover)"
+        ),
+    )
+    parser.add_argument(
         "--coordinate", action="store_true",
-        help="EXTENSION: statically coordinate the relayer instances",
+        help="EXTENSION: shorthand for --fleet-policy shard",
     )
     parser.add_argument(
         "--channels", type=int, default=1,
@@ -120,6 +129,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def config_from_args(args: argparse.Namespace) -> ExperimentConfig:
+    policy = "shard" if args.coordinate else args.fleet_policy
     return ExperimentConfig(
         input_rate=args.rate,
         measurement_blocks=args.blocks,
@@ -133,7 +143,7 @@ def config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         run_to_completion=args.to_completion,
         chain_only=args.chain_only,
         clear_interval=args.clear_interval,
-        coordinate_relayers=args.coordinate,
+        relayer=FleetConfig(policy=policy),
         num_channels=args.channels,
         tracing=args.tracing,
         seed=args.seed,

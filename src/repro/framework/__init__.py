@@ -20,6 +20,7 @@ from repro.framework.metrics import (
     TraceReport,
     WindowMetrics,
     collect_fault_metrics,
+    collect_fleet_metrics,
     collect_gas_metrics,
     collect_rpc_metrics,
     collect_trace_metrics,
@@ -31,11 +32,12 @@ from repro.framework.processor import (
     TransferTimelineReport,
 )
 from repro.framework.report import ExperimentReport
-from repro.framework.runner import ExperimentRunner, run_experiment
+from repro.framework.runner import run_experiment
 from repro.framework.setup import Testbed
 from repro.framework.sweep import METRICS, SweepPoint, run_seeded, sweep
 from repro.framework.topology import TopologySpec
 from repro.framework.workload import WorkloadDriver, WorkloadStats
+from repro.relayer.fleet import Fleet, FleetConfig
 
 __all__ = [
     "CompletionStatus",
@@ -44,8 +46,9 @@ __all__ = [
     "CrossChainEventProcessor",
     "ExperimentConfig",
     "ExperimentReport",
-    "ExperimentRunner",
     "FaultReport",
+    "Fleet",
+    "FleetConfig",
     "GasMetrics",
     "METRICS",
     "PacketTrace",
@@ -62,6 +65,7 @@ __all__ = [
     "WorkloadDriver",
     "WorkloadStats",
     "collect_fault_metrics",
+    "collect_fleet_metrics",
     "collect_gas_metrics",
     "collect_rpc_metrics",
     "collect_trace_metrics",

@@ -16,6 +16,15 @@ from repro import calibration as cal
 from repro.errors import SchemaError, WorkloadError
 from repro.faults import FaultSchedule
 from repro.framework.topology import TopologySpec
+from repro.relayer.fleet import FleetConfig
+
+#: Flat relayer knobs of config schema v4 and earlier, now nested in the
+#: ``relayer`` section — :meth:`ExperimentConfig.from_dict` migrates them.
+_LEGACY_RELAYER_KEYS = (
+    "coordinate_relayers",
+    "rpc_retry_attempts",
+    "resubscribe_on_disconnect",
+)
 
 
 @dataclass
@@ -66,9 +75,6 @@ class ExperimentConfig:
     #: serves its own channel and the workload is spread across channels
     #: round-robin (tokens become non-fungible across channels!).
     num_channels: int = 1
-    #: EXTENSION: statically coordinate multiple relayers on ONE channel by
-    #: partitioning work between them (the ICS-18 gap the paper calls out).
-    coordinate_relayers: bool = False
     #: Proof machinery: "merkle" (real proofs), "stub" (structural, for very
     #: large sweeps), or "auto" (stub above ``AUTO_STUB_THRESHOLD`` expected
     #: packets).
@@ -83,12 +89,10 @@ class ExperimentConfig:
     #: Deterministic fault schedule (see :mod:`repro.faults`); fault times
     #: are relative to the measurement-window start.  None = fault-free.
     faults: Optional[FaultSchedule] = None
-    #: Relayer retry budget for transient RPC errors (0 = Hermes 1.0.0
-    #: behaviour: fail the query on the first timeout).
-    rpc_retry_attempts: int = 0
-    #: Relayer reopens dropped WebSocket subscriptions (with height-gap
-    #: detection feeding the clear machinery).
-    resubscribe_on_disconnect: bool = True
+    #: The relayer fleet deployed per topology edge: size (defaulting to
+    #: ``num_relayers``), coordination policy and the per-instance
+    #: robustness knobs (see :class:`repro.relayer.fleet.FleetConfig`).
+    relayer: FleetConfig = field(default_factory=FleetConfig)
 
     # -- measurement/simulation mechanics ----------------------------------------
     #: Record per-packet lifecycle spans/events (see :mod:`repro.trace`).
@@ -130,14 +134,22 @@ class ExperimentConfig:
             raise WorkloadError(f"unknown proof mode {self.proof_mode!r}")
         if self.num_channels < 1:
             raise WorkloadError("num_channels must be >= 1")
-        if self.num_channels > 1 and self.num_channels != max(1, self.num_relayers):
+        if (
+            self.relayer.count is not None
+            and self.num_relayers != 1
+            and self.relayer.count != self.num_relayers
+        ):
+            raise WorkloadError(
+                "relayer.count conflicts with num_relayers: set one of them"
+            )
+        if self.num_channels > 1 and self.num_channels != max(1, self.fleet_count):
             raise WorkloadError(
                 "multi-channel experiments assign one relayer per channel: "
-                "set num_channels == num_relayers"
+                "set num_channels == the fleet size"
             )
-        if self.coordinate_relayers and self.num_channels > 1:
+        if self.relayer.policy != "none" and self.num_channels > 1:
             raise WorkloadError(
-                "coordinate_relayers applies to relayers sharing ONE channel"
+                "coordination policies apply to relayers sharing ONE channel"
             )
         if self.channel_ordering not in ("ordered", "unordered"):
             raise WorkloadError(
@@ -159,7 +171,7 @@ class ExperimentConfig:
         for spec in fields(self):
             value = getattr(self, spec.name)
             if (
-                spec.name in ("faults", "calibration", "topology")
+                spec.name in ("faults", "calibration", "topology", "relayer")
                 and value is not None
             ):
                 value = value.to_dict()
@@ -173,20 +185,45 @@ class ExperimentConfig:
         Missing keys take the field defaults (documents from older
         versions keep loading); unknown keys raise :class:`SchemaError`
         so a typo'd parameter can never silently run the default
-        experiment instead.
+        experiment instead.  Schema-v4 documents carried the relayer
+        knobs as flat keys (``rpc_retry_attempts``,
+        ``resubscribe_on_disconnect``, ``coordinate_relayers``); they are
+        migrated into the nested ``relayer`` section here, with
+        ``coordinate_relayers: true`` mapping to the ``shard`` policy.
         """
         if not isinstance(data, dict):
             raise SchemaError(
                 f"experiment config must be a dict, got {type(data).__name__}"
             )
+        kwargs = dict(data)
+        legacy = {
+            key: kwargs.pop(key)
+            for key in _LEGACY_RELAYER_KEYS
+            if key in kwargs
+        }
         known = {spec.name for spec in fields(cls)}
-        unknown = sorted(set(data) - known)
+        unknown = sorted(set(kwargs) - known)
         if unknown:
             raise SchemaError(
                 f"unknown key(s) {', '.join(unknown)} in experiment config "
                 f"(known keys: {', '.join(sorted(known))})"
             )
-        kwargs = dict(data)
+        if legacy:
+            if kwargs.get("relayer") is not None:
+                raise SchemaError(
+                    "experiment config mixes the nested relayer section "
+                    f"with legacy flat key(s) {', '.join(sorted(legacy))}"
+                )
+            relayer: dict[str, Any] = {}
+            if legacy.get("coordinate_relayers"):
+                relayer["policy"] = "shard"
+            if "rpc_retry_attempts" in legacy:
+                relayer["rpc_retry_attempts"] = legacy["rpc_retry_attempts"]
+            if "resubscribe_on_disconnect" in legacy:
+                relayer["resubscribe_on_disconnect"] = legacy[
+                    "resubscribe_on_disconnect"
+                ]
+            kwargs["relayer"] = relayer
         if kwargs.get("faults") is not None:
             kwargs["faults"] = FaultSchedule.from_dict(kwargs["faults"])
         if kwargs.get("calibration") is not None:
@@ -195,9 +232,25 @@ class ExperimentConfig:
             )
         if kwargs.get("topology") is not None:
             kwargs["topology"] = TopologySpec.from_dict(kwargs["topology"])
+        if kwargs.get("relayer") is not None:
+            kwargs["relayer"] = FleetConfig.from_dict(kwargs["relayer"])
+        elif "relayer" in kwargs:
+            del kwargs["relayer"]  # null section = the default fleet
         return cls(**kwargs)
 
     # ------------------------------------------------------------------
+
+    @property
+    def fleet(self) -> FleetConfig:
+        """The relayer section with ``count`` resolved (``num_relayers``
+        when the section leaves it None)."""
+        return self.relayer.resolved(self.num_relayers)
+
+    @property
+    def fleet_count(self) -> int:
+        """Relayer instances deployed per topology edge."""
+        count = self.relayer.count
+        return self.num_relayers if count is None else count
 
     @property
     def resolved_calibration(self) -> cal.Calibration:

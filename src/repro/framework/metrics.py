@@ -441,6 +441,125 @@ def collect_fault_metrics(
     )
 
 
+def _log_field_sum(log, event: str, key: str) -> int:
+    """Sum one integer field over a log's records of one event type."""
+    return sum(record.field(key, 0) for record in log.by_event(event))
+
+
+def collect_fleet_metrics(
+    topology,
+    chains: list[Chain],
+    edge_paths,
+    edge_relayers,
+    fleets,
+    start_time: float,
+    end_time: float,
+) -> Optional[list[dict[str, Any]]]:
+    """Per-edge fleet accounting: goodput vs. redundancy (Fig. 9's axis).
+
+    One row per topology edge with the fleet's size and policy, the
+    chain-truth delivery counts on the edge's channels, every member's
+    broadcast attempts, and the derived redundancy ratio — attempts per
+    delivered packet, ≈2.0 for two uncoordinated relayers (Fig. 9), ≈1.0
+    under the ``shard``/``leader`` policies.  Leader fleets add their
+    handoff history and the post-crash recovery latency (first successful
+    confirmation by the new leader after the handoff).  Returns None when
+    no relayers were deployed (chain-only experiments).
+
+    Every value is integer event accounting or a ratio of such integers
+    on the simulated clock, so the section is byte-stable across host
+    platforms and event tie-break policies.
+    """
+    if not any(edge_relayers) or not fleets:
+        return None
+    chains_by_id = {chain.chain_id: chain for chain in chains}
+    duration = max(end_time - start_time, 0.0)
+    rows: list[dict[str, Any]] = []
+    for edge, (i, j) in enumerate(topology.edges):
+        fleet = fleets[edge]
+        relayers = edge_relayers[edge]
+        delivered = 0
+        acked = 0
+        for path in edge_paths[edge]:
+            for end in (path.a, path.b):
+                chain = chains_by_id[end.chain_id]
+                ends = [(end.port_id, end.channel_id)]
+                delivered += _count_in_time_window(
+                    chain, RECV_EVENT, start_time, end_time, ends
+                )
+                acked += _count_in_time_window(
+                    chain, ACK_EVENT, start_time, end_time, ends
+                )
+        members: list[dict[str, Any]] = []
+        recv_attempts = 0
+        ack_attempts = 0
+        redundant_errors = 0
+        failed_txs = 0
+        for index, relayer in enumerate(relayers):
+            log = relayer.log
+            member_recv = _log_field_sum(log, "recv_broadcast", "count")
+            member_ack = _log_field_sum(log, "ack_broadcast", "count")
+            member_redundant = log.count("packet_messages_redundant")
+            member_failed = log.count("tx_execution_failed") + log.count(
+                "failed_tx_no_confirmation"
+            )
+            recv_attempts += member_recv
+            ack_attempts += member_ack
+            redundant_errors += member_redundant
+            failed_txs += member_failed
+            members.append(
+                {
+                    "index": index,
+                    "name": relayer.name,
+                    "recv_attempts": member_recv,
+                    "ack_attempts": member_ack,
+                    "redundant_errors": member_redundant,
+                    "failed_txs": member_failed,
+                }
+            )
+        leader = None
+        if fleet.config.policy == "leader":
+            recovery = None
+            if fleet.handoffs:
+                first = fleet.handoffs[0]
+                successor = relayers[first["to"]].log
+                confirmed = [
+                    record.time
+                    for record in successor.records
+                    if record.event in ("recv_confirmation", "ack_confirmation")
+                    and record.field("code") == 0
+                    and record.time >= first["time"]
+                ]
+                if confirmed:
+                    recovery = min(confirmed) - first["time"]
+            leader = {
+                "handoffs": [dict(h) for h in fleet.handoffs],
+                "handoff_count": len(fleet.handoffs),
+                "recovery_seconds": recovery,
+            }
+        rows.append(
+            {
+                "edge": edge,
+                "chains": [chains[i].chain_id, chains[j].chain_id],
+                "count": fleet.count,
+                "policy": fleet.config.policy,
+                "delivered": delivered,
+                "acked": acked,
+                "recv_attempts": recv_attempts,
+                "ack_attempts": ack_attempts,
+                "redundant_ratio": (
+                    recv_attempts / delivered if delivered else 0.0
+                ),
+                "redundant_errors": redundant_errors,
+                "failed_txs": failed_txs,
+                "goodput_tfps": acked / duration if duration else 0.0,
+                "leader": leader,
+                "members": members,
+            }
+        )
+    return rows
+
+
 @dataclass
 class RpcBusyMetrics:
     """Where RPC time went (the 69 % data-pull claim)."""

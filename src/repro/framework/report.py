@@ -84,7 +84,7 @@ def _faults_from_dict(data: Optional[dict[str, Any]]) -> Optional[FaultReport]:
     )
 
 
-#: Top-level keys every schema-4 report document carries, in dump order.
+#: Top-level keys every schema-5 report document carries, in dump order.
 _DOCUMENT_KEYS = (
     "schema_version",
     "config",
@@ -101,18 +101,27 @@ _DOCUMENT_KEYS = (
     "rpc",
     "timeline",
     "faults",
+    "fleet",
     "trace",
     "sim_end_time",
 )
 
-#: Schema-2 documents predate per-packet tracing: identical except that
-#: the ``trace`` key does not exist.  They still load (tracing absent).
-_V2_DOCUMENT_KEYS = tuple(k for k in _DOCUMENT_KEYS if k != "trace")
+#: Schema-4 (and 3) documents predate relayer fleets: identical except
+#: that the ``fleet`` key does not exist (and their ``config`` carries
+#: the relayer knobs as flat keys, migrated by the config loader).
+_V34_DOCUMENT_KEYS = tuple(k for k in _DOCUMENT_KEYS if k != "fleet")
+
+#: Schema-2 documents additionally predate per-packet tracing: no
+#: ``trace`` key either.  They still load (tracing absent).
+_V2_DOCUMENT_KEYS = tuple(
+    k for k in _DOCUMENT_KEYS if k not in ("trace", "fleet")
+)
 
 #: Schema 3 → 4 added the topology layer: ``config.topology``, the
 #: ``window.channels`` per-channel breakdown and the trace section's
 #: ``forwarded`` count.  The top-level key set is unchanged; old
-#: documents load with those subkeys defaulted.
+#: documents load with those subkeys defaulted.  Schema 4 → 5 added the
+#: per-edge ``fleet`` section and nested the config's relayer knobs.
 
 
 @dataclass
@@ -123,9 +132,10 @@ class ExperimentReport:
     #: key is added, removed or changes meaning; ``from_dict`` refuses
     #: documents with any other version except older ones where a lossless
     #: upgrade exists (schema 2 → 3 added the ``trace`` section; 3 → 4
-    #: added the topology subkeys).  Version 1 was the unversioned,
-    #: presentation-only dump of the pre-parallel era.
-    SCHEMA_VERSION = 4
+    #: added the topology subkeys; 4 → 5 added the relayer-fleet section
+    #: and the config's nested ``relayer`` wire section).  Version 1 was
+    #: the unversioned, presentation-only dump of the pre-parallel era.
+    SCHEMA_VERSION = 5
 
     config: ExperimentConfig
     window: WindowMetrics
@@ -141,6 +151,11 @@ class ExperimentReport:
     #: Fault-injection accounting (None when no schedule was active; the
     #: key is always present in ``to_dict`` for schema stability).
     faults: Optional[FaultReport] = None
+    #: Per-edge relayer-fleet accounting rows
+    #: (:func:`repro.framework.metrics.collect_fleet_metrics`); stored as
+    #: raw dicts so loaded reports re-serialize byte-identically.  None
+    #: for chain-only runs (key always present for schema stability).
+    fleet: Optional[list[dict[str, Any]]] = None
     #: Per-packet latency decomposition (None unless ``config.tracing``;
     #: the key is always present in ``to_dict`` for schema stability).
     trace: Optional[TraceReport] = None
@@ -226,6 +241,11 @@ class ExperimentReport:
             },
             "timeline": self._timeline_dict(),
             "faults": self._faults_dict(),
+            "fleet": (
+                None
+                if self.fleet is None
+                else [dict(row) for row in self.fleet]
+            ),
             "trace": None if self.trace is None else self.trace.to_dict(),
             "sim_end_time": self.sim_end_time,
         }
@@ -285,27 +305,35 @@ class ExperimentReport:
 
     @classmethod
     def from_dict(cls, data: Any) -> "ExperimentReport":
-        """Load a schema-4 (or legacy schema-2/3) report document.
+        """Load a schema-5 (or legacy schema-2/3/4) report document.
 
         A loaded current-schema report re-serializes byte-identically:
         the raw sections (``config``, ``window``, ``timeline.steps``, ...)
         are restored and every derived section is recomputed from them.
         Schema-2 documents (pre-tracing) load with ``trace`` absent;
         schema-3 documents (pre-topology) load with the topology subkeys
-        defaulted; both re-serialize as schema 4.  Unknown keys and
-        foreign schema versions raise :class:`SchemaError`.
+        defaulted; schema-3/4 documents load with ``fleet`` absent and
+        their flat relayer config keys migrated into the nested
+        ``relayer`` section; all re-serialize as schema 5.  Unknown keys
+        and foreign schema versions raise :class:`SchemaError`.
         """
         if not isinstance(data, dict):
             raise SchemaError(
                 f"report document must be a dict, got {type(data).__name__}"
             )
         version = data.get("schema_version")
-        if version not in (2, 3, cls.SCHEMA_VERSION):
+        if version not in (2, 3, 4, cls.SCHEMA_VERSION):
             raise SchemaError(
                 f"unsupported report schema_version {version!r} "
-                f"(this library reads versions 2, 3 and {cls.SCHEMA_VERSION})"
+                f"(this library reads versions 2, 3, 4 and "
+                f"{cls.SCHEMA_VERSION})"
             )
-        expected = _DOCUMENT_KEYS if version >= 3 else _V2_DOCUMENT_KEYS
+        if version == 2:
+            expected = _V2_DOCUMENT_KEYS
+        elif version in (3, 4):
+            expected = _V34_DOCUMENT_KEYS
+        else:
+            expected = _DOCUMENT_KEYS
         unknown = sorted(set(data) - set(expected))
         if unknown:
             raise SchemaError(
@@ -352,6 +380,11 @@ class ExperimentReport:
             ],
             completion_latency=data["completion_latency"],
             faults=_faults_from_dict(data["faults"]),
+            fleet=(
+                None
+                if data.get("fleet") is None
+                else [dict(row) for row in data["fleet"]]
+            ),
             trace=None if trace_data is None else TraceReport.from_dict(trace_data),
             sim_end_time=data["sim_end_time"],
         )
@@ -386,7 +419,7 @@ class ExperimentReport:
         lines = [
             "=== Cross-chain experiment report ===",
             f"input rate        : {self.config.input_rate:.0f} transfers/s "
-            f"({self.config.num_relayers} relayer(s), "
+            f"({self.config.fleet_count} relayer(s), "
             f"{self.config.network_rtt * 1000:.0f} ms RTT)",
             f"window            : {self.config.measurement_blocks} blocks, "
             f"{self.window.duration:.1f} s",
@@ -453,6 +486,26 @@ class ExperimentReport:
                     f"{f.recovery_latency.median:.1f} s, max "
                     f"{f.recovery_latency.maximum:.1f} s after first fault"
                 )
+        if self.fleet:
+            for row in self.fleet:
+                line = (
+                    f"fleet (edge {row['edge']})    : K={row['count']} "
+                    f"policy={row['policy']}, redundancy "
+                    f"{row['redundant_ratio']:.2f}x, "
+                    f"{row['redundant_errors']} redundant error(s)"
+                )
+                leader = row.get("leader")
+                if leader is not None:
+                    recovery = leader["recovery_seconds"]
+                    line += (
+                        f", {leader['handoff_count']} handoff(s)"
+                        + (
+                            f", recovery {recovery:.1f} s"
+                            if recovery is not None
+                            else ""
+                        )
+                    )
+                lines.append(line)
         if self.errors:
             rendered = ", ".join(f"{k}={v}" for k, v in sorted(self.errors.items()))
             lines.append(f"errors            : {rendered}")

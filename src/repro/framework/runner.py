@@ -5,13 +5,11 @@ repo (sweeps, benchmarks, the parallel executor, the CLI) runs
 experiments through it.  The orchestration itself lives in the private
 :class:`_ExperimentEngine`; tests that need testbed introspection may
 instantiate the engine directly, but its surface is not part of the
-public API.  :class:`ExperimentRunner` survives only as a deprecation
-shim for the old two-step ``ExperimentRunner(config).run()`` spelling.
+public API.
 """
 
 from __future__ import annotations
 
-import warnings
 from typing import Any, Generator, Optional
 
 from repro.faults import FaultInjector
@@ -19,6 +17,7 @@ from repro.framework.config import ExperimentConfig
 from repro.framework.connectors import CrossChainEventConnector
 from repro.framework.metrics import (
     collect_fault_metrics,
+    collect_fleet_metrics,
     collect_gas_metrics,
     collect_rpc_metrics,
     collect_trace_metrics,
@@ -294,6 +293,15 @@ class _ExperimentEngine:
                     else None
                 ),
             )
+        fleet = collect_fleet_metrics(
+            topology=testbed.topology,
+            chains=list(testbed.chains),
+            edge_paths=testbed.edge_paths,
+            edge_relayers=testbed.edge_relayers,
+            fleets=testbed.fleets,
+            start_time=self._window_start_time,
+            end_time=self.testbed.env.now,
+        )
         return ExperimentReport(
             config=self.config,
             window=window,
@@ -305,6 +313,7 @@ class _ExperimentEngine:
             completion_curve=completion_curve,
             completion_latency=self._completion_latency,
             faults=faults,
+            fleet=fleet,
             trace=trace,
             sim_end_time=self.testbed.env.now,
             tracer=tracer if tracer.enabled else None,
@@ -333,30 +342,3 @@ def run_experiment(
             logs.append(engine.driver.log)
         report.journal = render_journal(logs)
     return report
-
-
-class ExperimentRunner:
-    """Deprecated two-step spelling of :func:`run_experiment`.
-
-    ``ExperimentRunner(config).run()`` and ``run_experiment(config)``
-    used to coexist as equal entrypoints; the latter won.  This shim
-    keeps old call sites working (including ``.testbed``/``.driver``
-    introspection after ``run()``) while warning once per call site.
-    """
-
-    def __init__(self, config: ExperimentConfig):
-        warnings.warn(
-            "ExperimentRunner is deprecated; call "
-            "repro.run_experiment(config) instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        self._engine = _ExperimentEngine(config)
-
-    def run(self) -> ExperimentReport:
-        return self._engine.run()
-
-    def __getattr__(self, name: str) -> Any:
-        # Delegate legacy attribute access (testbed, driver, injector, ...)
-        # to the engine; _engine itself is found in __dict__ as usual.
-        return getattr(self._engine, name)

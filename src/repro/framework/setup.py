@@ -26,6 +26,7 @@ from repro.cosmos.app import FEE_DENOM, TRANSFER_DENOM
 from repro.framework.config import ExperimentConfig
 from repro.framework.topology import TopologySpec
 from repro.relayer import Relayer, RelayerConfig, RelayPath
+from repro.relayer.fleet import Fleet
 from repro.relayer.worker import PathEnd
 from repro.sim.core import Environment, Event
 from repro.sim.network import Network
@@ -55,6 +56,9 @@ class Testbed:
     #: Relayers grouped per topology edge; ``relayers`` is the flat view.
     edge_relayers: list[list[Relayer]] = field(init=False, default_factory=list)
     relayers: list[Relayer] = field(init=False, default_factory=list)
+    #: One :class:`~repro.relayer.fleet.Fleet` per topology edge, seating
+    #: that edge's relayers under the configured coordination policy.
+    fleets: list[Fleet] = field(init=False, default_factory=list)
     #: Workload sender wallets per route (route 0 == legacy user_wallets).
     route_wallets: list[list[Wallet]] = field(init=False, default_factory=list)
     #: Final-receiver wallet per route.
@@ -104,19 +108,23 @@ class Testbed:
             )
 
         # Full nodes on every machine hosting a relayer or the CLI.
-        total_relayers = config.num_relayers * len(topology.edges)
+        fleet_config = config.fleet
+        fleet_count = fleet_config.count
+        total_relayers = fleet_count * len(topology.edges)
         client_machines = machines[: max(1, total_relayers)]
         for machine in client_machines:
             for chain in self.chains:
                 chain.add_node(machine)
 
         # Relayers: instance k (global, across edges) on machine k, each
-        # with its own keys on the two chains of its edge.
+        # with its own keys on the two chains of its edge, seated in its
+        # edge's fleet under the configured coordination policy.
         for edge_pos, (i, j) in enumerate(topology.edges):
             chain_i, chain_j = self.chains[i], self.chains[j]
+            fleet = Fleet(self.env, edge_pos, fleet_config, self.rng)
             edge_group: list[Relayer] = []
-            for local in range(config.num_relayers):
-                k = edge_pos * config.num_relayers + local
+            for local in range(fleet_count):
+                k = edge_pos * fleet_count + local
                 machine = machines[k % len(machines)]
                 wallet_a = Wallet.named(f"relayer{k}-{config.seed}-a")
                 wallet_b = Wallet.named(f"relayer{k}-{config.seed}-b")
@@ -135,21 +143,17 @@ class Testbed:
                         max_msgs_per_tx=config.msgs_per_tx,
                         clear_interval=config.clear_interval,
                         pull_concurrency=config.pull_concurrency,
-                        coordination_index=(
-                            local if config.coordinate_relayers else 0
+                        rpc_retry_attempts=fleet_config.rpc_retry_attempts,
+                        resubscribe_on_disconnect=(
+                            fleet_config.resubscribe_on_disconnect
                         ),
-                        coordination_total=(
-                            config.num_relayers
-                            if config.coordinate_relayers
-                            else 1
-                        ),
-                        rpc_retry_attempts=config.rpc_retry_attempts,
-                        resubscribe_on_disconnect=config.resubscribe_on_disconnect,
                     ),
                     tracer=self.tracer,
+                    member=fleet.members[local],
                 )
                 edge_group.append(relayer)
                 self.relayers.append(relayer)
+            self.fleets.append(fleet)
             self.edge_relayers.append(edge_group)
 
         # Workload accounts (paper §III-D: many accounts, 100 msgs each),
@@ -298,9 +302,13 @@ class Testbed:
     def start_relayers(self) -> None:
         for relayer in self.relayers:
             relayer.start()
+        for fleet in self.fleets:
+            fleet.start()
 
     def shutdown(self) -> None:
-        """Teardown: stop every relayer, then halt every chain."""
+        """Teardown: stop every fleet and relayer, then halt every chain."""
+        for fleet in self.fleets:
+            fleet.stop()
         for relayer in self.relayers:
             relayer.stop()
         for chain in self.chains:

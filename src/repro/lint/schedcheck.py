@@ -214,7 +214,7 @@ def _golden_faults_config(tiebreak: str, seed: int):
         RpcBrownout,
         WsDisconnect,
     )
-    from repro.framework import ExperimentConfig
+    from repro.framework import ExperimentConfig, FleetConfig
 
     faults = FaultSchedule(
         (
@@ -232,7 +232,7 @@ def _golden_faults_config(tiebreak: str, seed: int):
         measurement_blocks=3,
         seed=seed,
         drain_seconds=30.0,
-        rpc_retry_attempts=3,
+        relayer=FleetConfig(rpc_retry_attempts=3),
         clear_interval=2,
         faults=faults,
         tiebreak=tiebreak,
@@ -267,11 +267,41 @@ def _hub4_config(tiebreak: str, seed: int):
     )
 
 
+def _fleet_config(tiebreak: str, seed: int):
+    """Leader-policy fleet with a mid-run leader crash and failover.
+
+    Two relayers on one edge under the ``leader`` policy; machine-0 (the
+    leader's host) crashes after the fixed-total workload has finished
+    submitting, so member 1 takes over, clears the pending packets, and
+    leadership fails back once machine-0 recovers.  ``run_to_completion``
+    makes the 100 %-delivery property part of the diffed artifact.
+    """
+    from repro.faults import FaultSchedule, NodeCrash
+    from repro.framework import ExperimentConfig, FleetConfig
+
+    return ExperimentConfig(
+        input_rate=10,
+        measurement_blocks=3,
+        num_relayers=2,
+        total_transfers=40,
+        submission_blocks=1,
+        seed=seed,
+        run_to_completion=True,
+        clear_interval=2,
+        relayer=FleetConfig(policy="leader", rpc_retry_attempts=3),
+        faults=FaultSchedule(
+            (NodeCrash("machine-0", at=8.0, duration=30.0),)
+        ),
+        tiebreak=tiebreak,
+    )
+
+
 #: Named scenarios for the CLI / pytest marker.  Each maps a name to a
 #: ``(tiebreak, seed) -> ExperimentConfig`` factory.
 SCENARIOS: dict[str, Callable] = {
     "golden": _golden_config,
     "golden-faults": _golden_faults_config,
+    "fleet": _fleet_config,
     "line3": _line3_config,
     "hub4": _hub4_config,
 }

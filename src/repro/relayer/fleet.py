@@ -1,0 +1,354 @@
+"""K-relayer fleets with pluggable coordination policies.
+
+The paper's Fig. 9 measures two *uncoordinated* Hermes instances on one
+channel: each relays every packet, one of the two submissions loses the
+race, and roughly half the work is redundant.  ICS-18 makes relaying
+permissionless and many-party but specifies no coordination, which the
+paper calls out as the gap behind that waste.  This module models the
+gap and two ways of closing it: a :class:`Fleet` deploys K relayer
+instances per topology edge under one :class:`CoordinationPolicy`:
+
+* ``none`` — the paper's baseline.  Every member relays everything;
+  at K=2 the redundant-delivery ratio lands near 2x (Fig. 9).
+* ``shard`` — static sequence-range partitioning.  Member ``i`` of
+  ``K`` owns sequence blocks ``(sequence // SHARD_BLOCK) % K == i``;
+  no two members ever build the same message.
+* ``leader`` — deterministic leader election with failover.  The
+  lowest-indexed healthy member relays everything; a per-fleet monitor
+  process probes member health (their machine-local nodes' crash flags)
+  and hands leadership to the next healthy member when the leader's
+  host dies, so recovery latency under :mod:`repro.faults` crash
+  schedules is measurable.
+
+Every member is deterministic: the monitor's probe jitter comes from a
+:class:`~repro.sim.rng.KeyedStream` derived from the experiment seed and
+the edge index, so fleet runs are byte-identical under event tie-break
+reversal (the schedcheck gate).  Policies ``none`` and ``shard`` spawn
+no processes at all — a fleet with the default policy leaves the legacy
+single-relayer event accounting untouched.
+
+:class:`FleetConfig` is also the nested ``relayer`` section of the
+experiment-config wire format (schema v5): the flat relayer knobs that
+used to live on :class:`~repro.framework.config.ExperimentConfig`
+(``rpc_retry_attempts``, ``resubscribe_on_disconnect``,
+``coordinate_relayers``) collapsed into it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+from typing import TYPE_CHECKING, Any, Optional
+
+from repro.errors import SchemaError, WorkloadError
+from repro.sim.core import SHUTDOWN, Environment, ProcessGroup
+
+if TYPE_CHECKING:
+    from repro.relayer.events import WorkBatch
+    from repro.relayer.relayer import Relayer
+    from repro.sim.rng import RngRegistry
+
+#: Sequences are partitioned between shard-policy members in contiguous
+#: blocks of this many, so one worker batch mostly stays on one member.
+SHARD_BLOCK = 8
+
+#: Leader-policy health-probe cadence (seconds) plus jitter bound.  The
+#: probe reads the member nodes' crash flags out of band (no RPC), so a
+#: short cadence costs two events per second per fleet.
+MONITOR_PERIOD_SECONDS = 1.0
+MONITOR_JITTER_SECONDS = 0.25
+
+
+class CoordinationPolicy:
+    """How K fleet members divide one edge's relay work.
+
+    Policies are stateless singletons (the :class:`Fleet` carries the
+    dynamic state such as the current leader), registered by name in
+    :data:`POLICIES` via :func:`register_policy`.  A policy answers
+    three questions for a member index: does it own a sequence, may it
+    run packet clearing, and does the fleet need the health monitor.
+    """
+
+    #: Wire name of the policy (``FleetConfig.policy``).
+    name: str = "abstract"
+
+    def owns(self, fleet: "Fleet", index: int, sequence: int) -> bool:
+        """Whether member ``index`` relays packets with ``sequence``."""
+        raise NotImplementedError
+
+    def may_clear(self, fleet: "Fleet", index: int) -> bool:
+        """Whether member ``index`` may run packet-clear scans."""
+        raise NotImplementedError
+
+    def needs_monitor(self) -> bool:
+        """Whether the fleet spawns the health-monitor process."""
+        return False
+
+
+class NonePolicy(CoordinationPolicy):
+    """Paper baseline: no coordination, every member relays everything."""
+
+    name = "none"
+
+    def owns(self, fleet: "Fleet", index: int, sequence: int) -> bool:
+        return True
+
+    def may_clear(self, fleet: "Fleet", index: int) -> bool:
+        return True
+
+
+class ShardPolicy(CoordinationPolicy):
+    """Static sequence-range partitioning (blocks of :data:`SHARD_BLOCK`)."""
+
+    name = "shard"
+
+    def owns(self, fleet: "Fleet", index: int, sequence: int) -> bool:
+        if fleet.count <= 1:
+            return True
+        return (sequence // SHARD_BLOCK) % fleet.count == index
+
+    def may_clear(self, fleet: "Fleet", index: int) -> bool:
+        # Every member clears, but only its own sequence blocks: a gap
+        # on a shared channel triggers K partitioned scans, not K full
+        # duplicates (the supervisor gap-recovery fix).
+        return True
+
+
+class LeaderPolicy(CoordinationPolicy):
+    """Lowest-indexed healthy member relays everything; others stand by."""
+
+    name = "leader"
+
+    def owns(self, fleet: "Fleet", index: int, sequence: int) -> bool:
+        return index == fleet.leader_index
+
+    def may_clear(self, fleet: "Fleet", index: int) -> bool:
+        return index == fleet.leader_index
+
+    def needs_monitor(self) -> bool:
+        return True
+
+
+#: Registered policies by wire name.
+POLICIES: dict[str, CoordinationPolicy] = {}
+
+
+def register_policy(policy: CoordinationPolicy) -> CoordinationPolicy:
+    """Register a coordination policy under ``policy.name``."""
+    POLICIES[policy.name] = policy
+    return policy
+
+
+register_policy(NonePolicy())
+register_policy(ShardPolicy())
+register_policy(LeaderPolicy())
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """The ``relayer`` section of the experiment config (wire schema v5).
+
+    ``count=None`` inherits the experiment's ``num_relayers`` paper
+    parameter; setting it overrides the fleet size explicitly.
+    """
+
+    #: Relayers per topology edge (None = inherit ``num_relayers``).
+    count: Optional[int] = None
+    #: Coordination policy name (see :data:`POLICIES`).
+    policy: str = "none"
+    #: Per-instance retry budget for transient RPC errors (0 = Hermes
+    #: 1.0.0 behaviour: fail the query on the first timeout).
+    rpc_retry_attempts: int = 0
+    #: Reopen dropped WebSocket subscriptions (with height-gap detection
+    #: feeding the clear machinery).
+    resubscribe_on_disconnect: bool = True
+
+    def __post_init__(self) -> None:
+        if self.count is not None and self.count < 0:
+            raise WorkloadError("relayer count must be >= 0")
+        if self.policy not in POLICIES:
+            raise WorkloadError(
+                f"unknown coordination policy {self.policy!r} "
+                f"(known: {', '.join(sorted(POLICIES))})"
+            )
+        if self.rpc_retry_attempts < 0:
+            raise WorkloadError("rpc_retry_attempts must be >= 0")
+
+    # -- wire format ---------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        return {spec.name: getattr(self, spec.name) for spec in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "FleetConfig":
+        if not isinstance(data, dict):
+            raise SchemaError(
+                f"relayer section must be a dict, got {type(data).__name__}"
+            )
+        known = {spec.name for spec in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise SchemaError(
+                f"unknown key(s) {', '.join(unknown)} in relayer section "
+                f"(known keys: {', '.join(sorted(known))})"
+            )
+        return cls(**data)
+
+    # ------------------------------------------------------------------
+
+    def resolved(self, num_relayers: int) -> "FleetConfig":
+        """This config with ``count`` made concrete."""
+        if self.count is not None:
+            return self
+        return replace(self, count=num_relayers)
+
+
+class FleetMember:
+    """One relayer's seat in a fleet: the worker-side coordination hooks.
+
+    The member is threaded into the relayer's direction workers, which
+    consult it before relaying a batch (:meth:`filter_batch`) and before
+    running packet clears (:meth:`may_clear` / :meth:`owns_sequence`).
+    """
+
+    __slots__ = ("fleet", "index", "relayer")
+
+    def __init__(self, fleet: "Fleet", index: int):
+        self.fleet = fleet
+        self.index = index
+        self.relayer: Optional["Relayer"] = None
+
+    # -- worker hooks --------------------------------------------------
+
+    def owns_sequence(self, sequence: int) -> bool:
+        return self.fleet.policy.owns(self.fleet, self.index, sequence)
+
+    def filter_batch(self, batch: "WorkBatch") -> "WorkBatch":
+        """Keep only the events whose packet sequences this member owns."""
+        fleet = self.fleet
+        if fleet.count <= 1 or isinstance(fleet.policy, NonePolicy):
+            return batch
+        owned = [
+            e for e in batch.events if self.owns_sequence(e.packet.sequence)
+        ]
+        if len(owned) == len(batch.events):
+            return batch
+        from repro.relayer.events import WorkBatch
+
+        return WorkBatch(
+            chain_id=batch.chain_id,
+            height=batch.height,
+            kind=batch.kind,
+            routing_channel=batch.routing_channel,
+            events=owned,
+        )
+
+    def may_clear(self) -> bool:
+        return self.fleet.policy.may_clear(self.fleet, self.index)
+
+    # -- monitor hooks -------------------------------------------------
+
+    def probe_health(self) -> bool:
+        """Out-of-band liveness check: are the member's local nodes up?"""
+        relayer = self.relayer
+        if relayer is None:
+            return True
+        return not (relayer.node_a.rpc.crashed or relayer.node_b.rpc.crashed)
+
+    def on_became_leader(self) -> None:
+        """Failover: sweep pending work the old leader left behind."""
+        if self.relayer is not None:
+            for worker in self.relayer.workers:
+                worker.request_clear()
+
+
+class Fleet:
+    """K relayer instances sharing one topology edge under one policy."""
+
+    def __init__(
+        self,
+        env: Environment,
+        edge_index: int,
+        config: FleetConfig,
+        rng: "RngRegistry",
+    ):
+        if config.count is None:
+            raise WorkloadError("Fleet requires a resolved FleetConfig")
+        self.env = env
+        self.edge_index = edge_index
+        self.config = config
+        self.count = config.count
+        self.policy = POLICIES[config.policy]
+        self.members = [FleetMember(self, i) for i in range(self.count)]
+        #: Index of the current leader (leader policy; fixed at 0 otherwise).
+        self.leader_index = 0
+        self.healthy = [True] * self.count
+        #: Leadership transitions: ``{"time", "from", "to"}`` per handoff.
+        self.handoffs: list[dict[str, Any]] = []
+        self.processes = ProcessGroup(env)
+        self._started = False
+        # Keyed (cursor-free) jitter: probe times are a pure function of
+        # the tick index, so fleet runs replay identically whatever else
+        # draws randomness — and only the leader policy creates the stream.
+        self._jitter = (
+            rng.keyed(f"fleet/edge{edge_index}/monitor")
+            if self.policy.needs_monitor()
+            else None
+        )
+
+    def attach(self, index: int, relayer: "Relayer") -> FleetMember:
+        member = self.members[index]
+        member.relayer = relayer
+        return member
+
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Spawn the health monitor (leader policy with 2+ members only)."""
+        if self._started:
+            return
+        self._started = True
+        if self.policy.needs_monitor() and self.count > 1:
+            self.processes.spawn(
+                self._monitor_loop(),
+                name=f"fleet/edge{self.edge_index}/monitor",
+            )
+
+    def stop(self) -> None:
+        self._started = False
+        self.processes.interrupt_all(SHUTDOWN)
+
+    # ------------------------------------------------------------------
+
+    def _monitor_loop(self):
+        tick = 0
+        while True:
+            period = MONITOR_PERIOD_SECONDS + self._jitter.uniform(
+                float(tick), 0.0, MONITOR_JITTER_SECONDS
+            )
+            yield self.env.timeout(period)
+            tick += 1
+            self._probe()
+
+    def _probe(self) -> None:
+        for member in self.members:
+            self.healthy[member.index] = member.probe_health()
+        alive = [i for i, ok in enumerate(self.healthy) if ok]
+        if not alive:
+            return  # nobody to hand off to; keep the seat until recovery
+        new_leader = alive[0]
+        if new_leader == self.leader_index:
+            return
+        old_leader = self.leader_index
+        self.leader_index = new_leader
+        self.handoffs.append(
+            {"time": self.env.now, "from": old_leader, "to": new_leader}
+        )
+        leader = self.members[new_leader]
+        if leader.relayer is not None:
+            leader.relayer.log.info(
+                "fleet_leader_handoff",
+                edge=self.edge_index,
+                from_index=old_leader,
+                to_index=new_leader,
+            )
+        leader.on_became_leader()

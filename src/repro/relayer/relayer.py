@@ -21,8 +21,10 @@ class Relayer:
 
     The relayer talks to machine-local full nodes of both chains (the
     paper's production-style deployment) and relays both directions of one
-    channel.  Multiple instances may be created for the same path — they do
-    not coordinate, reproducing the paper's multi-relayer redundancy.
+    channel.  Multiple instances may be created for the same path — by
+    default they do not coordinate, reproducing the paper's multi-relayer
+    redundancy; a :class:`repro.relayer.fleet.FleetMember` seat opts the
+    instance into its fleet's coordination policy.
     """
 
     def __init__(
@@ -36,11 +38,15 @@ class Relayer:
         wallet_b: Wallet,
         config: Optional[RelayerConfig] = None,
         tracer=NULL_TRACER,
+        member=None,
     ):
         self.env = env
         self.name = name
         self.host = host
         self.config = config or RelayerConfig(name=name)
+        self.member = member
+        if member is not None:
+            member.relayer = self
         self.log = RelayerLog(env, name)
         self.tracer = tracer
         self.heights: dict[str, int] = {}
@@ -93,6 +99,7 @@ class Relayer:
             log=self.log,
             heights=self.heights,
             tracer=self.tracer,
+            member=self.member,
         )
         worker_ba = DirectionWorker(
             env=self.env,
@@ -104,6 +111,7 @@ class Relayer:
             log=self.log,
             heights=self.heights,
             tracer=self.tracer,
+            member=self.member,
         )
         self.workers.extend([worker_ab, worker_ba])
         self.supervisor.route(worker_ab)

@@ -209,7 +209,13 @@ class Supervisor:
         """Hand the missed heights to the clear machinery: every worker that
         consumes this chain's events re-scans pending commitments now.
         ``clear_once`` covers both the recv leg (missed send_packet events)
-        and the ack leg (missed write_acknowledgement events)."""
+        and the ack leg (missed write_acknowledgement events).
+
+        The supervisor is *not* the channel's only observer: in a K-relayer
+        fleet every member sees the same gap.  ``request_clear`` is
+        coordination-aware — a fleet member only scans the sequences its
+        policy assigns it (and leader-policy standbys decline entirely), so
+        one gap triggers K partitioned scans instead of K full duplicates."""
         for key in sorted(self._recv_routes):
             if key[0] == chain_id:
                 self._recv_routes[key].request_clear()

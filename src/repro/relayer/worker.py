@@ -80,6 +80,7 @@ class DirectionWorker:
         log: RelayerLog,
         heights: dict[str, int],
         tracer=NULL_TRACER,
+        member=None,
     ):
         self.env = env
         self.src = src
@@ -89,6 +90,10 @@ class DirectionWorker:
         self.config = config
         self.log = log
         self.tracer = tracer
+        #: The relayer's seat in its fleet
+        #: (:class:`repro.relayer.fleet.FleetMember`), consulted for batch
+        #: ownership and clear permission; None = a standalone relayer.
+        self.member = member
         self._track = (
             f"{log.relayer}/worker/{src_end.chain_id}->{dst_end.chain_id}"
         )
@@ -135,9 +140,16 @@ class DirectionWorker:
             yield from self._relay_recv_batch(batch)
 
     def _owned(self, batch: WorkBatch) -> WorkBatch:
-        """Coordination extension: keep only the transactions this relayer
-        instance owns (tx-hash partition).  With coordination_total == 1
-        (Hermes behaviour) everything is owned."""
+        """Keep only the work this relayer instance owns.
+
+        Fleet coordination (sequence ownership via the member's policy)
+        applies first; the legacy tx-hash partition of
+        ``RelayerConfig.coordination_index/total`` composes on top for
+        direct users of that knob.  With no member and a coordination
+        total of 1 (Hermes behaviour) everything is owned.
+        """
+        if self.member is not None:
+            batch = self.member.filter_batch(batch)
         total = self.config.coordination_total
         if total <= 1:
             return batch
@@ -566,8 +578,13 @@ class DirectionWorker:
         Used when a resubscribed WebSocket stream reveals a height gap:
         events committed during the outage never arrived, so the pending
         commitments are re-scanned immediately instead of waiting for the
-        next ``clear_interval`` tick.  Concurrent requests coalesce.
+        next ``clear_interval`` tick.  Concurrent requests coalesce, and
+        a fleet member whose policy forbids clearing (a leader-policy
+        standby) declines — one gap on a shared channel must not fan out
+        into K duplicate clear scans.
         """
+        if self.member is not None and not self.member.may_clear():
+            return
         if self._clear_pending:
             return
         self._clear_pending = True
@@ -582,7 +599,15 @@ class DirectionWorker:
         self.processes.spawn(one_shot(), name=name)
 
     def clear_once(self):
-        """Re-scan pending commitments on src and re-relay missing packets."""
+        """Re-scan pending commitments on src and re-relay missing packets.
+
+        Only the sequences this instance owns are cleared: under a
+        sharded fleet each member re-relays its own partition, and a
+        leader-policy standby clears nothing.
+        """
+        member = self.member
+        if member is not None and not member.may_clear():
+            return
         try:
             sequences = yield from self.src.query(
                 "commitments",
@@ -592,7 +617,12 @@ class DirectionWorker:
         except RpcError as exc:
             self.log.error("query_failed", stage="clear_scan", reason=str(exc))
             return
-        stale = sorted(s for s in sequences if s not in self._in_flight)
+        stale = sorted(
+            s
+            for s in sequences
+            if s not in self._in_flight
+            and (member is None or member.owns_sequence(s))
+        )
         if not stale:
             return
         self.log.info("packet_clear", count=len(stale))

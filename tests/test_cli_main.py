@@ -40,7 +40,11 @@ def test_extension_flags():
     config = config_from_args(
         parse(["--relayers", "2", "--coordinate"])
     )
-    assert config.coordinate_relayers
+    assert config.relayer.policy == "shard"
+    config = config_from_args(
+        parse(["--relayers", "2", "--fleet-policy", "leader"])
+    )
+    assert config.relayer.policy == "leader"
     config = config_from_args(parse(["--relayers", "2", "--channels", "2"]))
     assert config.num_channels == 2
 
@@ -89,7 +93,7 @@ def test_bench_subcommand_dispatches(tmp_path, capsys):
     )
     document = json.loads(out_path.read_text())
     assert len(document) == 1
-    assert document[0]["schema_version"] == 4
+    assert document[0]["schema_version"] == 5
 
 
 def test_bench_smoke_two_points_two_workers(tmp_path):

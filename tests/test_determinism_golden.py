@@ -17,7 +17,12 @@ from repro.faults import (
     RpcBrownout,
     WsDisconnect,
 )
-from repro.framework import ExperimentConfig, ExperimentReport, run_experiment
+from repro.framework import (
+    ExperimentConfig,
+    ExperimentReport,
+    FleetConfig,
+    run_experiment,
+)
 
 #: Exercises every fault kind inside the measurement window, against both
 #: testbed machines; see :data:`run_fault_scenario`.
@@ -58,7 +63,7 @@ def run_fault_scenario(seed):
         measurement_blocks=3,
         seed=seed,
         drain_seconds=30.0,
-        rpc_retry_attempts=3,
+        relayer=FleetConfig(rpc_retry_attempts=3),
         clear_interval=2,
         faults=FAULTS,
     )
@@ -99,12 +104,12 @@ def test_different_seed_diverges(golden_runs):
 
 def test_golden_report_wire_round_trip(golden_runs):
     """Golden schema stability: the report document declares schema
-    version 4 and survives a load/dump cycle byte-for-byte — so cached
+    version 5 and survives a load/dump cycle byte-for-byte — so cached
     sweep points replay exactly what the simulation produced."""
     import json
 
     (report_json, _), _, _ = golden_runs
-    assert json.loads(report_json)["schema_version"] == 4
+    assert json.loads(report_json)["schema_version"] == 5
     assert ExperimentReport.from_json(report_json).to_json() == report_json
 
 
@@ -147,7 +152,7 @@ def run_traced_scenario(seed, *, tiebreak="fifo", faults=None):
         measurement_blocks=4 if faults is None else 3,
         seed=seed,
         drain_seconds=20.0 if faults is None else 30.0,
-        rpc_retry_attempts=0 if faults is None else 3,
+        relayer=FleetConfig(rpc_retry_attempts=0 if faults is None else 3),
         clear_interval=0 if faults is None else 2,
         faults=faults,
         tracing=True,

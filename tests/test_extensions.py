@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import WorkloadError
-from repro.framework import ExperimentConfig
+from repro.framework import ExperimentConfig, FleetConfig
 # These tests introspect post-run testbed state, so they drive the
 # engine directly; the public entrypoint is repro.run_experiment.
 from repro.framework.runner import _ExperimentEngine
@@ -18,7 +18,8 @@ def test_multichannel_config_validation():
         ExperimentConfig(num_channels=3, num_relayers=2)
     with pytest.raises(WorkloadError):
         ExperimentConfig(
-            num_channels=2, num_relayers=2, coordinate_relayers=True
+            num_channels=2, num_relayers=2,
+            relayer=FleetConfig(policy="shard"),
         )
     ExperimentConfig(num_channels=2, num_relayers=2)  # valid
 
@@ -79,7 +80,7 @@ def test_coordinated_relayers_do_not_duplicate():
         input_rate=60,
         measurement_blocks=8,
         num_relayers=2,
-        coordinate_relayers=True,
+        relayer=FleetConfig(policy="shard"),
         seed=15,
         drain_seconds=90.0,
     )

@@ -1,0 +1,253 @@
+"""Relayer fleets: coordination policies, failover, and determinism.
+
+The paper's Fig. 9 finding is that two *uncoordinated* relayers on one
+channel do roughly double work — one submission per packet loses the
+race.  :mod:`repro.relayer.fleet` models that baseline plus the two
+coordination policies ICS-18 leaves unspecified (static sharding and
+leader election with failover); these tests pin the partitioning math,
+the redundancy accounting, the crash-failover path, and the property
+everything else rests on: same seed, same bytes — for every policy.
+"""
+
+import pytest
+
+from repro.errors import SchemaError, WorkloadError
+from repro.faults import FaultSchedule, NodeCrash
+from repro.framework import ExperimentConfig, FleetConfig, run_experiment
+from repro.framework.runner import _ExperimentEngine
+from repro.relayer.fleet import (
+    POLICIES,
+    SHARD_BLOCK,
+    Fleet,
+    LeaderPolicy,
+    NonePolicy,
+    ShardPolicy,
+)
+from repro.sim.core import Environment
+from repro.sim.rng import RngRegistry
+
+
+def make_fleet(count: int, policy: str) -> Fleet:
+    env = Environment()
+    return Fleet(env, 0, FleetConfig(count=count, policy=policy), RngRegistry(7))
+
+
+# -- policy unit tests -------------------------------------------------------
+
+
+def test_builtin_policies_registered():
+    assert isinstance(POLICIES["none"], NonePolicy)
+    assert isinstance(POLICIES["shard"], ShardPolicy)
+    assert isinstance(POLICIES["leader"], LeaderPolicy)
+
+
+def test_shard_partition_is_exhaustive_and_disjoint():
+    """Every sequence is owned by exactly one member, in blocks of
+    SHARD_BLOCK, and the blocks round-robin across members."""
+    fleet = make_fleet(4, "shard")
+    counts = [0] * fleet.count
+    for sequence in range(1, 64 * SHARD_BLOCK + 1):
+        owners = [
+            m.index for m in fleet.members if m.owns_sequence(sequence)
+        ]
+        assert len(owners) == 1, sequence
+        counts[owners[0]] += 1
+        assert owners[0] == (sequence // SHARD_BLOCK) % fleet.count
+    assert max(counts) - min(counts) <= SHARD_BLOCK  # balanced
+
+    # A whole block lands on one member (batch locality).
+    block = [m.owns_sequence(s) for m in fleet.members for s in (16, 17, 23)]
+    assert sum(block) == 3
+
+
+def test_none_policy_everyone_owns_everything():
+    fleet = make_fleet(3, "none")
+    assert all(m.owns_sequence(5) for m in fleet.members)
+    assert all(m.may_clear() for m in fleet.members)
+
+
+def test_leader_policy_follows_the_leader_seat():
+    fleet = make_fleet(3, "leader")
+    assert [m.owns_sequence(9) for m in fleet.members] == [True, False, False]
+    assert [m.may_clear() for m in fleet.members] == [True, False, False]
+    fleet.leader_index = 2  # as the monitor would after two crashes
+    assert [m.owns_sequence(9) for m in fleet.members] == [False, False, True]
+    assert [m.may_clear() for m in fleet.members] == [False, False, True]
+
+
+def test_single_member_shard_owns_everything():
+    fleet = make_fleet(1, "shard")
+    assert all(fleet.members[0].owns_sequence(s) for s in range(1, 100))
+
+
+# -- FleetConfig validation --------------------------------------------------
+
+
+def test_fleet_config_rejects_bad_values():
+    with pytest.raises(WorkloadError, match="count"):
+        FleetConfig(count=-1)
+    with pytest.raises(WorkloadError, match="sideways"):
+        FleetConfig(policy="sideways")
+    with pytest.raises(WorkloadError, match="rpc_retry_attempts"):
+        FleetConfig(rpc_retry_attempts=-1)
+
+
+def test_fleet_config_count_resolution():
+    assert FleetConfig().resolved(3).count == 3
+    assert FleetConfig(count=2).resolved(3).count == 2
+
+
+def test_fleet_config_wire_rejects_unknown_keys():
+    with pytest.raises(SchemaError, match="cuont"):
+        FleetConfig.from_dict({"cuont": 2})
+
+
+def test_experiment_config_count_conflict_rejected():
+    with pytest.raises(WorkloadError, match="num_relayers"):
+        ExperimentConfig(num_relayers=2, relayer=FleetConfig(count=3))
+    # Agreeing spellings are fine.
+    ExperimentConfig(num_relayers=2, relayer=FleetConfig(count=2))
+    assert ExperimentConfig(relayer=FleetConfig(count=2)).fleet_count == 2
+
+
+def test_policies_require_a_shared_channel():
+    with pytest.raises(WorkloadError, match="ONE channel"):
+        ExperimentConfig(
+            num_relayers=2,
+            num_channels=2,
+            relayer=FleetConfig(policy="leader"),
+        )
+
+
+# -- integration: redundancy accounting per policy ---------------------------
+
+
+def fleet_run(policy, *, seed=9, crash=False, clear_interval=0, k=2):
+    """A small one-edge run at K relayers under ``policy``."""
+    faults = None
+    if crash:
+        # machine-0 hosts the workload CLI node too, so the crash lands
+        # only after the fixed-total submission has finished.
+        faults = FaultSchedule((NodeCrash("machine-0", at=8.0, duration=30.0),))
+    config = ExperimentConfig(
+        input_rate=10,
+        measurement_blocks=3,
+        num_relayers=k,
+        total_transfers=40,
+        submission_blocks=1,
+        seed=seed,
+        run_to_completion=True,
+        clear_interval=clear_interval,
+        relayer=FleetConfig(policy=policy, rpc_retry_attempts=3 if crash else 0),
+        faults=faults,
+    )
+    engine = _ExperimentEngine(config)
+    report = engine.run()
+    return report, engine.testbed
+
+
+def test_uncoordinated_pair_does_double_work():
+    """Fig. 9 baseline: at K=2 with no coordination the fleet submits
+    every packet twice — redundant-delivery ratio ~2x."""
+    report, _ = fleet_run("none")
+    (row,) = report.fleet
+    assert row["count"] == 2 and row["policy"] == "none"
+    assert row["delivered"] == 40
+    assert 1.6 <= row["redundant_ratio"] <= 2.4
+    assert row["redundant_errors"] > 0
+    assert all(m["recv_attempts"] > 0 for m in row["members"])
+
+
+def test_shard_pair_splits_work_without_redundancy():
+    report, _ = fleet_run("shard")
+    (row,) = report.fleet
+    assert row["policy"] == "shard"
+    assert row["delivered"] == 40
+    assert row["redundant_ratio"] == 1.0
+    assert row["redundant_errors"] == 0
+    # The work was actually split, not won by one member.
+    assert all(m["recv_attempts"] > 0 for m in row["members"])
+
+
+def test_leader_pair_standby_stays_idle_without_faults():
+    report, _ = fleet_run("leader")
+    (row,) = report.fleet
+    assert row["policy"] == "leader"
+    assert row["redundant_ratio"] == 1.0
+    assert row["redundant_errors"] == 0
+    assert row["leader"]["handoff_count"] == 0
+    standby = row["members"][1]
+    assert standby["recv_attempts"] == 0
+    assert standby["ack_attempts"] == 0
+
+
+def test_leader_crash_fails_over_and_completes():
+    """Mid-run leader crash: the monitor hands the seat to member 1,
+    which clears the stranded packets — 100% completion, with the
+    recovery latency measured in the fleet section."""
+    report, testbed = fleet_run("leader", crash=True, clear_interval=2)
+    (row,) = report.fleet
+    leader = row["leader"]
+    assert leader["handoff_count"] >= 1
+    assert leader["handoffs"][0]["from"] == 0
+    assert leader["handoffs"][0]["to"] == 1
+    assert leader["recovery_seconds"] is not None
+    assert leader["recovery_seconds"] > 0
+    done = report.window.completion.as_fractions()["completed"]
+    assert done == 1.0, f"only {done:.1%} completed across the failover"
+    # The handoff is visible in the new leader's journal.
+    (fleet,) = testbed.fleets
+    assert fleet.handoffs == leader["handoffs"]
+    assert testbed.relayers[1].log.count("fleet_leader_handoff") == 1
+
+
+def test_leader_standby_never_runs_duplicate_clears():
+    """The gap-recovery bugfix: a clear trigger on a K-member fleet must
+    not fan out into K duplicate scans — leader-policy standbys decline
+    both the periodic loop and supervisor-requested clears."""
+    report, testbed = fleet_run("leader", clear_interval=2)
+    leader_relayer, standby_relayer = testbed.relayers
+    assert leader_relayer.log.count("packet_clear") > 0
+    assert standby_relayer.log.count("packet_clear") == 0
+    # Asking the standby directly is a no-op too.
+    for worker in standby_relayer.workers:
+        worker.request_clear()
+        assert not worker._clear_pending
+    # Any clear-vs-in-flight race is the leader's own (it exists at K=1
+    # too); the standby contributes zero redundant submissions.
+    assert standby_relayer.log.count("packet_messages_redundant") == 0
+
+
+# -- determinism: same seed, same bytes, for every policy --------------------
+
+
+@pytest.mark.parametrize("policy", sorted(POLICIES))
+def test_fleet_runs_are_deterministic(policy):
+    """Same seed twice => byte-identical report and journals at K=4."""
+    def run():
+        config = ExperimentConfig(
+            input_rate=10,
+            measurement_blocks=3,
+            num_relayers=4,
+            total_transfers=32,
+            submission_blocks=1,
+            seed=13,
+            run_to_completion=True,
+            clear_interval=2,
+            relayer=FleetConfig(policy=policy),
+        )
+        report = run_experiment(config, capture_journal=True)
+        return report.to_json(), report.journal
+
+    first_json, first_journal = run()
+    second_json, second_journal = run()
+    assert first_json.encode() == second_json.encode()
+    assert first_journal.encode() == second_journal.encode()
+
+
+def test_leader_failover_is_deterministic():
+    """The whole crash-probe-handoff-clear chain replays byte-for-byte."""
+    first, _ = fleet_run("leader", crash=True, clear_interval=2, seed=5)
+    second, _ = fleet_run("leader", crash=True, clear_interval=2, seed=5)
+    assert first.to_json().encode() == second.to_json().encode()
+    assert first.fleet[0]["leader"]["handoff_count"] >= 1

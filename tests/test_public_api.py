@@ -39,7 +39,6 @@ def test_public_classes_have_docstrings():
 
     for obj in (
         fw.ExperimentConfig,
-        fw.ExperimentRunner,
         fw.Testbed,
         fw.WorkloadDriver,
         fw.CrossChainEventProcessor,
@@ -47,6 +46,9 @@ def test_public_classes_have_docstrings():
         rl.DirectionWorker,
         rl.Supervisor,
         rl.ChainEndpoint,
+        rl.Fleet,
+        rl.FleetConfig,
+        rl.CoordinationPolicy,
         ibc.IbcModule,
         ibc.TransferApp,
         ibc.TendermintLightClient,
@@ -57,45 +59,36 @@ def test_public_classes_have_docstrings():
 def test_version_exposed():
     import repro
 
-    assert repro.__version__ == "1.1.0"
+    assert repro.__version__ == "1.2.0"
 
 
 def test_top_level_stable_surface():
     """The documented top-level entrypoints live in repro.__all__."""
     import repro
 
-    for name in ("ExperimentConfig", "ExperimentReport", "run_experiment", "sweep"):
+    for name in (
+        "ExperimentConfig",
+        "ExperimentReport",
+        "FaultSchedule",
+        "FleetConfig",
+        "TopologySpec",
+        "TraceReport",
+        "run_experiment",
+        "sweep",
+    ):
         assert name in repro.__all__, name
         assert hasattr(repro, name), name
     # The wire-format error type is part of the surface too.
     assert issubclass(repro.SchemaError, repro.ReproError)
 
 
-def test_experiment_runner_is_a_deprecation_shim():
-    """The two-step spelling still works but warns, and delegates
-    introspection attributes to the engine."""
-    from repro.framework import ExperimentConfig, ExperimentRunner
+def test_experiment_runner_shim_is_gone():
+    """PR 4's deprecation shim completed its cycle: the two-step spelling
+    was removed in 1.2.0 in favour of ``run_experiment()``."""
+    import repro.framework as fw
 
-    config = ExperimentConfig(input_rate=20, measurement_blocks=2, seed=3)
-    with pytest.warns(DeprecationWarning, match="run_experiment"):
-        runner = ExperimentRunner(config)
-    report = runner.run()
-    assert report.window.sends >= 0
-    assert runner.testbed is not None  # legacy attribute access
-    assert runner.config is config
-
-
-def test_shim_and_entrypoint_agree_byte_for_byte():
-    import warnings
-
-    import repro
-    from repro.framework import ExperimentRunner
-
-    config = repro.ExperimentConfig(input_rate=20, measurement_blocks=2, seed=3)
-    with warnings.catch_warnings():
-        warnings.simplefilter("ignore", DeprecationWarning)
-        legacy = ExperimentRunner(config).run()
-    assert repro.run_experiment(config).to_json() == legacy.to_json()
+    assert not hasattr(fw, "ExperimentRunner")
+    assert "ExperimentRunner" not in fw.__all__
 
 
 def test_quickstart_snippet_from_readme_runs():

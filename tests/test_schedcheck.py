@@ -165,4 +165,4 @@ def test_hub4_scenario_has_no_scheduling_race():
 
 
 def test_scenario_registry_names():
-    assert set(SCENARIOS) == {"golden", "golden-faults", "line3", "hub4"}
+    assert set(SCENARIOS) == {"golden", "golden-faults", "fleet", "line3", "hub4"}

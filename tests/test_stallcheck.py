@@ -211,7 +211,7 @@ def test_unknown_scenario_raises():
 
 
 def test_scenario_registry_names():
-    assert set(SCENARIOS) == {"golden", "golden-faults", "line3", "hub4"}
+    assert set(SCENARIOS) == {"golden", "golden-faults", "fleet", "line3", "hub4"}
 
 
 def test_default_budget_path_is_repo_root():

@@ -25,7 +25,12 @@ from repro.faults import (
     fault_from_dict,
     fault_to_dict,
 )
-from repro.framework import ExperimentConfig, ExperimentReport, run_experiment
+from repro.framework import (
+    ExperimentConfig,
+    ExperimentReport,
+    FleetConfig,
+    run_experiment,
+)
 
 FAULTS = FaultSchedule(
     (
@@ -47,7 +52,7 @@ def full_config() -> ExperimentConfig:
         measurement_blocks=3,
         seed=23,
         drain_seconds=30.0,
-        rpc_retry_attempts=3,
+        relayer=FleetConfig(rpc_retry_attempts=3),
         clear_interval=2,
         faults=FAULTS,
         calibration=DEFAULT_CALIBRATION.with_overrides(rpc_workers=2),
@@ -137,7 +142,7 @@ def fault_report() -> ExperimentReport:
 
 def test_report_schema_version_in_document(fault_report):
     document = fault_report.to_dict()
-    assert document["schema_version"] == ExperimentReport.SCHEMA_VERSION == 4
+    assert document["schema_version"] == ExperimentReport.SCHEMA_VERSION == 5
     # schema_version leads the dump so humans see it first.
     assert next(iter(document)) == "schema_version"
 
@@ -252,15 +257,110 @@ def test_v2_document_still_loads(fault_report):
     document = fault_report.to_dict()
     document["schema_version"] = 2
     del document["trace"]
+    del document["fleet"]
     clone = ExperimentReport.from_dict(document)
     assert clone.trace is None
     assert clone.window == fault_report.window
-    assert clone.to_dict()["schema_version"] == 4
+    assert clone.to_dict()["schema_version"] == 5
 
 
 def test_v2_document_rejects_trace_key(fault_report):
     """A document claiming schema 2 must not smuggle in a trace section."""
     document = fault_report.to_dict()
     document["schema_version"] = 2
+    del document["fleet"]
     with pytest.raises(SchemaError, match="trace"):
         ExperimentReport.from_dict(document)
+
+
+# -- v4 -> v5 migration (nested relayer section, fleet report section) -------
+
+
+def test_nested_relayer_section_round_trips():
+    config = ExperimentConfig(
+        num_relayers=2,
+        relayer=FleetConfig(policy="leader", rpc_retry_attempts=2),
+    )
+    wire = config.to_dict()
+    assert wire["relayer"] == {
+        "count": None,
+        "policy": "leader",
+        "rpc_retry_attempts": 2,
+        "resubscribe_on_disconnect": True,
+    }
+    assert ExperimentConfig.from_dict(wire) == config
+
+
+def test_v4_flat_relayer_keys_migrate():
+    """Pre-1.2 config documents used flat relayer knobs; the loader
+    migrates them into the nested ``relayer`` section."""
+    config = ExperimentConfig.from_dict(
+        {
+            "num_relayers": 2,
+            "coordinate_relayers": True,
+            "rpc_retry_attempts": 3,
+            "resubscribe_on_disconnect": False,
+        }
+    )
+    assert config.relayer == FleetConfig(
+        policy="shard", rpc_retry_attempts=3, resubscribe_on_disconnect=False
+    )
+    # The migrated config re-serializes in the v5 nested spelling.
+    assert "coordinate_relayers" not in config.to_dict()
+    assert config.to_dict()["relayer"]["policy"] == "shard"
+
+
+def test_v4_uncoordinated_flat_keys_migrate_to_none_policy():
+    config = ExperimentConfig.from_dict(
+        {"num_relayers": 2, "coordinate_relayers": False}
+    )
+    assert config.relayer.policy == "none"
+
+
+def test_mixing_flat_and_nested_relayer_keys_rejected():
+    with pytest.raises(SchemaError, match="coordinate_relayers"):
+        ExperimentConfig.from_dict(
+            {
+                "coordinate_relayers": True,
+                "relayer": {"policy": "shard"},
+            }
+        )
+
+
+def test_relayer_section_rejects_unknown_keys():
+    with pytest.raises(SchemaError, match="polciy"):
+        ExperimentConfig.from_dict({"relayer": {"polciy": "shard"}})
+
+
+def test_v4_report_document_still_loads(fault_report):
+    """Reports written before the fleet section (schema 4) load with the
+    section absent and re-serialize as the current schema."""
+    document = fault_report.to_dict()
+    document["schema_version"] = 4
+    del document["fleet"]
+    # v4 documents carry the flat relayer config keys.
+    relayer = document["config"].pop("relayer")
+    document["config"]["rpc_retry_attempts"] = relayer["rpc_retry_attempts"]
+    clone = ExperimentReport.from_dict(document)
+    assert clone.fleet is None
+    assert clone.window == fault_report.window
+    assert clone.to_dict()["schema_version"] == 5
+
+
+def test_v4_document_rejects_fleet_key(fault_report):
+    """A document claiming schema 4 must not smuggle in a fleet section."""
+    document = fault_report.to_dict()
+    document["schema_version"] = 4
+    with pytest.raises(SchemaError, match="fleet"):
+        ExperimentReport.from_dict(document)
+
+
+def test_fleet_section_round_trips(fault_report):
+    """The default single-relayer run carries a K=1 fleet row that
+    survives the round trip exactly."""
+    assert fault_report.fleet is not None
+    (row,) = fault_report.fleet
+    assert row["count"] == 1
+    assert row["policy"] == "none"
+    clone = ExperimentReport.from_json(fault_report.to_json())
+    assert clone.fleet == fault_report.fleet
