@@ -1,7 +1,14 @@
 """Cosmos-SDK-style application layer: accounts, bank, gas, transactions,
 ante handler and the Gaia application."""
 
-from repro.cosmos.accounts import AccountKeeper, BaseAccount, Wallet
+from repro.cosmos.accounts import (
+    AccountKeeper,
+    AccountView,
+    AddressIndex,
+    BaseAccount,
+    Wallet,
+    derive_address,
+)
 from repro.cosmos.app import FEE_DENOM, TRANSFER_DENOM, GaiaApp
 from repro.cosmos.bank import BankKeeper, module_address
 from repro.cosmos.denom import DenomRegistry, DenomTrace
@@ -11,6 +18,8 @@ from repro.cosmos.tx import MsgSend, Tx, TxFactory, chunk_msgs
 
 __all__ = [
     "AccountKeeper",
+    "AccountView",
+    "AddressIndex",
     "BankKeeper",
     "BaseAccount",
     "DenomRegistry",
@@ -26,5 +35,6 @@ __all__ = [
     "TxFactory",
     "Wallet",
     "chunk_msgs",
+    "derive_address",
     "module_address",
 ]

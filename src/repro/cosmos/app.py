@@ -19,7 +19,7 @@ from dataclasses import dataclass
 from typing import Any, Optional, Sequence
 
 from repro import calibration as cal
-from repro.cosmos.accounts import AccountKeeper, Wallet
+from repro.cosmos.accounts import AccountKeeper, AddressIndex, Wallet
 from repro.cosmos.ante import AnteHandler
 from repro.cosmos.bank import BankKeeper
 from repro.cosmos.gas import GasMeter, GasSchedule
@@ -79,9 +79,12 @@ class GaiaApp:
     ):
         self.chain_id = chain_id
         self.cal = calibration or cal.DEFAULT_CALIBRATION
-        self.accounts = AccountKeeper()
+        # Auth and bank share one address interner so both keepers index
+        # their array columns with the same dense integers.
+        self.address_index = AddressIndex()
+        self.accounts = AccountKeeper(index=self.address_index)
         self.store = ProvableStore()
-        self.bank = BankKeeper(store=self.store)
+        self.bank = BankKeeper(store=self.store, index=self.address_index)
         # The testbed injects a named stream from its RngRegistry (see
         # tendermint.node.Chain); default-constructed apps derive a
         # deterministic per-chain stream instead of a hard-coded seed.
@@ -116,6 +119,21 @@ class GaiaApp:
         for denom, amount in (coins or {}).items():
             if amount > 0:
                 self.bank.mint(wallet.address, denom, amount)
+
+    def genesis_accounts_bulk(
+        self, addresses: Sequence[str], coins: Optional[dict[str, int]] = None
+    ) -> None:
+        """Create many genesis accounts with identical balances, lazily.
+
+        The accounts carry no stored key material (validation uses the
+        public key each transaction presents) and their balances go
+        straight into the bank's array columns — the path that lets a
+        million-account population fit in memory.
+        """
+        self.accounts.create_many(addresses)
+        for denom, amount in (coins or {}).items():
+            if amount > 0:
+                self.bank.genesis_mint_many(addresses, denom, amount)
 
     def register_counterparty(self, info: CounterpartyChainInfo) -> None:
         """Make a counterparty chain's public info available for
@@ -316,8 +334,7 @@ class GaiaApp:
     # ------------------------------------------------------------------
 
     def account_sequence(self, address: str) -> int:
-        account = self.accounts.get(address)
-        return account.sequence if account is not None else 0
+        return self.accounts.sequence_of(address)
 
     @property
     def current_height(self) -> int:

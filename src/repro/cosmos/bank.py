@@ -4,13 +4,23 @@ Module accounts (e.g. per-channel ICS-20 escrow accounts) are ordinary
 addresses derived from a name, mirroring the SDK's module account scheme.
 An invariant — total supply per denom equals the sum of balances — is
 maintained by construction and checked by property tests.
+
+Balances live in per-denom ``array('q')`` columns indexed by the shared
+:class:`~repro.cosmos.accounts.AddressIndex`, not per-address dicts: a
+denom held by a million accounts costs eight bytes per account.  The
+rollback journal records ``(column, index, previous)`` triples — an array
+indexes exactly like the dicts :meth:`Journal.record_kv` was built for,
+and a balance's previous value is never ``None``, so the journal's
+restore branch applies unchanged.
 """
 
 from __future__ import annotations
 
+from array import array
 from collections import defaultdict
-from typing import Iterable
+from typing import Iterable, Optional, Sequence
 
+from repro.cosmos.accounts import AddressIndex
 from repro.cosmos.journal import Journaled
 from repro.errors import InsufficientFundsError
 from repro.tendermint.crypto import sha256
@@ -29,22 +39,36 @@ class BankKeeper(Journaled):
     chain's app hash commits to bank state, as on a real chain.
     """
 
-    def __init__(self, store=None) -> None:
-        self._balances: dict[str, dict[str, int]] = defaultdict(dict)
+    def __init__(
+        self, store=None, index: Optional[AddressIndex] = None
+    ) -> None:
+        self.index = index if index is not None else AddressIndex()
+        self._columns: dict[str, array] = {}
         self._supply: dict[str, int] = defaultdict(int)
         self._store = store
 
     def bind_store(self, store) -> None:
         self._store = store
 
+    def _column(self, denom: str, idx: int) -> array:
+        """The denom's balance column, grown (zero-filled) to cover ``idx``."""
+        column = self._columns.get(denom)
+        if column is None:
+            column = array("q")
+            self._columns[denom] = column
+        short = idx + 1 - len(column)
+        if short > 0:
+            column.frombytes(bytes(8 * short))
+        return column
+
     def _set_balance(self, address: str, denom: str, value: int) -> None:
+        idx = self.index.intern(address)
+        column = self._column(denom, idx)
         if self.journal is not None:
             # Balances default to 0, so the undo value is never None and
             # the closure-free journal entry restores it exactly.
-            self.journal.record_kv(
-                self._balances[address], denom, self.balance(address, denom)
-            )
-        self._balances[address][denom] = value
+            self.journal.record_kv(column, idx, column[idx])
+        column[idx] = value
         if self._store is not None:
             # The store keeps its own journal; no double bookkeeping here.
             self._store.set(
@@ -59,17 +83,31 @@ class BankKeeper(Journaled):
     # -- queries --------------------------------------------------------------
 
     def balance(self, address: str, denom: str) -> int:
-        return self._balances[address].get(denom, 0)
+        idx = self.index.lookup(address)
+        if idx is None:
+            return 0
+        column = self._columns.get(denom)
+        if column is None or idx >= len(column):
+            return 0
+        return column[idx]
 
     def balances(self, address: str) -> dict[str, int]:
-        return {d: a for d, a in self._balances[address].items() if a > 0}
+        idx = self.index.lookup(address)
+        if idx is None:
+            return {}
+        return {
+            denom: column[idx]
+            for denom, column in self._columns.items()
+            if idx < len(column) and column[idx] > 0
+        }
 
     def supply(self, denom: str) -> int:
         return self._supply[denom]
 
     def total_of(self, denom: str) -> int:
         """Sum of balances for a denom (== supply by invariant)."""
-        return sum(b.get(denom, 0) for b in self._balances.values())
+        column = self._columns.get(denom)
+        return sum(column) if column is not None else 0
 
     # -- state transitions ------------------------------------------------------
 
@@ -100,6 +138,28 @@ class BankKeeper(Journaled):
     def _require_positive(amount: int) -> None:
         if amount <= 0:
             raise InsufficientFundsError(f"amount must be positive, got {amount}")
+
+    def genesis_mint_many(
+        self, addresses: Sequence[str], denom: str, amount: int
+    ) -> None:
+        """Bulk genesis funding: every address gets ``amount`` of ``denom``.
+
+        Fills the balance column directly and skips the provable-store
+        mirror — a million genesis balances would otherwise dominate the
+        store.  Valid only at genesis (no journal attached); runtime
+        writes store absolute values, so any balance the simulation later
+        touches lands in the store as usual.
+        """
+        self._require_positive(amount)
+        if self.journal is not None:
+            raise RuntimeError("genesis_mint_many is a genesis-only operation")
+        if not addresses:
+            return
+        indices = [self.index.intern(address) for address in addresses]
+        column = self._column(denom, max(indices))
+        for idx in indices:
+            column[idx] += amount
+        self._supply[denom] += amount * len(addresses)
 
     # -- invariants ----------------------------------------------------------
 

@@ -21,7 +21,9 @@ from repro.framework.metrics import (
     WindowMetrics,
     collect_fault_metrics,
     collect_fleet_metrics,
+    collect_frame_metrics,
     collect_gas_metrics,
+    collect_population_metrics,
     collect_rpc_metrics,
     collect_trace_metrics,
     collect_window_metrics,
@@ -38,6 +40,7 @@ from repro.framework.sweep import METRICS, SweepPoint, run_seeded, sweep
 from repro.framework.topology import TopologySpec
 from repro.framework.workload import WorkloadDriver, WorkloadStats
 from repro.relayer.fleet import Fleet, FleetConfig
+from repro.workload import WorkloadEngine, WorkloadSpec
 
 __all__ = [
     "CompletionStatus",
@@ -63,10 +66,14 @@ __all__ = [
     "TransferTimelineReport",
     "WindowMetrics",
     "WorkloadDriver",
+    "WorkloadEngine",
+    "WorkloadSpec",
     "WorkloadStats",
     "collect_fault_metrics",
     "collect_fleet_metrics",
+    "collect_frame_metrics",
     "collect_gas_metrics",
+    "collect_population_metrics",
     "collect_rpc_metrics",
     "collect_trace_metrics",
     "collect_window_metrics",

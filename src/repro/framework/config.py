@@ -17,6 +17,7 @@ from repro.errors import SchemaError, WorkloadError
 from repro.faults import FaultSchedule
 from repro.framework.topology import TopologySpec
 from repro.relayer.fleet import FleetConfig
+from repro.workload.spec import WorkloadSpec
 
 #: Flat relayer knobs of config schema v4 and earlier, now nested in the
 #: ``relayer`` section — :meth:`ExperimentConfig.from_dict` migrates them.
@@ -93,6 +94,11 @@ class ExperimentConfig:
     #: ``num_relayers``), coordination policy and the per-instance
     #: robustness knobs (see :class:`repro.relayer.fleet.FleetConfig`).
     relayer: FleetConfig = field(default_factory=FleetConfig)
+    #: EXTENSION: the generated-workload engine (schema v6).  None = the
+    #: paper's fixed account pool (§III-D); a spec switches the driver to
+    #: a Zipf-skewed population with configurable arrivals, payload mixes
+    #: and adversarial traffic (see :mod:`repro.workload`).
+    workload: Optional[WorkloadSpec] = None
 
     # -- measurement/simulation mechanics ----------------------------------------
     #: Record per-packet lifecycle spans/events (see :mod:`repro.trace`).
@@ -157,6 +163,21 @@ class ExperimentConfig:
             )
         if self.tiebreak not in ("fifo", "lifo"):
             raise WorkloadError(f"unknown tie-break policy {self.tiebreak!r}")
+        if self.workload is not None:
+            if self.total_transfers is not None:
+                raise WorkloadError(
+                    "the workload engine is continuous: it cannot combine "
+                    "with fixed-total mode (total_transfers)"
+                )
+            if self.topology is not None:
+                raise WorkloadError(
+                    "the workload engine drives the two-chain pair; custom "
+                    "topologies use the fixed account pool"
+                )
+            if self.num_channels != 1:
+                raise WorkloadError(
+                    "the workload engine submits on a single channel"
+                )
 
     # -- wire format ---------------------------------------------------
 
@@ -171,7 +192,8 @@ class ExperimentConfig:
         for spec in fields(self):
             value = getattr(self, spec.name)
             if (
-                spec.name in ("faults", "calibration", "topology", "relayer")
+                spec.name
+                in ("faults", "calibration", "topology", "relayer", "workload")
                 and value is not None
             ):
                 value = value.to_dict()
@@ -236,6 +258,8 @@ class ExperimentConfig:
             kwargs["relayer"] = FleetConfig.from_dict(kwargs["relayer"])
         elif "relayer" in kwargs:
             del kwargs["relayer"]  # null section = the default fleet
+        if kwargs.get("workload") is not None:
+            kwargs["workload"] = WorkloadSpec.from_dict(kwargs["workload"])
         return cls(**kwargs)
 
     # ------------------------------------------------------------------

@@ -974,3 +974,57 @@ def collect_rpc_metrics(chains: list[Chain]) -> RpcBusyMetrics:
     return RpcBusyMetrics(
         total_busy_seconds=total, pull_busy_seconds=pulls, by_method=by_method
     )
+
+
+def collect_population_metrics(engine, source_chain: Chain) -> dict[str, Any]:
+    """The report's ``population`` section (generated workloads only).
+
+    Per-percentile sender activity from the engine, the adversarial
+    counters, and the source mempool's admission accounting — every
+    value an integer or a ratio of integers, so the section is
+    byte-stable across scheduler tie-break variations."""
+    summary = engine.activity_summary()
+    summary["spam"] = {
+        "submitted": engine.spam_submitted,
+        "rejected": engine.spam_rejected,
+    }
+    summary["griefing"] = {
+        "submitted": engine.griefing_submitted,
+        "failed": engine.griefing_failed,
+    }
+    mempool = source_chain.mempool
+    summary["mempool"] = {
+        "admitted": mempool.admitted,
+        "rejected": mempool.rejected,
+        "evicted": mempool.evicted,
+    }
+    return summary
+
+
+def collect_frame_metrics(chains: list[Chain]) -> dict[str, Any]:
+    """The report's ``frames`` section: §V WebSocket frame accounting.
+
+    Aggregates every node's event server: frames delivered, failures
+    (including repeat suppressions after a latch), subscriptions latched
+    by an oversized frame, and the largest frame any server computed
+    against the calibrated limit."""
+    delivered = failures = latched = 0
+    max_frame = 0
+    limit = 0
+    for chain in chains:
+        for node in chain.nodes.values():
+            server = node.websocket
+            limit = server.cal.websocket_max_frame_bytes
+            if server.max_frame_bytes > max_frame:
+                max_frame = server.max_frame_bytes
+            for subscription in server.subscriptions:
+                delivered += subscription.delivered
+                failures += subscription.failures
+                latched += 1 if subscription.failed else 0
+    return {
+        "delivered": delivered,
+        "failures": failures,
+        "latched": latched,
+        "max_frame_bytes": max_frame,
+        "limit_bytes": limit,
+    }

@@ -84,7 +84,7 @@ def _faults_from_dict(data: Optional[dict[str, Any]]) -> Optional[FaultReport]:
     )
 
 
-#: Top-level keys every schema-5 report document carries, in dump order.
+#: Top-level keys every schema-6 report document carries, in dump order.
 _DOCUMENT_KEYS = (
     "schema_version",
     "config",
@@ -103,18 +103,27 @@ _DOCUMENT_KEYS = (
     "faults",
     "fleet",
     "trace",
+    "population",
+    "frames",
     "sim_end_time",
 )
 
-#: Schema-4 (and 3) documents predate relayer fleets: identical except
-#: that the ``fleet`` key does not exist (and their ``config`` carries
-#: the relayer knobs as flat keys, migrated by the config loader).
-_V34_DOCUMENT_KEYS = tuple(k for k in _DOCUMENT_KEYS if k != "fleet")
+#: Schema-5 documents predate the generated-workload engine: no
+#: ``population``/``frames`` sections, and the ``submission`` section
+#: lacks the failed/unconfirmed/deferred split (defaulted on load).
+_V5_DOCUMENT_KEYS = tuple(
+    k for k in _DOCUMENT_KEYS if k not in ("population", "frames")
+)
+
+#: Schema-4 (and 3) documents additionally predate relayer fleets: the
+#: ``fleet`` key does not exist (and their ``config`` carries the
+#: relayer knobs as flat keys, migrated by the config loader).
+_V34_DOCUMENT_KEYS = tuple(k for k in _V5_DOCUMENT_KEYS if k != "fleet")
 
 #: Schema-2 documents additionally predate per-packet tracing: no
 #: ``trace`` key either.  They still load (tracing absent).
 _V2_DOCUMENT_KEYS = tuple(
-    k for k in _DOCUMENT_KEYS if k not in ("trace", "fleet")
+    k for k in _V5_DOCUMENT_KEYS if k not in ("trace", "fleet")
 )
 
 #: Schema 3 → 4 added the topology layer: ``config.topology``, the
@@ -133,9 +142,12 @@ class ExperimentReport:
     #: documents with any other version except older ones where a lossless
     #: upgrade exists (schema 2 → 3 added the ``trace`` section; 3 → 4
     #: added the topology subkeys; 4 → 5 added the relayer-fleet section
-    #: and the config's nested ``relayer`` wire section).  Version 1 was
+    #: and the config's nested ``relayer`` wire section; 5 → 6 added the
+    #: generated-workload engine: the config's nested ``workload``
+    #: section, the ``population``/``frames`` report sections and the
+    #: submission split into failed/unconfirmed/deferred).  Version 1 was
     #: the unversioned, presentation-only dump of the pre-parallel era.
-    SCHEMA_VERSION = 5
+    SCHEMA_VERSION = 6
 
     config: ExperimentConfig
     window: WindowMetrics
@@ -159,6 +171,15 @@ class ExperimentReport:
     #: Per-packet latency decomposition (None unless ``config.tracing``;
     #: the key is always present in ``to_dict`` for schema stability).
     trace: Optional[TraceReport] = None
+    #: Generated-workload accounting — per-percentile sender activity,
+    #: adversarial counters, mempool admission/eviction
+    #: (:func:`repro.framework.metrics.collect_population_metrics`); None
+    #: unless the run used the workload engine.
+    population: Optional[dict[str, Any]] = None
+    #: §V WebSocket frame accounting
+    #: (:func:`repro.framework.metrics.collect_frame_metrics`); always a
+    #: dict on fresh runs, None when loaded from a pre-v6 document.
+    frames: Optional[dict[str, Any]] = None
     sim_end_time: float = 0.0
     #: Canonical journal text (``render_journal``), captured only when
     #: ``run_experiment(..., capture_journal=True)`` asked for it.  A
@@ -186,6 +207,9 @@ class ExperimentReport:
                 "committed": self.workload.committed_transfers,
                 "committed_chain": self.window.sends_total,
                 "rejected": self.workload.rejected_transfers,
+                "failed": self.workload.failed_transfers,
+                "unconfirmed": self.workload.unconfirmed_transfers,
+                "deferred": self.workload.deferred_transfers,
                 "lost": self.workload.lost_transfers,
             },
             "completion": completion.as_fractions(),
@@ -247,6 +271,10 @@ class ExperimentReport:
                 else [dict(row) for row in self.fleet]
             ),
             "trace": None if self.trace is None else self.trace.to_dict(),
+            "population": (
+                None if self.population is None else dict(self.population)
+            ),
+            "frames": None if self.frames is None else dict(self.frames),
             "sim_end_time": self.sim_end_time,
         }
 
@@ -305,7 +333,7 @@ class ExperimentReport:
 
     @classmethod
     def from_dict(cls, data: Any) -> "ExperimentReport":
-        """Load a schema-5 (or legacy schema-2/3/4) report document.
+        """Load a schema-6 (or legacy schema-2/3/4/5) report document.
 
         A loaded current-schema report re-serializes byte-identically:
         the raw sections (``config``, ``window``, ``timeline.steps``, ...)
@@ -314,24 +342,28 @@ class ExperimentReport:
         schema-3 documents (pre-topology) load with the topology subkeys
         defaulted; schema-3/4 documents load with ``fleet`` absent and
         their flat relayer config keys migrated into the nested
-        ``relayer`` section; all re-serialize as schema 5.  Unknown keys
-        and foreign schema versions raise :class:`SchemaError`.
+        ``relayer`` section; schema-5 documents load with the
+        ``population``/``frames`` sections absent and the submission
+        split defaulted to zero; all re-serialize as schema 6.  Unknown
+        keys and foreign schema versions raise :class:`SchemaError`.
         """
         if not isinstance(data, dict):
             raise SchemaError(
                 f"report document must be a dict, got {type(data).__name__}"
             )
         version = data.get("schema_version")
-        if version not in (2, 3, 4, cls.SCHEMA_VERSION):
+        if version not in (2, 3, 4, 5, cls.SCHEMA_VERSION):
             raise SchemaError(
                 f"unsupported report schema_version {version!r} "
-                f"(this library reads versions 2, 3, 4 and "
+                f"(this library reads versions 2, 3, 4, 5 and "
                 f"{cls.SCHEMA_VERSION})"
             )
         if version == 2:
             expected = _V2_DOCUMENT_KEYS
         elif version in (3, 4):
             expected = _V34_DOCUMENT_KEYS
+        elif version == 5:
+            expected = _V5_DOCUMENT_KEYS
         else:
             expected = _DOCUMENT_KEYS
         unknown = sorted(set(data) - set(expected))
@@ -353,6 +385,9 @@ class ExperimentReport:
             committed_transfers=submission["committed"],
             rejected_transfers=submission["rejected"],
             lost_transfers=submission["lost"],
+            failed_transfers=submission.get("failed", 0),
+            unconfirmed_transfers=submission.get("unconfirmed", 0),
+            deferred_transfers=submission.get("deferred", 0),
         )
         gas = data["gas"]
         rpc = data["rpc"]
@@ -386,6 +421,12 @@ class ExperimentReport:
                 else [dict(row) for row in data["fleet"]]
             ),
             trace=None if trace_data is None else TraceReport.from_dict(trace_data),
+            population=(
+                None
+                if data.get("population") is None
+                else dict(data["population"])
+            ),
+            frames=None if data.get("frames") is None else dict(data["frames"]),
             sim_end_time=data["sim_end_time"],
         )
 
@@ -506,6 +547,27 @@ class ExperimentReport:
                         )
                     )
                 lines.append(line)
+        if self.population is not None:
+            p = self.population
+            lines.append(
+                f"population        : {p['population']} senders, "
+                f"{p['senders_active']} active, p99 activity "
+                f"{p['activity_p99']}, top-1% share "
+                f"{p['top1_share'] * 100:.1f}%, {p['deferred']} deferred"
+            )
+            mempool = p["mempool"]
+            lines.append(
+                f"mempool           : {mempool['admitted']} admitted / "
+                f"{mempool['rejected']} rejected / "
+                f"{mempool['evicted']} evicted"
+            )
+        if self.frames is not None and self.frames["latched"]:
+            f = self.frames
+            lines.append(
+                f"frame limit       : {f['latched']} subscription(s) latched "
+                f"(max frame {f['max_frame_bytes']} B > "
+                f"limit {f['limit_bytes']} B)"
+            )
         if self.errors:
             rendered = ", ".join(f"{k}={v}" for k, v in sorted(self.errors.items()))
             lines.append(f"errors            : {rendered}")

@@ -18,7 +18,9 @@ from repro.framework.connectors import CrossChainEventConnector
 from repro.framework.metrics import (
     collect_fault_metrics,
     collect_fleet_metrics,
+    collect_frame_metrics,
     collect_gas_metrics,
+    collect_population_metrics,
     collect_rpc_metrics,
     collect_trace_metrics,
     collect_window_metrics,
@@ -302,6 +304,11 @@ class _ExperimentEngine:
             start_time=self._window_start_time,
             end_time=self.testbed.env.now,
         )
+        population = (
+            None
+            if self.driver.engine is None
+            else collect_population_metrics(self.driver.engine, source_chain)
+        )
         return ExperimentReport(
             config=self.config,
             window=window,
@@ -315,6 +322,8 @@ class _ExperimentEngine:
             faults=faults,
             fleet=fleet,
             trace=trace,
+            population=population,
+            frames=collect_frame_metrics(list(testbed.chains)),
             sim_end_time=self.testbed.env.now,
             tracer=tracer if tracer.enabled else None,
         )

@@ -21,7 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Generator, Optional
 
-from repro.cosmos.accounts import Wallet
+from repro.cosmos.accounts import Wallet, derive_address
 from repro.cosmos.app import FEE_DENOM, TRANSFER_DENOM
 from repro.framework.config import ExperimentConfig
 from repro.framework.topology import TopologySpec
@@ -63,6 +63,10 @@ class Testbed:
     route_wallets: list[list[Wallet]] = field(init=False, default_factory=list)
     #: Final-receiver wallet per route.
     receivers: list[Wallet] = field(init=False, default_factory=list)
+    #: Adversarial wallets, funded only when the workload engine asks for
+    #: spam floods / gas griefing (see :mod:`repro.workload.adversarial`).
+    spam_wallet: Optional[Wallet] = field(init=False, default=None)
+    grief_wallet: Optional[Wallet] = field(init=False, default=None)
     path: Optional[RelayPath] = field(init=False, default=None)
     #: Established channels per topology edge (len == config.num_channels
     #: each); populated by :meth:`bootstrap`.
@@ -157,10 +161,37 @@ class Testbed:
             self.edge_relayers.append(edge_group)
 
         # Workload accounts (paper §III-D: many accounts, 100 msgs each),
-        # one pool per route, funded on the route's source chain.
+        # one pool per route, funded on the route's source chain.  The
+        # generated-workload engine replaces the pool with a bulk-created
+        # lazy population: addresses are derived (no key material) and
+        # balances land directly in the bank's array columns, so a
+        # million senders cost a few dozen bytes each at genesis.
         single_route = len(topology.routes) == 1
+        engine_spec = config.workload
         for r, route in enumerate(topology.routes):
             source = self.chains[route[0]]
+            if engine_spec is not None:
+                source.app.genesis_accounts_bulk(
+                    [
+                        derive_address(f"user{i}-{config.seed}")
+                        for i in range(engine_spec.population)
+                    ],
+                    {FEE_DENOM: GENESIS_FEE, TRANSFER_DENOM: GENESIS_TOKENS},
+                )
+                self.route_wallets.append([])
+                if engine_spec.spam_rate > 0:
+                    self.spam_wallet = Wallet.named(f"spammer-{config.seed}")
+                    source.app.genesis_account(
+                        self.spam_wallet,
+                        {FEE_DENOM: GENESIS_FEE, TRANSFER_DENOM: GENESIS_TOKENS},
+                    )
+                if engine_spec.griefing_rate > 0:
+                    self.grief_wallet = Wallet.named(f"griefer-{config.seed}")
+                    source.app.genesis_account(
+                        self.grief_wallet,
+                        {FEE_DENOM: GENESIS_FEE, TRANSFER_DENOM: GENESIS_TOKENS},
+                    )
+                continue
             wallets: list[Wallet] = []
             for i in range(config.num_accounts):
                 name = (

@@ -25,14 +25,23 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.cosmos.accounts import Wallet
 from repro.cosmos.bank import module_address
-from repro.errors import WorkloadError
+from repro.cosmos.gas import GasSchedule
+from repro.errors import RpcError, WorkloadError
 from repro.framework.setup import Testbed
 from repro.ibc.transfer import encode_forward_receiver
 from repro.relayer.cli import TransferSubmission, WorkloadCli
 from repro.relayer.logging import RelayerLog
 from repro.sim.core import Environment, ProcessGroup
 from repro.tendermint.node import Chain
+from repro.workload import (
+    GRIEFING_GAS_FACTOR,
+    GRIEFING_MSGS,
+    WorkloadEngine,
+    griefing_ticks,
+    spam_ticks,
+)
 
 
 @dataclass(slots=True)
@@ -44,6 +53,14 @@ class WorkloadStats:
     committed_transfers: int = 0  # executed OK on chain
     rejected_transfers: int = 0  # CheckTx rejections
     lost_transfers: int = 0  # broadcast RPC failures (never reached the node)
+    #: Confirmed on chain with a non-zero code (e.g. out-of-gas griefing,
+    #: failed-ante spam) — distinct from never-confirmed submissions.
+    failed_transfers: int = 0
+    #: Accepted into the mempool but never seen in a confirmation lookup.
+    unconfirmed_transfers: int = 0
+    #: Engine-mode arrivals dropped because the drawn sender was still
+    #: waiting on its previous transaction (§IV-A sequence rule).
+    deferred_transfers: int = 0
     submissions: list[TransferSubmission] = field(default_factory=list)
     start_time: float = 0.0
     #: None until the workload finishes (an explicit sentinel: comparing a
@@ -62,10 +79,23 @@ class WorkloadStats:
             self.rejected_transfers += count
 
     def finalize_commits(self) -> None:
-        """Count committed transfers from confirmations (call at the end)."""
-        self.committed_transfers = sum(
-            s.transfer_count for s in self.submissions if s.committed_ok
-        )
+        """Count committed transfers from confirmations (call at the end).
+
+        Accepted submissions split three ways: committed OK, confirmed
+        with a failure code (``failed_transfers`` — the bucket that used
+        to fold into "no confirmation"), and never confirmed.
+        """
+        committed = failed = unconfirmed = 0
+        for s in self.submissions:
+            if s.committed_ok:
+                committed += s.transfer_count
+            elif s.confirmed is not None and s.confirmed.found:
+                failed += s.transfer_count
+            elif s.accepted:
+                unconfirmed += s.transfer_count
+        self.committed_transfers = committed
+        self.failed_transfers = failed
+        self.unconfirmed_transfers = unconfirmed
 
 
 class WorkloadDriver:
@@ -86,6 +116,13 @@ class WorkloadDriver:
         "_routes",
         "route_requested",
         "route_accepted",
+        "engine",
+        "_busy",
+        "_lazy_clis",
+        "_engine_source",
+        "_engine_channel",
+        "_engine_receiver",
+        "_engine_hint",
     )
 
     def __init__(self, testbed: Testbed, log: Optional[RelayerLog] = None):
@@ -110,6 +147,28 @@ class WorkloadDriver:
         self._routes: list[int] = []
         self.route_requested = [0] * len(testbed.topology.routes)
         self.route_accepted = [0] * len(testbed.topology.routes)
+        #: Generated-workload mode (config.workload set): the deterministic
+        #: decision core plus lazily materialized per-sender CLIs.
+        self.engine: Optional[WorkloadEngine] = None
+        self._busy: set[int] = set()
+        self._lazy_clis: dict[int, WorkloadCli] = {}
+        if self.config.workload is not None:
+            route = testbed.topology.routes[0]
+            source = testbed.chains[route[0]]
+            first = testbed.path_end(
+                testbed.route_hop_paths(0)[0][0], source.chain_id
+            )
+            self.engine = WorkloadEngine(
+                self.config.workload,
+                self.config.input_rate,
+                testbed.rng.keyed("workload"),
+                self.config.seed,
+            )
+            self._engine_source = source
+            self._engine_channel = first.channel_id
+            self._engine_receiver = testbed.receivers[0].address
+            self._engine_hint = testbed.chains[route[1]]
+            return
         forward_fallback = module_address("transfer/forward")
         for r, route in enumerate(testbed.topology.routes):
             source = testbed.chains[route[0]]
@@ -155,8 +214,22 @@ class WorkloadDriver:
     # ------------------------------------------------------------------
 
     def start(self) -> None:
-        """Spawn one submission process per account."""
+        """Spawn one submission process per account (engine mode: one
+        generator process plus the configured adversarial loops)."""
         self.stats.start_time = self.env.now
+        if self.engine is not None:
+            spec = self.engine.spec
+            self._active = 1
+            self.processes.spawn(self._engine_loop(), name="workload/engine")
+            if spec.spam_rate > 0:
+                self._active += 1
+                self.processes.spawn(self._spam_loop(), name="workload/spam")
+            if spec.griefing_rate > 0:
+                self._active += 1
+                self.processes.spawn(
+                    self._griefing_loop(), name="workload/griefer"
+                )
+            return
         schedules = self._schedules()
         self._active = len(self._clis)
         for cli, r, hint_chain, schedule in zip(
@@ -246,7 +319,12 @@ class WorkloadDriver:
                     self.finished.succeed()
 
     def _one_submission(
-        self, cli: WorkloadCli, r: int, hint_chain: Chain, count: int
+        self,
+        cli: WorkloadCli,
+        r: int,
+        hint_chain: Chain,
+        count: int,
+        gas_factor: float = 1.3,
     ):
         # The packet sequence is assigned on chain, so the span carries the
         # tx hash instead of a packet key; the trace aggregator joins it to
@@ -259,6 +337,7 @@ class WorkloadDriver:
             amount=self.config.transfer_amount,
             timeout_blocks=self.config.timeout_blocks,
             dst_height_hint=hint_chain.engine.height,
+            gas_factor=gas_factor,
         )
         self.stats.record(submission)
         self.route_requested[r] += submission.transfer_count
@@ -277,6 +356,155 @@ class WorkloadDriver:
             )
             # Back off one poll interval before retrying from this account.
             yield self.env.timeout(cli.confirm_poll_seconds)
+        return submission
+
+    # -- generated-workload engine (config.workload) -------------------
+
+    def _sender_cli(self, rank: int) -> WorkloadCli:
+        """The (lazily materialized) CLI for sender ``rank``.
+
+        The genesis population carries derived addresses only; the first
+        submission from a sender builds its wallet and CLI here.
+        """
+        cli = self._lazy_clis.get(rank)
+        if cli is None:
+            assert self.engine is not None
+            wallet = Wallet.named(self.engine.population.sender_name(rank))
+            cli = self._engine_cli(wallet)
+            self._lazy_clis[rank] = cli
+        return cli
+
+    def _engine_cli(self, wallet: Wallet) -> WorkloadCli:
+        return WorkloadCli(
+            env=self.env,
+            node=self._engine_source.node(self.testbed.cli_host),
+            wallet=wallet,
+            client_host=self.testbed.cli_host,
+            log=self.log,
+            source_channel=self._engine_channel,
+            receiver=self._engine_receiver,
+        )
+
+    def _engine_loop(self):
+        engine = self.engine
+        start = self.env.now
+        times = engine.arrivals.times()
+        index = 0
+        try:
+            while not self.stop_requested:
+                delay = start + next(times) - self.env.now
+                if delay > 0:
+                    yield self.env.timeout(delay)
+                if self.stop_requested:
+                    break
+                rank = engine.draw_sender(index)
+                count = engine.draw_payload(index)
+                index += 1
+                if rank in self._busy:
+                    # The sender is still waiting on its previous tx: a
+                    # second one would carry a stale sequence (§IV-A), so
+                    # the arrival is dropped and counted, not queued.
+                    engine.deferred += 1
+                    self.stats.deferred_transfers += count
+                    continue
+                self._busy.add(rank)
+                engine.record_start(rank)
+                self.processes.spawn(
+                    self._engine_submission(self._sender_cli(rank), rank, count),
+                    name=f"workload/tx-{index - 1}",
+                )
+        finally:
+            self._engine_exit()
+
+    def _engine_submission(self, cli: WorkloadCli, rank: int, count: int):
+        try:
+            yield from self._one_submission(cli, 0, self._engine_hint, count)
+        finally:
+            self._busy.discard(rank)
+
+    def _spam_loop(self):
+        """Stale-sequence replay floods against the source mempool."""
+        engine = self.engine
+        spec = engine.spec
+        cli = self._engine_cli(self.testbed.spam_wallet)
+        gas_schedule = GasSchedule(self._engine_source.cal)
+        start = self.env.now
+        spam_tx = None
+        try:
+            for tick in spam_ticks(spec, engine.spam_stream):
+                delay = start + tick - self.env.now
+                if delay > 0:
+                    yield self.env.timeout(delay)
+                if self.stop_requested:
+                    break
+                if spam_tx is None:
+                    # One honestly-gassed transfer signed at sequence 0:
+                    # the first broadcast commits, every replay after it
+                    # is a CheckTx rejection (duplicate, then stale).
+                    msgs = cli.build_transfer_msgs(
+                        1,
+                        self.config.transfer_amount,
+                        self.config.timeout_blocks,
+                        self._engine_hint.engine.height,
+                    )
+                    gas = int(
+                        gas_schedule.estimate_tx_gas([m.kind for m in msgs])
+                        * 1.3
+                    )
+                    spam_tx = cli.factory.build(msgs, gas_limit=gas, sequence=0)
+                rejected = 0
+                for _ in range(spec.spam_burst):
+                    engine.spam_submitted += 1
+                    try:
+                        result = yield from cli.client.call(
+                            "broadcast_tx_sync", tx=spam_tx
+                        )
+                    except RpcError as exc:
+                        engine.spam_rejected += 1
+                        rejected += 1
+                        self.log.info("spam_rpc_rejected", error=str(exc))
+                        continue
+                    if not result.ok:
+                        engine.spam_rejected += 1
+                        rejected += 1
+                self.log.info(
+                    "spam_flood", burst=spec.spam_burst, rejected=rejected
+                )
+        finally:
+            self._engine_exit()
+
+    def _griefing_loop(self):
+        """§IV-A gas griefing: under-gassed 100-message transactions."""
+        engine = self.engine
+        cli = self._engine_cli(self.testbed.grief_wallet)
+        start = self.env.now
+        try:
+            for tick in griefing_ticks(engine.spec, engine.griefing_stream):
+                delay = start + tick - self.env.now
+                if delay > 0:
+                    yield self.env.timeout(delay)
+                if self.stop_requested:
+                    break
+                engine.griefing_submitted += 1
+                submission = yield from self._one_submission(
+                    cli,
+                    0,
+                    self._engine_hint,
+                    GRIEFING_MSGS,
+                    gas_factor=GRIEFING_GAS_FACTOR,
+                )
+                confirmed = submission.confirmed
+                if confirmed is not None and confirmed.found and confirmed.code:
+                    engine.griefing_failed += 1
+        finally:
+            self._engine_exit()
+
+    def _engine_exit(self) -> None:
+        self._active -= 1
+        if self._active == 0:
+            self.stats.end_time = self.env.now
+            if not self.finished.triggered:
+                self.finished.succeed()
 
     # ------------------------------------------------------------------
 

@@ -296,6 +296,34 @@ def _fleet_config(tiebreak: str, seed: int):
     )
 
 
+def _skewed_config(tiebreak: str, seed: int):
+    """Engine-mode workload: Zipf senders, bursty arrivals, adversaries.
+
+    Every draw in the workload engine is keyed by arrival index rather
+    than pulled from a shared sequential stream, so the Zipf sender
+    choices, MMPP phase flips, payload sizes and spam/griefing tick
+    times must all survive a tie-break reversal byte-for-byte.  This is
+    the scenario that would catch a sequential-RNG regression in
+    ``repro.workload``.
+    """
+    from repro.framework import ExperimentConfig, WorkloadSpec
+
+    return ExperimentConfig(
+        input_rate=20,
+        measurement_blocks=3,
+        seed=seed,
+        drain_seconds=20.0,
+        workload=WorkloadSpec(
+            population=200,
+            zipf_s=1.2,
+            arrival="bursty",
+            spam_rate=0.3,
+            griefing_rate=0.1,
+        ),
+        tiebreak=tiebreak,
+    )
+
+
 #: Named scenarios for the CLI / pytest marker.  Each maps a name to a
 #: ``(tiebreak, seed) -> ExperimentConfig`` factory.
 SCENARIOS: dict[str, Callable] = {
@@ -304,6 +332,7 @@ SCENARIOS: dict[str, Callable] = {
     "fleet": _fleet_config,
     "line3": _line3_config,
     "hub4": _hub4_config,
+    "skewed": _skewed_config,
 }
 
 

@@ -126,8 +126,14 @@ class WorkloadCli:
         amount: int = 1,
         timeout_blocks: int = cal.DEFAULT_TIMEOUT_BLOCKS,
         dst_height_hint: Optional[int] = None,
+        gas_factor: float = 1.3,
     ) -> Generator[Event, Any, TransferSubmission]:
-        """Submit one transaction with ``count`` transfer messages."""
+        """Submit one transaction with ``count`` transfer messages.
+
+        ``gas_factor`` scales the honest gas estimate — the default is the
+        CLI's 1.3x headroom; the gas-griefing adversary passes a factor
+        below 1 to submit transactions that admit but cannot execute.
+        """
         dst_height = (
             dst_height_hint
             if dst_height_hint is not None
@@ -136,7 +142,7 @@ class WorkloadCli:
         msgs = self.build_transfer_msgs(count, amount, timeout_blocks, dst_height)
         # CLI-side preparation (encode + sign).
         yield self.env.timeout(cal.CLI_PREPARE_SECONDS_PER_TX)
-        gas = int(self._gas.estimate_tx_gas([m.kind for m in msgs]) * 1.3)
+        gas = int(self._gas.estimate_tx_gas([m.kind for m in msgs]) * gas_factor)
         tx = self.factory.build(msgs, gas_limit=gas)
         submission = TransferSubmission(
             tx=tx, transfer_count=count, broadcast_time=self.env.now
@@ -202,6 +208,15 @@ class WorkloadCli:
                     height=lookup.height,
                     count=submission.transfer_count,
                 )
+                if lookup.code != 0:
+                    # Committed but failed in execution (out of gas,
+                    # failed ante) — distinct from the no-confirmation
+                    # timeout bucket below, which never saw the tx land.
+                    self.log.error(
+                        "failed_tx_execution",
+                        tx_hash=submission.tx.hash,
+                        code=lookup.code,
+                    )
                 return lookup.code == 0
             yield self.env.timeout(self.confirm_poll_seconds)
         self.log.error("failed_tx_no_confirmation", tx_hash=submission.tx.hash)

@@ -66,6 +66,9 @@ class Mempool:
         #: Counters for analysis.
         self.admitted = 0
         self.rejected = 0
+        #: Admitted txs later dropped by the post-commit recheck because
+        #: their sequence went stale (spam replays, crossed submissions).
+        self.evicted = 0
 
     def __len__(self) -> int:
         return len(self._txs)
@@ -185,6 +188,7 @@ class Mempool:
                 self._check_sequences[sender] = sequence + 1
         for tx_hash in stale:
             del self._txs[tx_hash]
+        self.evicted += len(stale)
 
     def flush(self) -> None:
         self._txs.clear()

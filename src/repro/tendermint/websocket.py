@@ -102,6 +102,10 @@ class WebSocketServer:
         self.cal = calibration or cal.DEFAULT_CALIBRATION
         self.tracer = tracer
         self.subscriptions: list[Subscription] = []
+        #: Largest frame computed so far (tracked even with no
+        #: subscribers, so reports can show how close blocks came to the
+        #: §V limit).
+        self.max_frame_bytes = 0
         #: Fault-injection state: a crashed node accepts no subscriptions.
         self.crashed = False
 
@@ -180,6 +184,8 @@ class WebSocketServer:
                         attributes=dict(event.attributes),
                     )
                 )
+        if frame_bytes > self.max_frame_bytes:
+            self.max_frame_bytes = frame_bytes
         # The server writes frames to its subscribers serially: subscriber
         # k's frame goes on the wire only after the first k frames.  The
         # stagger also keeps two same-node subscribers from observing a

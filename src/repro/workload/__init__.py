@@ -1,0 +1,49 @@
+"""Generated workloads: populations, arrival processes, adversaries.
+
+The package is the deterministic half of the million-user workload
+engine — every draw is keyed on :class:`repro.sim.rng.KeyedStream`, so
+generated traffic is a pure function of the experiment seed.  The
+simulation half (processes, RPC plumbing, stats) stays in
+:class:`repro.framework.workload.WorkloadDriver`, which switches to the
+engine when :class:`~repro.workload.spec.WorkloadSpec` is present on the
+experiment config.
+"""
+
+from repro.workload.adversarial import (
+    GRIEFING_GAS_FACTOR,
+    GRIEFING_MSGS,
+    griefing_ticks,
+    spam_ticks,
+)
+from repro.workload.arrivals import (
+    ArrivalProcess,
+    BurstyArrivals,
+    DiurnalArrivals,
+    UniformArrivals,
+    build_arrivals,
+)
+from repro.workload.engine import WorkloadEngine
+from repro.workload.population import PayloadMix, Population
+from repro.workload.spec import (
+    ARRIVAL_PROCESSES,
+    DEFAULT_PAYLOAD_MIX,
+    WorkloadSpec,
+)
+
+__all__ = [
+    "ARRIVAL_PROCESSES",
+    "ArrivalProcess",
+    "BurstyArrivals",
+    "DEFAULT_PAYLOAD_MIX",
+    "DiurnalArrivals",
+    "GRIEFING_GAS_FACTOR",
+    "GRIEFING_MSGS",
+    "PayloadMix",
+    "Population",
+    "UniformArrivals",
+    "WorkloadEngine",
+    "WorkloadSpec",
+    "build_arrivals",
+    "griefing_ticks",
+    "spam_ticks",
+]

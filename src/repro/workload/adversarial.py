@@ -1,0 +1,37 @@
+"""Adversarial traffic patterns (§IV-A and §V failure modes).
+
+* **Mempool spam floods** — replay a stale-sequence transaction in
+  bursts.  CheckTx rejects every copy after the first commit (sequence
+  mismatch, or duplicate-in-mempool while the original is pending),
+  churning the admission path exactly like the paper's
+  ``account sequence mismatch`` floods.
+* **Gas griefing** — full 100-message transfer transactions submitted
+  with a deliberately short gas limit.  CheckTx admits them (it only
+  checks fee affordability), DeliverTx runs them out of gas after the
+  ante handler has burned the block's sequence slot for that account —
+  the §IV-A worst case: a whole account-block slot spent on a failure.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.sim.rng import KeyedStream
+from repro.workload.arrivals import UniformArrivals
+
+#: Griefing transactions carry the Hermes CLI maximum batch.
+GRIEFING_MSGS = 100
+
+#: Fraction of the honest gas estimate a griefing transaction carries —
+#: enough to clear the ante handler, not enough to execute 100 messages.
+GRIEFING_GAS_FACTOR = 0.6
+
+
+def spam_ticks(spec, stream: KeyedStream) -> Iterator[float]:
+    """Flood-tick times (Poisson at ``spec.spam_rate`` per second)."""
+    return UniformArrivals(stream, spec.spam_rate).times()
+
+
+def griefing_ticks(spec, stream: KeyedStream) -> Iterator[float]:
+    """Griefing-submission times (Poisson at ``spec.griefing_rate``)."""
+    return UniformArrivals(stream, spec.griefing_rate).times()

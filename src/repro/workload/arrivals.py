@@ -1,0 +1,149 @@
+"""Arrival processes: deterministic streams of submission times.
+
+Every draw is keyed by a monotone counter on a :class:`KeyedStream`, so
+the generated times are a pure function of the experiment seed — two
+runs, or one run under the scheduler's reversed tie-break policy, see
+byte-identical sequences (the scheduler-race sanitizer checks this with
+the ``skewed`` scenario).
+"""
+
+from __future__ import annotations
+
+import math
+from itertools import count
+from typing import Iterator, Union
+
+from repro.sim.rng import KeyedStream
+
+#: Salt layout on the arrival stream.
+_DRAW = 1  # inter-arrival exponentials
+_THIN = 2  # thinning acceptance (diurnal)
+_PHASE = 3  # phase durations (bursty/MMPP)
+
+
+def _exp(u: float, rate: float) -> float:
+    """Inverse-CDF exponential draw with the given rate."""
+    return -math.log(1.0 - u) / rate
+
+
+class UniformArrivals:
+    """Homogeneous Poisson arrivals at ``rate`` per second."""
+
+    __slots__ = ("stream", "rate")
+
+    def __init__(self, stream: KeyedStream, rate: float):
+        self.stream = stream
+        self.rate = rate
+
+    def times(self) -> Iterator[float]:
+        t = 0.0
+        for draw in count():
+            t += _exp(self.stream.u01(float(draw), _DRAW), self.rate)
+            yield t
+
+
+class DiurnalArrivals:
+    """Poisson arrivals with a sinusoidal rate profile.
+
+    The intensity is ``rate * (1 + depth * sin(2πt / period))``, sampled
+    by Lewis-Shedler thinning against the peak rate: candidate points
+    come from a homogeneous process at the peak, and each is kept with
+    probability intensity(t) / peak.
+    """
+
+    __slots__ = ("stream", "rate", "depth", "period")
+
+    def __init__(
+        self, stream: KeyedStream, rate: float, depth: float, period: float
+    ):
+        self.stream = stream
+        self.rate = rate
+        self.depth = depth
+        self.period = period
+
+    def times(self) -> Iterator[float]:
+        peak = self.rate * (1.0 + self.depth)
+        t = 0.0
+        # One candidate (and one thinning coin) per draw index; t
+        # strictly increases whether or not the candidate is kept.
+        for draw in count():
+            t += _exp(self.stream.u01(float(draw), _DRAW), peak)
+            intensity = self.rate * (
+                1.0 + self.depth * math.sin(2.0 * math.pi * t / self.period)
+            )
+            if self.stream.u01(float(draw), _THIN) * peak < intensity:
+                yield t
+
+
+class BurstyArrivals:
+    """Two-state MMPP: a quiet baseline punctuated by high-rate bursts.
+
+    Phases alternate between "off" (mean ``off_seconds``) and "on" (mean
+    ``on_seconds``, rate ``intensity`` times the off rate); both rates
+    are scaled so the long-run mean equals ``rate``.  Inter-arrival
+    times are hyper-dispersed — coefficient of variation well above the
+    Poisson value of 1 — which the statistical tests pin.
+    """
+
+    __slots__ = ("stream", "rate_off", "rate_on", "on_seconds", "off_seconds")
+
+    def __init__(
+        self,
+        stream: KeyedStream,
+        rate: float,
+        intensity: float,
+        on_seconds: float,
+        off_seconds: float,
+    ):
+        self.stream = stream
+        cycle = on_seconds + off_seconds
+        self.rate_off = rate * cycle / (intensity * on_seconds + off_seconds)
+        self.rate_on = intensity * self.rate_off
+        self.on_seconds = on_seconds
+        self.off_seconds = off_seconds
+
+    def times(self) -> Iterator[float]:
+        t = 0.0
+        phase = 0
+        on = False
+        phase_end = _exp(
+            self.stream.u01(float(phase), _PHASE), 1.0 / self.off_seconds
+        )
+        phase += 1
+        # One inter-arrival draw per index; a draw that crosses the
+        # phase edge is discarded (memoryless) and the next index
+        # redraws at the new rate — t advances to the edge either way.
+        for draw in count():
+            rate = self.rate_on if on else self.rate_off
+            dt = _exp(self.stream.u01(float(draw), _DRAW), rate)
+            if t + dt >= phase_end:
+                t = phase_end
+                on = not on
+                mean = self.on_seconds if on else self.off_seconds
+                phase_end = t + _exp(
+                    self.stream.u01(float(phase), _PHASE), 1.0 / mean
+                )
+                phase += 1
+                continue
+            t += dt
+            yield t
+
+
+ArrivalProcess = Union[UniformArrivals, DiurnalArrivals, BurstyArrivals]
+
+
+def build_arrivals(spec, rate: float, stream: KeyedStream) -> ArrivalProcess:
+    """The arrival process named by ``spec.arrival`` at ``rate`` tx/s."""
+    if spec.arrival == "uniform":
+        return UniformArrivals(stream, rate)
+    if spec.arrival == "diurnal":
+        return DiurnalArrivals(
+            stream, rate, spec.diurnal_depth, spec.diurnal_period
+        )
+    return BurstyArrivals(
+        stream,
+        rate,
+        spec.burst_intensity,
+        spec.burst_on_seconds,
+        spec.burst_off_seconds,
+    )

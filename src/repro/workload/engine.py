@@ -1,0 +1,114 @@
+"""The workload engine's deterministic decision core.
+
+Separated from the simulation driver
+(:class:`repro.framework.workload.WorkloadDriver`) so that every draw —
+*who* sends, *how many* messages, *when* — is a pure function of the
+experiment seed and the arrival index: unit-testable without a
+simulation, and immune to event-heap tie-break order.  The driver owns
+the processes; the engine owns the draws and the counters.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.sim.rng import KeyedStream
+from repro.workload.arrivals import ArrivalProcess, build_arrivals
+from repro.workload.population import PayloadMix, Population
+from repro.workload.spec import WorkloadSpec
+
+
+class WorkloadEngine:
+    """Draws and accounting for one generated workload."""
+
+    __slots__ = (
+        "spec",
+        "population",
+        "payloads",
+        "arrivals",
+        "spam_stream",
+        "griefing_stream",
+        "_sender_stream",
+        "_payload_stream",
+        "activity",
+        "deferred",
+        "spam_submitted",
+        "spam_rejected",
+        "griefing_submitted",
+        "griefing_failed",
+    )
+
+    def __init__(
+        self,
+        spec: WorkloadSpec,
+        input_rate: float,
+        stream: KeyedStream,
+        seed: int,
+    ):
+        self.spec = spec
+        self.population = Population(spec.population, spec.zipf_s, seed)
+        self.payloads = PayloadMix(spec.payload_mix)
+        self.arrivals: ArrivalProcess = build_arrivals(
+            spec, spec.tx_rate(input_rate), stream.derive("arrivals")
+        )
+        self._sender_stream = stream.derive("senders")
+        self._payload_stream = stream.derive("payloads")
+        self.spam_stream = stream.derive("spam")
+        self.griefing_stream = stream.derive("griefing")
+        #: Submissions started per sender rank (only active ranks appear).
+        self.activity: dict[int, int] = {}
+        #: Arrivals dropped because the drawn sender was mid-submission —
+        #: the §IV-A one-tx-per-account-per-block rule pushing back.
+        self.deferred = 0
+        self.spam_submitted = 0
+        self.spam_rejected = 0
+        self.griefing_submitted = 0
+        self.griefing_failed = 0
+
+    # ------------------------------------------------------------------
+
+    def draw_sender(self, index: int) -> int:
+        """Sender rank for arrival ``index`` (Zipf inverse-CDF)."""
+        return self.population.sample_rank(
+            self._sender_stream.u01(float(index))
+        )
+
+    def draw_payload(self, index: int) -> int:
+        """Messages-per-tx for arrival ``index`` (payload-mix draw)."""
+        return self.payloads.sample(self._payload_stream, index)
+
+    def record_start(self, rank: int) -> None:
+        self.activity[rank] = self.activity.get(rank, 0) + 1
+
+    # ------------------------------------------------------------------
+
+    def activity_summary(self) -> dict[str, Any]:
+        """Per-percentile sender activity (the report's population section).
+
+        Percentiles are over *active* senders' submission counts; the top
+        share is the fraction of all submissions made by the busiest 1 %
+        of active senders (at least one sender).
+        """
+        counts = sorted(self.activity.values())
+        total = sum(counts)
+
+        def pct(q: float) -> int:
+            if not counts:
+                return 0
+            return counts[min(len(counts) - 1, int(q * len(counts)))]
+
+        top = max(1, len(counts) // 100)
+        top_share = (
+            sum(counts[-top:]) / total if total else 0.0
+        )
+        return {
+            "population": self.population.size,
+            "senders_active": len(counts),
+            "submissions": total,
+            "activity_p50": pct(0.50),
+            "activity_p90": pct(0.90),
+            "activity_p99": pct(0.99),
+            "activity_max": counts[-1] if counts else 0,
+            "top1_share": top_share,
+            "deferred": self.deferred,
+        }

@@ -1,0 +1,208 @@
+"""Differential testing: array-backed keepers vs a dict-based reference.
+
+The bank and account keepers store state in flat ``array('q')`` columns
+indexed by an interning table — the representation that makes a
+million-account population affordable.  This stateful test drives both
+the real keepers and an obviously-correct dict model through random
+interleavings of the operations the simulation performs (genesis
+creation, minting, sends, escrow moves, sequence bumps, and failed
+transactions rolled back through the undo journal) and asserts the two
+worlds never diverge: same balances, same sequences, same supply, same
+error behaviour.
+"""
+
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.cosmos.accounts import AccountKeeper, AddressIndex
+from repro.cosmos.bank import BankKeeper, module_address
+from repro.cosmos.journal import Journal
+from repro.errors import InsufficientFundsError
+
+#: A small closed world: collisions (same account touched repeatedly,
+#: sends to self, escrow round trips) are the interesting cases.
+ADDRESSES = [f"diff-user-{i}" for i in range(6)]
+ESCROW = module_address("transfer/channel-0")
+DENOMS = ["stake", "uatom"]
+
+addresses = st.sampled_from(ADDRESSES)
+denoms = st.sampled_from(DENOMS)
+amounts = st.integers(min_value=1, max_value=1_000)
+
+
+class DictModel:
+    """The reference: plain dicts, no journal, no columns."""
+
+    def __init__(self) -> None:
+        self.balances: dict[tuple, int] = {}
+        self.supply: dict[str, int] = {}
+        self.sequences: dict[str, int] = {}
+
+    def create(self, address: str) -> None:
+        self.sequences[address] = 0
+
+    def mint(self, address: str, denom: str, amount: int) -> None:
+        self.balances[(address, denom)] = (
+            self.balances.get((address, denom), 0) + amount
+        )
+        self.supply[denom] = self.supply.get(denom, 0) + amount
+
+    def send(
+        self, sender: str, recipient: str, denom: str, amount: int
+    ) -> bool:
+        if self.balances.get((sender, denom), 0) < amount:
+            return False
+        self.balances[(sender, denom)] -= amount
+        self.balances[(recipient, denom)] = (
+            self.balances.get((recipient, denom), 0) + amount
+        )
+        return True
+
+    def bump(self, address: str) -> None:
+        self.sequences[address] += 1
+
+
+class BankDifferential(RuleBasedStateMachine):
+    def __init__(self) -> None:
+        super().__init__()
+        index = AddressIndex()
+        self.accounts = AccountKeeper(index=index)
+        self.bank = BankKeeper(index=index)
+        self.model = DictModel()
+        self.created: set = set()
+
+    # -- operations ----------------------------------------------------
+
+    @rule(address=addresses)
+    def create_account(self, address: str) -> None:
+        if address in self.created:
+            return
+        self.accounts.create_lazy(address)
+        self.model.create(address)
+        self.created.add(address)
+
+    @rule(address=addresses, denom=denoms, amount=amounts)
+    def mint(self, address: str, denom: str, amount: int) -> None:
+        self.bank.mint(address, denom, amount)
+        self.model.mint(address, denom, amount)
+
+    @rule(
+        sender=addresses, recipient=addresses, denom=denoms, amount=amounts
+    )
+    def send(
+        self, sender: str, recipient: str, denom: str, amount: int
+    ) -> None:
+        """Both worlds agree on success *and* on failure: an insufficient
+        balance raises on the keeper exactly when the model refuses."""
+        try:
+            self.bank.send(sender, recipient, denom, amount)
+            sent = True
+        except InsufficientFundsError:
+            sent = False
+        assert sent == self.model.send(sender, recipient, denom, amount)
+
+    @rule(sender=addresses, denom=denoms, amount=amounts)
+    def escrow(self, sender: str, denom: str, amount: int) -> None:
+        """ICS-20 escrow: a send to a module account (bank-only address
+        with no auth account — the case the _NO_ACCOUNT sentinel guards)."""
+        try:
+            self.bank.send(sender, ESCROW, denom, amount)
+            sent = True
+        except InsufficientFundsError:
+            sent = False
+        assert sent == self.model.send(sender, ESCROW, denom, amount)
+
+    @precondition(lambda self: self.created)
+    @rule(data=st.data())
+    def bump_sequence(self, data) -> None:
+        address = data.draw(st.sampled_from(sorted(self.created)))
+        self.accounts.increment_sequence(address)
+        self.model.bump(address)
+
+    @rule(
+        sender=addresses,
+        recipient=addresses,
+        denom=denoms,
+        amount=amounts,
+        mint_amount=amounts,
+    )
+    def failed_tx_rolls_back(
+        self,
+        sender: str,
+        recipient: str,
+        denom: str,
+        amount: int,
+        mint_amount: int,
+    ) -> None:
+        """A journaled mutation burst, then rollback: the array columns
+        must restore to exactly the reference state (which never moved)."""
+        journal = Journal()
+        self.bank.journal = journal
+        try:
+            self.bank.mint(sender, denom, mint_amount)
+            try:
+                self.bank.send(sender, recipient, denom, amount)
+            except InsufficientFundsError:
+                pass
+            self.bank.send(sender, ESCROW, denom, mint_amount + amount)
+        except InsufficientFundsError:
+            pass
+        finally:
+            journal.rollback()
+            self.bank.journal = None
+        self.check_balances_match()
+
+    # -- invariants ----------------------------------------------------
+
+    @invariant()
+    def check_balances_match(self) -> None:
+        for address in ADDRESSES + [ESCROW]:
+            for denom in DENOMS:
+                assert self.bank.balance(address, denom) == (
+                    self.model.balances.get((address, denom), 0)
+                ), (address, denom)
+
+    @invariant()
+    def check_sequences_match(self) -> None:
+        for address in ADDRESSES:
+            expected = self.model.sequences.get(address, 0)
+            assert self.accounts.sequence_of(address) == expected
+            account = self.accounts.get(address)
+            if address in self.created:
+                assert account is not None
+                assert account.sequence == expected
+            else:
+                assert account is None
+
+    @invariant()
+    def check_supply_matches_and_is_conserved(self) -> None:
+        for denom in DENOMS:
+            assert self.bank.supply(denom) == self.model.supply.get(denom, 0)
+        assert self.bank.check_supply_invariant(DENOMS)
+
+
+TestBankDifferential = BankDifferential.TestCase
+
+
+def test_bulk_genesis_matches_incremental_mints():
+    """genesis_mint_many (the column fast path) lands the same state as
+    per-account mints through the journal-aware slow path."""
+    fast_index = AddressIndex()
+    fast = BankKeeper(index=fast_index)
+    slow_index = AddressIndex()
+    slow = BankKeeper(index=slow_index)
+    addresses = [f"bulk-{i}" for i in range(100)]
+    fast.genesis_mint_many(addresses, "uatom", 5_000)
+    for address in addresses:
+        slow.mint(address, "uatom", 5_000)
+    assert fast.supply("uatom") == slow.supply("uatom") == 500_000
+    for address in addresses:
+        assert fast.balance(address, "uatom") == slow.balance(
+            address, "uatom"
+        ) == 5_000
+    assert fast.check_supply_invariant(["uatom"])

@@ -93,7 +93,7 @@ def test_bench_subcommand_dispatches(tmp_path, capsys):
     )
     document = json.loads(out_path.read_text())
     assert len(document) == 1
-    assert document[0]["schema_version"] == 5
+    assert document[0]["schema_version"] == 6
 
 
 def test_bench_smoke_two_points_two_workers(tmp_path):

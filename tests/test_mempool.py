@@ -155,6 +155,31 @@ def test_recheck_drops_stale_pending_txs(app, mempool):
     assert tx0.hash not in mempool  # stale sequence evicted
 
 
+def test_eviction_counter_tracks_recheck_drops(app, mempool):
+    """The ``evicted`` counter (the report's mempool section) counts only
+    recheck drops — admission rejections stay in ``rejected``."""
+    factory = funded_factory(app, "mp-l")
+    tx0 = factory.build([send_msg(factory)], gas_limit=100_000, sequence=0)
+    tx1 = factory.build([send_msg(factory)], gas_limit=100_000, sequence=1)
+    assert mempool.add(tx0, now=0.0).ok
+    assert mempool.add(tx1, now=0.0).ok
+    assert mempool.evicted == 0
+    # A replay rejected at admission is not an eviction.
+    replay = factory.build(
+        [send_msg(factory)], gas_limit=100_000, sequence=0
+    )
+    assert not mempool.add(replay, now=0.0).ok
+    assert mempool.rejected == 1
+    assert mempool.evicted == 0
+    # The chain commits both sequences via another node: the recheck
+    # drops both pending txs and counts them.
+    app.accounts.require(factory.wallet.address).sequence = 2
+    mempool.update([])
+    assert len(mempool) == 0
+    assert mempool.evicted == 2
+    assert mempool.admitted == 2
+
+
 def test_flush(app, mempool):
     factory = funded_factory(app, "mp-k")
     mempool.add(factory.build([send_msg(factory)], gas_limit=100_000), now=0.0)

@@ -164,5 +164,15 @@ def test_hub4_scenario_has_no_scheduling_race():
     assert result.clean, result.summary()
 
 
+@pytest.mark.schedcheck
+def test_skewed_scenario_has_no_scheduling_race():
+    """The workload-engine scenario: Zipf senders, bursty arrivals and
+    adversarial traffic must not let heap tie order leak into state."""
+    result = check_scenario("skewed", seed=7)
+    assert result.clean, result.summary()
+
+
 def test_scenario_registry_names():
-    assert set(SCENARIOS) == {"golden", "golden-faults", "fleet", "line3", "hub4"}
+    assert set(SCENARIOS) == {
+        "golden", "golden-faults", "fleet", "line3", "hub4", "skewed"
+    }

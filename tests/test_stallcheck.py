@@ -211,7 +211,9 @@ def test_unknown_scenario_raises():
 
 
 def test_scenario_registry_names():
-    assert set(SCENARIOS) == {"golden", "golden-faults", "fleet", "line3", "hub4"}
+    assert set(SCENARIOS) == {
+        "golden", "golden-faults", "fleet", "line3", "hub4", "skewed"
+    }
 
 
 def test_default_budget_path_is_repo_root():
@@ -267,4 +269,13 @@ def test_line3_scenario_has_no_stall():
 @pytest.mark.stallcheck
 def test_hub4_scenario_has_no_stall():
     result = check_scenario("hub4", seed=7)
+    assert result.clean, result.summary()
+
+
+@pytest.mark.stallcheck
+def test_skewed_scenario_has_no_stall():
+    """Engine mode spawns a process per arrival (plus spam/griefing
+    loops); none of them may leak a live process or store entry past
+    teardown, and the mempool/queue high-water marks stay in budget."""
+    result = check_scenario("skewed", seed=7)
     assert result.clean, result.summary()

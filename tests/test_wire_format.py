@@ -142,7 +142,7 @@ def fault_report() -> ExperimentReport:
 
 def test_report_schema_version_in_document(fault_report):
     document = fault_report.to_dict()
-    assert document["schema_version"] == ExperimentReport.SCHEMA_VERSION == 5
+    assert document["schema_version"] == ExperimentReport.SCHEMA_VERSION == 6
     # schema_version leads the dump so humans see it first.
     assert next(iter(document)) == "schema_version"
 
@@ -258,10 +258,12 @@ def test_v2_document_still_loads(fault_report):
     document["schema_version"] = 2
     del document["trace"]
     del document["fleet"]
+    del document["population"]
+    del document["frames"]
     clone = ExperimentReport.from_dict(document)
     assert clone.trace is None
     assert clone.window == fault_report.window
-    assert clone.to_dict()["schema_version"] == 5
+    assert clone.to_dict()["schema_version"] == 6
 
 
 def test_v2_document_rejects_trace_key(fault_report):
@@ -269,6 +271,8 @@ def test_v2_document_rejects_trace_key(fault_report):
     document = fault_report.to_dict()
     document["schema_version"] = 2
     del document["fleet"]
+    del document["population"]
+    del document["frames"]
     with pytest.raises(SchemaError, match="trace"):
         ExperimentReport.from_dict(document)
 
@@ -338,21 +342,79 @@ def test_v4_report_document_still_loads(fault_report):
     document = fault_report.to_dict()
     document["schema_version"] = 4
     del document["fleet"]
+    del document["population"]
+    del document["frames"]
     # v4 documents carry the flat relayer config keys.
     relayer = document["config"].pop("relayer")
     document["config"]["rpc_retry_attempts"] = relayer["rpc_retry_attempts"]
     clone = ExperimentReport.from_dict(document)
     assert clone.fleet is None
     assert clone.window == fault_report.window
-    assert clone.to_dict()["schema_version"] == 5
+    assert clone.to_dict()["schema_version"] == 6
 
 
 def test_v4_document_rejects_fleet_key(fault_report):
     """A document claiming schema 4 must not smuggle in a fleet section."""
     document = fault_report.to_dict()
     document["schema_version"] = 4
+    del document["population"]
+    del document["frames"]
     with pytest.raises(SchemaError, match="fleet"):
         ExperimentReport.from_dict(document)
+
+
+# -- v5 -> v6 migration (workload engine: population/frames sections) ---------
+
+
+def test_v5_report_document_still_loads(fault_report):
+    """Reports written before the workload engine (schema 5) load with the
+    population/frames sections absent, the submission split defaulted to
+    zero, and re-serialize as the current schema."""
+    document = fault_report.to_dict()
+    document["schema_version"] = 5
+    del document["population"]
+    del document["frames"]
+    for key in ("failed", "unconfirmed", "deferred"):
+        del document["submission"][key]
+    clone = ExperimentReport.from_dict(document)
+    assert clone.population is None
+    assert clone.frames is None
+    assert clone.workload.failed_transfers == 0
+    assert clone.workload.unconfirmed_transfers == 0
+    assert clone.workload.deferred_transfers == 0
+    assert clone.window == fault_report.window
+    assert clone.to_dict()["schema_version"] == 6
+
+
+def test_v5_document_rejects_population_key(fault_report):
+    """A document claiming schema 5 must not smuggle in the v6 sections."""
+    document = fault_report.to_dict()
+    document["schema_version"] = 5
+    del document["frames"]
+    with pytest.raises(SchemaError, match="population"):
+        ExperimentReport.from_dict(document)
+
+
+def test_population_and_frames_sections_round_trip():
+    """An engine-mode run carries the population/frames sections and they
+    survive the round trip exactly."""
+    from repro.framework import WorkloadSpec
+
+    report = run_experiment(
+        ExperimentConfig(
+            input_rate=20,
+            measurement_blocks=2,
+            seed=11,
+            workload=WorkloadSpec(population=40),
+        )
+    )
+    assert report.population is not None
+    assert report.population["population"] == 40
+    assert report.frames is not None
+    assert report.frames["limit_bytes"] > 0
+    clone = ExperimentReport.from_json(report.to_json())
+    assert clone.population == report.population
+    assert clone.frames == report.frames
 
 
 def test_fleet_section_round_trips(fault_report):
